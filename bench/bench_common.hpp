@@ -1,0 +1,71 @@
+// Shared plumbing for the table/figure benchmark binaries.
+//
+// Every binary prints (a) the scaling configuration in effect, (b) a table
+// with the same rows/columns as the corresponding table in the paper, and
+// (c) a PAPER-SHAPE note restating what qualitative relationship the paper
+// reports, so the output is self-checking against EXPERIMENTS.md.
+//
+// Common flags: --scale=<f> multiplies dataset sizes (default 0.25 of the
+// DESIGN.md base sizes, which are themselves ~32x below the paper);
+// --seed=<n> reseeds generators; --quick runs a reduced grid.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/core/dyn_graph.hpp"
+#include "src/datasets/suite.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace sg::bench {
+
+struct BenchContext {
+  double scale = 1.0;
+  std::uint64_t seed = 42;
+  bool quick = false;
+
+  /// `default_scale` lets quadratic-cost benches (probing TC) default
+  /// smaller while the update benches run the full DESIGN.md base sizes.
+  static BenchContext from_cli(const util::Cli& cli,
+                               double default_scale = 1.0) {
+    BenchContext ctx;
+    ctx.scale = cli.get_double("scale", default_scale);
+    ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+    ctx.quick = cli.has("quick");
+    return ctx;
+  }
+
+  void print_header(const std::string& what) const {
+    std::printf("== %s ==\n", what.c_str());
+    std::printf("dataset scale %.3g of DESIGN.md base sizes, seed %llu%s\n\n",
+                scale, static_cast<unsigned long long>(seed),
+                quick ? ", quick grid" : "");
+  }
+};
+
+inline core::GraphConfig graph_config(const datasets::Coo& coo,
+                                      double load_factor = 0.7) {
+  core::GraphConfig cfg;
+  cfg.vertex_capacity = coo.num_vertices;
+  cfg.load_factor = load_factor;
+  return cfg;
+}
+
+inline void paper_shape_note(const char* note) {
+  std::printf("PAPER-SHAPE: %s\n\n", note);
+}
+
+/// Plain edge views of a weighted batch (deletion inputs).
+inline std::vector<core::Edge> strip_weights(
+    const std::vector<core::WeightedEdge>& edges) {
+  std::vector<core::Edge> out;
+  out.reserve(edges.size());
+  for (const auto& e : edges) out.push_back({e.src, e.dst});
+  return out;
+}
+
+}  // namespace sg::bench

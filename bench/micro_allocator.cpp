@@ -1,0 +1,80 @@
+// Google-benchmark micro benchmarks for the SlabArena: bulk contiguous
+// base-slab allocation vs per-table allocation (the §IV-A2 design choice),
+// and dynamic slab alloc/free churn.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/memory/slab_arena.hpp"
+
+namespace {
+
+using sg::memory::SlabArena;
+
+/// One bulk allocation covering N tables' base slabs (the paper's choice).
+void BM_BulkBaseSlabAllocation(benchmark::State& state) {
+  const auto tables = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    SlabArena arena;
+    // All tables' buckets in one contiguous reservation each (graph-style:
+    // a handful of large allocate_contiguous calls).
+    for (std::uint32_t t = 0; t < tables; t += 512) {
+      const std::uint32_t chunk = std::min<std::uint32_t>(512, tables - t);
+      benchmark::DoNotOptimize(arena.allocate_contiguous(chunk, 0xFFFFFFFFu));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * tables);
+}
+BENCHMARK(BM_BulkBaseSlabAllocation)->Arg(1 << 12)->Arg(1 << 14);
+
+/// One allocation per table — the "independent cudaMalloc per hash table"
+/// anti-pattern the paper avoids.
+void BM_PerTableBaseSlabAllocation(benchmark::State& state) {
+  const auto tables = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    SlabArena arena;
+    for (std::uint32_t t = 0; t < tables; ++t) {
+      benchmark::DoNotOptimize(arena.allocate_contiguous(1, 0xFFFFFFFFu));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * tables);
+}
+BENCHMARK(BM_PerTableBaseSlabAllocation)->Arg(1 << 12)->Arg(1 << 14);
+
+void BM_DynamicAllocFree(benchmark::State& state) {
+  SlabArena arena;
+  std::vector<sg::memory::SlabHandle> live;
+  live.reserve(1024);
+  std::uint32_t seed = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 1024; ++i) {
+      live.push_back(arena.allocate(0xFFFFFFFFu, seed++));
+    }
+    for (auto h : live) arena.free(h);
+    live.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * 2048);
+}
+BENCHMARK(BM_DynamicAllocFree);
+
+void BM_DynamicAllocSteadyState(benchmark::State& state) {
+  SlabArena arena;
+  // Pre-churn so the bitmap has scattered free slots (steady-state shape).
+  std::vector<sg::memory::SlabHandle> persistent;
+  for (int i = 0; i < 20000; ++i) persistent.push_back(arena.allocate(0, i));
+  for (std::size_t i = 0; i < persistent.size(); i += 2) {
+    arena.free(persistent[i]);
+  }
+  std::uint32_t seed = 0;
+  for (auto _ : state) {
+    const auto h = arena.allocate(0, seed++);
+    benchmark::DoNotOptimize(h);
+    arena.free(h);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynamicAllocSteadyState);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,52 @@
+// Table V: bulk-build elapsed time (ms) per dataset, Hornet vs ours.
+// Bulk build inserts the whole COO in one batch with degrees known a priori
+// (§V-B1). Hornet pays a global sort + dedup; ours sizes buckets from the
+// degrees and runs one Algorithm-1 launch.
+#include "bench/bench_common.hpp"
+
+#include "src/baselines/hornet/hornet_graph.hpp"
+
+namespace sg {
+namespace {
+
+void run(const bench::BenchContext& ctx) {
+  const auto names = ctx.quick ? datasets::small_suite_names()
+                               : datasets::suite_names();
+  util::Table table({"Dataset", "|V|", "|E|", "Hornet", "Ours", "Speedup"});
+  for (const auto& name : names) {
+    const datasets::Coo coo = datasets::make_dataset(name, ctx.scale, ctx.seed);
+    double hornet_ms = 0.0;
+    {
+      baselines::hornet::HornetGraph hornet(coo.num_vertices);
+      util::Timer timer;
+      hornet.bulk_build(coo.edges);
+      hornet_ms = timer.milliseconds();
+    }
+    double ours_ms = 0.0;
+    {
+      core::DynGraphMap ours(bench::graph_config(coo));
+      util::Timer timer;
+      ours.bulk_build(coo.edges);
+      ours_ms = timer.milliseconds();
+    }
+    table.add_row({name, util::Table::fmt_int(coo.num_vertices),
+                   util::Table::fmt_int(static_cast<long long>(coo.num_edges())),
+                   util::Table::fmt(hornet_ms, 3), util::Table::fmt(ours_ms, 3),
+                   util::Table::fmt(hornet_ms / ours_ms, 1) + "x"});
+  }
+  table.print("Table V: bulk build elapsed time (ms)");
+  bench::paper_shape_note(
+      "ours 2-30x faster across the suite; Hornet's gap comes from global "
+      "sorting + duplicate checking (45% of its time on hollywood-2009)");
+}
+
+}  // namespace
+}  // namespace sg
+
+int main(int argc, char** argv) {
+  const sg::util::Cli cli(argc, argv);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  ctx.print_header("Table V: bulk build");
+  sg::run(ctx);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Table VI: incremental build — start empty, insert the dataset in batches
+// with vertex capacity known but degrees unknown (every hash table gets a
+// single bucket: the worst case for us, §VI-B2). Mean MEdge/s over the four
+// similar-|E| datasets (ldoor, delaunay_n23, road_usa, soc-LiveJournal1),
+// Hornet vs ours, plus the paper's low-variance/high-variance split.
+#include "bench/bench_common.hpp"
+
+#include "src/baselines/hornet/hornet_graph.hpp"
+#include "src/datasets/coo.hpp"
+
+namespace sg {
+namespace {
+
+double incremental_ours(const datasets::Coo& coo, std::size_t batch_size) {
+  core::DynGraphMap graph(bench::graph_config(coo));
+  graph.reserve_vertices(coo.num_vertices);  // capacity known a priori
+  util::Timer timer;
+  for (const auto batch : datasets::split_batches(coo.edges, batch_size)) {
+    graph.insert_edges(batch);
+  }
+  return util::mitems_per_second(double(coo.num_edges()), timer.seconds());
+}
+
+double incremental_hornet(const datasets::Coo& coo, std::size_t batch_size) {
+  baselines::hornet::HornetGraph graph(coo.num_vertices);
+  util::Timer timer;
+  for (const auto batch : datasets::split_batches(coo.edges, batch_size)) {
+    graph.insert_edges(batch);
+  }
+  return util::mitems_per_second(double(coo.num_edges()), timer.seconds());
+}
+
+void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
+  const auto names = datasets::incremental_suite_names();
+  util::Table table({"Batch size", "Hornet", "Ours", "Speedup"});
+  std::vector<std::pair<std::vector<double>, std::vector<double>>> per_exp(
+      batch_exps.size());
+  // Per-dataset speedups at the largest batch, for the variance split note.
+  util::Table split({"Dataset", "Hornet", "Ours", "Speedup"});
+  for (const auto& name : names) {
+    const datasets::Coo coo = datasets::make_dataset(name, ctx.scale, ctx.seed);
+    for (std::size_t bi = 0; bi < batch_exps.size(); ++bi) {
+      const std::size_t batch_size = 1ull << batch_exps[bi];
+      const double h = incremental_hornet(coo, batch_size);
+      const double o = incremental_ours(coo, batch_size);
+      per_exp[bi].first.push_back(h);
+      per_exp[bi].second.push_back(o);
+      if (bi + 1 == batch_exps.size()) {
+        split.add_row({name, util::Table::fmt(h), util::Table::fmt(o),
+                       util::Table::fmt(o / h, 2) + "x"});
+      }
+    }
+  }
+  for (std::size_t bi = 0; bi < batch_exps.size(); ++bi) {
+    const double h = util::mean_of(per_exp[bi].first);
+    const double o = util::mean_of(per_exp[bi].second);
+    table.add_row({"2^" + std::to_string(batch_exps[bi]), util::Table::fmt(h),
+                   util::Table::fmt(o), util::Table::fmt(o / h, 2) + "x"});
+  }
+  table.print(
+      "Table VI: incremental build mean edge insertion rates (MEdge/s)");
+  std::printf("\n");
+  split.print("Per-dataset split at the largest batch (variance effect)");
+  bench::paper_shape_note(
+      "ours ~5x faster on average; the gap is largest on low-variance "
+      "graphs (delaunay/road: paper 15-25x) where Hornet keeps copying "
+      "blocks, and smallest/reversed on high-variance soc-LiveJournal1 "
+      "(paper 0.92x)");
+}
+
+}  // namespace
+}  // namespace sg
+
+int main(int argc, char** argv) {
+  const sg::util::Cli cli(argc, argv);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  ctx.print_header("Table VI: incremental build (unknown degrees, 1 bucket)");
+  const std::vector<int> exps =
+      ctx.quick ? std::vector<int>{14} : std::vector<int>{15, 16, 17};
+  sg::run(ctx, exps);
+  return 0;
+}

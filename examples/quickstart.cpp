@@ -1,0 +1,70 @@
+// Quickstart: the 60-second tour of the public API — build a small weighted
+// directed graph, mutate it with batched edge/vertex operations, query it,
+// and inspect memory accounting.
+//
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/core/dyn_graph.hpp"
+
+int main() {
+  using namespace sg::core;
+
+  // 1. Configure and construct. Capacity is a hint; the dictionary grows
+  //    (by pointer copy) if exceeded. Load factor 0.7 is the paper default.
+  GraphConfig config;
+  config.vertex_capacity = 16;
+  config.load_factor = 0.7;
+  DynGraphMap graph(config);
+
+  // 2. Batched edge insertion (Algorithm 1). Duplicates are tolerated and
+  //    stored once; self-loops are dropped; the newest weight wins.
+  const std::vector<WeightedEdge> batch = {
+      {0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {2, 0, 40},
+      {0, 1, 11},  // duplicate of 0->1: weight becomes 11
+      {3, 3, 99},  // self-loop: rejected
+  };
+  const auto added = graph.insert_edges(batch);
+  std::printf("inserted %llu unique edges (batch had %zu entries)\n",
+              static_cast<unsigned long long>(added), batch.size());
+
+  // 3. Queries: edgeExist, weight lookup, exact degree, adjacency iteration.
+  std::printf("edge 0->1 exists: %s, weight %u\n",
+              graph.edge_exists(0, 1) ? "yes" : "no",
+              graph.edge_weight(0, 1).value);
+  std::printf("degree(0) = %u\n", graph.degree(0));
+  graph.for_each_neighbor(0, [](VertexId v, Weight w) {
+    std::printf("  neighbor of 0: %u (weight %u)\n", v, w);
+  });
+
+  // 4. Batched deletion; the return value is the exact number removed.
+  const std::vector<Edge> doomed = {{0, 2}, {0, 7}};
+  std::printf("deleted %llu edges\n",
+              static_cast<unsigned long long>(graph.delete_edges(doomed)));
+
+  // 5. Vertex operations: insert with a degree hint (pre-sizes the hash
+  //    table), then delete (Algorithm 2 scrubs incoming edges too).
+  const std::vector<VertexId> fresh = {9};
+  const std::vector<std::uint32_t> hints = {100};
+  graph.insert_vertices(fresh, hints);
+  std::vector<WeightedEdge> fan;
+  for (std::uint32_t v = 0; v < 100; ++v) fan.push_back({9, v + 10, v});
+  graph.insert_edges(fan);
+  std::printf("degree(9) = %u after fan-out\n", graph.degree(9));
+  const std::vector<VertexId> gone = {9};
+  graph.delete_vertices(gone);
+  std::printf("after delete_vertices: degree(9) = %u, edge 9->10 exists: %s\n",
+              graph.degree(9), graph.edge_exists(9, 10) ? "yes" : "no");
+
+  // 6. Memory accounting (the Figure 2 counters).
+  const GraphMemoryStats stats = graph.memory_stats();
+  std::printf(
+      "memory: %llu live edges, %llu tombstones, %llu base + %llu overflow "
+      "slabs, utilization %.2f\n",
+      static_cast<unsigned long long>(stats.live_edges),
+      static_cast<unsigned long long>(stats.tombstones),
+      static_cast<unsigned long long>(stats.base_slabs),
+      static_cast<unsigned long long>(stats.overflow_slabs),
+      stats.utilization());
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Social-network churn — the "flowing stream of edge AND vertex insertions
+// and deletions" the paper argues real dynamic workloads contain (§I).
+// A scale-free social graph evolves through rounds of:
+//   * new members joining (vertex insertion + their follow edges),
+//   * members leaving (Algorithm 2 vertex deletion),
+//   * follow/unfollow traffic (batched edge insert/delete),
+// while analytics (connected components, reachability BFS from the largest
+// hub) run between phases — the phase-concurrent usage model.
+//
+//   ./build/examples/social_churn [--rounds=N] [--scale=F]
+#include <cstdio>
+
+#include "src/analytics/bfs.hpp"
+#include "src/analytics/connected_components.hpp"
+#include "src/core/dyn_graph.hpp"
+#include "src/datasets/coo.hpp"
+#include "src/datasets/suite.hpp"
+#include "src/util/cli.hpp"
+#include "src/util/prng.hpp"
+
+namespace {
+
+sg::analytics::NeighborFn neighbors_of(const sg::core::DynGraphSet& g) {
+  return [&g](sg::core::VertexId u,
+              const std::function<void(sg::core::VertexId)>& visit) {
+    g.for_each_neighbor(
+        u, [&](sg::core::VertexId v, sg::core::Weight) { visit(v); });
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sg::util::Cli cli(argc, argv);
+  const int rounds = static_cast<int>(cli.get_int("rounds", 4));
+  const double scale = cli.get_double("scale", 0.1);
+  sg::util::Xoshiro256 rng(2026);
+
+  auto seed_graph = sg::datasets::make_dataset("soc-LiveJournal1", scale);
+  const std::uint32_t base_vertices = seed_graph.num_vertices;
+  // Leave headroom for joiners: ids [base, base + rounds*join) are new.
+  const std::uint32_t joiners_per_round = base_vertices / 20;
+
+  sg::core::GraphConfig config;
+  config.vertex_capacity = base_vertices + rounds * joiners_per_round;
+  config.undirected = true;
+  sg::core::DynGraphSet graph(config);
+  graph.insert_edges(seed_graph.unique_undirected_edges());
+  std::printf("seeded social graph: %u members, %llu directed edges\n",
+              base_vertices,
+              static_cast<unsigned long long>(graph.num_edges()));
+
+  std::uint32_t next_member = base_vertices;
+  for (int round = 1; round <= rounds; ++round) {
+    // --- joins: new members follow a handful of existing ones -----------
+    std::vector<sg::core::VertexId> joiners;
+    std::vector<sg::core::WeightedEdge> follows;
+    for (std::uint32_t j = 0; j < joiners_per_round; ++j) {
+      const sg::core::VertexId member = next_member++;
+      joiners.push_back(member);
+      const int fanout = 2 + static_cast<int>(rng.below(6));
+      for (int f = 0; f < fanout; ++f) {
+        follows.push_back(
+            {member, static_cast<sg::core::VertexId>(rng.below(member)), 0});
+      }
+    }
+    graph.insert_vertices(joiners);
+    graph.insert_edges(follows);
+
+    // --- churn: some members leave entirely (Algorithm 2) ---------------
+    std::vector<sg::core::VertexId> leavers;
+    for (std::uint32_t l = 0; l < joiners_per_round / 4; ++l) {
+      leavers.push_back(static_cast<sg::core::VertexId>(rng.below(next_member)));
+    }
+    graph.delete_vertices(leavers);
+
+    // --- unfollow traffic ------------------------------------------------
+    std::vector<sg::core::Edge> unfollows;
+    for (std::uint32_t u = 0; u < joiners_per_round; ++u) {
+      unfollows.push_back(
+          {static_cast<sg::core::VertexId>(rng.below(next_member)),
+           static_cast<sg::core::VertexId>(rng.below(next_member))});
+    }
+    const auto unfollowed = graph.delete_edges(unfollows);
+
+    // --- analytics on the live graph -------------------------------------
+    // Hub = highest-degree live member.
+    sg::core::VertexId hub = 0;
+    for (sg::core::VertexId v = 0; v < next_member; ++v) {
+      if (graph.degree(v) > graph.degree(hub)) hub = v;
+    }
+    const auto dist =
+        sg::analytics::bfs(next_member, neighbors_of(graph), hub);
+    std::uint64_t reachable = 0;
+    for (auto d : dist) reachable += d != sg::analytics::kUnreached;
+    const auto labels =
+        sg::analytics::connected_components(next_member, neighbors_of(graph));
+
+    std::printf(
+        "round %d: +%zu members, -%zu leavers, %llu unfollows | %llu edges, "
+        "hub %u reaches %llu members, %u components\n",
+        round, joiners.size(), leavers.size(),
+        static_cast<unsigned long long>(unfollowed),
+        static_cast<unsigned long long>(graph.num_edges()), hub,
+        static_cast<unsigned long long>(reachable),
+        sg::analytics::count_components(labels));
+  }
+  return 0;
+}

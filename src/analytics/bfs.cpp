@@ -1,0 +1,28 @@
+#include "src/analytics/bfs.hpp"
+
+#include "src/simt/atomics.hpp"
+
+namespace sg::analytics {
+
+std::vector<std::uint32_t> bfs(std::uint32_t num_vertices,
+                               const NeighborFn& neighbors,
+                               core::VertexId source) {
+  std::vector<std::uint32_t> dist(num_vertices, kUnreached);
+  if (source >= num_vertices) return dist;
+  dist[source] = 0;
+  Frontier frontier({source});
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    frontier = advance(frontier, neighbors,
+                       [&](core::VertexId, core::VertexId dst) {
+                         // Atomic claim so each vertex joins one frontier.
+                         std::uint32_t expected = kUnreached;
+                         return simt::atomic_cas(dist[dst], expected, level) ==
+                                kUnreached;
+                       });
+  }
+  return dist;
+}
+
+}  // namespace sg::analytics

@@ -1,0 +1,20 @@
+// Breadth-first search on any adjacency provider (frontier-based, level
+// synchronous). Demonstrates running a Gunrock-style algorithm over the
+// dynamic graph while it keeps changing between launches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analytics/frontier.hpp"
+
+namespace sg::analytics {
+
+inline constexpr std::uint32_t kUnreached = 0xFFFFFFFFu;
+
+/// Hop distance from `source` to every vertex (kUnreached if unreachable).
+std::vector<std::uint32_t> bfs(std::uint32_t num_vertices,
+                               const NeighborFn& neighbors,
+                               core::VertexId source);
+
+}  // namespace sg::analytics

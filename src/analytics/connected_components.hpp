@@ -1,0 +1,21 @@
+// Connected components via frontier-based label propagation (HookShrink-
+// style pointer jumping kept simple): another Gunrock-shaped consumer of
+// the dynamic graph's adjacency iterator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/analytics/frontier.hpp"
+
+namespace sg::analytics {
+
+/// Per-vertex component labels (label == smallest vertex id in component,
+/// for vertices that have at least one edge or are < num_vertices).
+std::vector<std::uint32_t> connected_components(std::uint32_t num_vertices,
+                                                const NeighborFn& neighbors);
+
+/// Number of distinct labels among `labels`.
+std::uint32_t count_components(const std::vector<std::uint32_t>& labels);
+
+}  // namespace sg::analytics

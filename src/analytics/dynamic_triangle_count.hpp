@@ -1,0 +1,34 @@
+// Dynamic triangle counting (§V-C, Table IX): insert a batch, recount
+// triangles, repeat — the end-to-end dynamic application. The harness runs
+// the same edge stream through the hash-based structure (probing TC) and
+// through Hornet (insert + re-sort + intersect TC; re-sorting after every
+// batch is "the overhead of maintaining a sorted Hornet ... in order to
+// perform a dynamic application that requires a sorted list").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/datasets/coo.hpp"
+
+namespace sg::analytics {
+
+struct DynamicTcRow {
+  int iteration = 0;
+  double insert_ms = 0.0;
+  double tc_ms = 0.0;
+  double cumulative_ms = 0.0;  ///< running total of insert + tc
+  std::uint64_t triangles = 0;
+};
+
+struct DynamicTcResult {
+  std::vector<DynamicTcRow> ours;
+  std::vector<DynamicTcRow> hornet;
+};
+
+/// Streams `graph`'s edges in `iterations` equal batches (capped at
+/// `batch_cap` directed edges per batch) through both structures.
+DynamicTcResult run_dynamic_tc(const datasets::Coo& graph, int iterations,
+                               std::size_t batch_cap);
+
+}  // namespace sg::analytics

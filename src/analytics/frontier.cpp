@@ -1,0 +1,49 @@
+#include "src/analytics/frontier.hpp"
+
+#include <mutex>
+
+#include "src/simt/thread_pool.hpp"
+
+namespace sg::analytics {
+
+Frontier advance(const Frontier& input, const NeighborFn& neighbors,
+                 const std::function<bool(core::VertexId, core::VertexId)>& accept) {
+  const auto& sources = input.vertices();
+  std::vector<std::vector<core::VertexId>> partials;
+  std::mutex partials_mutex;
+  // Chunked expansion over the pool: each chunk accumulates locally and
+  // publishes once, so accept() carries the only cross-thread contention.
+  constexpr std::size_t kChunk = 64;
+  const std::size_t num_chunks = (sources.size() + kChunk - 1) / kChunk;
+  simt::ThreadPool::instance().parallel_for(num_chunks, [&](std::uint64_t c) {
+    std::vector<core::VertexId> local;
+    const std::size_t begin = static_cast<std::size_t>(c) * kChunk;
+    const std::size_t end = std::min(begin + kChunk, sources.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const core::VertexId src = sources[i];
+      neighbors(src, [&](core::VertexId dst) {
+        if (accept(src, dst)) local.push_back(dst);
+      });
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(partials_mutex);
+      partials.push_back(std::move(local));
+    }
+  });
+  Frontier out;
+  for (auto& part : partials) {
+    for (core::VertexId v : part) out.push(v);
+  }
+  return out;
+}
+
+Frontier filter(const Frontier& input,
+                const std::function<bool(core::VertexId)>& pred) {
+  Frontier out;
+  for (core::VertexId v : input.vertices()) {
+    if (pred(v)) out.push(v);
+  }
+  return out;
+}
+
+}  // namespace sg::analytics

@@ -1,0 +1,49 @@
+// Minimal Gunrock-style frontier layer. The paper integrates its structure
+// into Gunrock; this module supplies the same operator shape — advance
+// (expand a frontier through adjacency lists) and filter (dedup/compact) —
+// over any adjacency provider, so algorithms run unchanged on the dynamic
+// graph, the baselines, or CSR.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::analytics {
+
+/// Adjacency provider: calls visit(dst) for each neighbour of u. The
+/// adapter each structure implements to plug into the operators.
+using NeighborFn =
+    std::function<void(core::VertexId, const std::function<void(core::VertexId)>&)>;
+
+class Frontier {
+ public:
+  Frontier() = default;
+  explicit Frontier(std::vector<core::VertexId> vertices)
+      : vertices_(std::move(vertices)) {}
+
+  bool empty() const noexcept { return vertices_.empty(); }
+  std::size_t size() const noexcept { return vertices_.size(); }
+  const std::vector<core::VertexId>& vertices() const noexcept {
+    return vertices_;
+  }
+  void push(core::VertexId v) { vertices_.push_back(v); }
+  void clear() { vertices_.clear(); }
+
+ private:
+  std::vector<core::VertexId> vertices_;
+};
+
+/// Advance: expands `input` through `neighbors`; `accept(src, dst)` decides
+/// (atomically, it may be called concurrently) whether dst joins the output
+/// frontier. Returns the new frontier, deduplicated by accept's contract.
+Frontier advance(const Frontier& input, const NeighborFn& neighbors,
+                 const std::function<bool(core::VertexId, core::VertexId)>& accept);
+
+/// Filter: keeps vertices satisfying pred.
+Frontier filter(const Frontier& input,
+                const std::function<bool(core::VertexId)>& pred);
+
+}  // namespace sg::analytics

@@ -1,0 +1,40 @@
+// Triangle counting (§V-C / §VI-C): the application used to compare the
+// query-operation tradeoff. A triangle is an unordered triple u < v < w
+// with all three edges present (graphs are undirected, both directions
+// stored). Every implementation counts the same quantity:
+//
+//   * sorted-list structures (CSR, Hornet, faimGraph): for each u and each
+//     neighbour v > u, two-pointer intersect the suffixes of N(u) and N(v)
+//     above v — the "find the starting location ... then serially walk to
+//     the end of the lists" intersect of §VI-C1.
+//   * the hash-based dynamic graph: for each u, probe edgeExist(v, w) for
+//     every wedge v < w in N(u) above u — "we perform an edgeExist query
+//     for all edges".
+#pragma once
+
+#include <cstdint>
+
+#include "src/baselines/csr/csr.hpp"
+#include "src/baselines/faim/faim_graph.hpp"
+#include "src/baselines/hornet/hornet_graph.hpp"
+#include "src/core/dyn_graph.hpp"
+
+namespace sg::analytics {
+
+/// Sorted-intersect triangle count on CSR (adjacency must be sorted).
+std::uint64_t tc_csr(const baselines::Csr& csr);
+
+/// Sorted-intersect TC on Hornet (call sort_adjacency_lists() first; the
+/// sort is *not* part of TC time, matching the paper's methodology).
+std::uint64_t tc_hornet(const baselines::hornet::HornetGraph& graph);
+
+/// Sorted-intersect TC on faimGraph (page-walking gathers included).
+std::uint64_t tc_faim(const baselines::faim::FaimGraph& graph);
+
+/// edgeExist-probing TC on the hash-based dynamic graph (set variant).
+std::uint64_t tc_slabgraph(const core::DynGraphSet& graph);
+
+/// Same probing algorithm on the map variant (ablation: Bc 15 vs 30).
+std::uint64_t tc_slabgraph_map(const core::DynGraphMap& graph);
+
+}  // namespace sg::analytics

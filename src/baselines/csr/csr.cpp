@@ -1,0 +1,72 @@
+#include "src/baselines/csr/csr.hpp"
+
+#include <algorithm>
+
+namespace sg::baselines {
+
+Csr Csr::from_edges(std::uint32_t num_vertices,
+                    std::span<const core::WeightedEdge> edges, bool sort) {
+  Csr csr;
+  std::vector<core::WeightedEdge> clean;
+  clean.reserve(edges.size());
+  for (const auto& e : edges) {
+    if (e.src != e.dst && e.src < num_vertices && e.dst < num_vertices) {
+      clean.push_back(e);
+    }
+  }
+  // Sort by (src, dst), keep the *last* occurrence of a duplicate so the
+  // deduplication semantics match the dynamic structures ("the most recent
+  // edge and its weight will be stored").
+  std::stable_sort(clean.begin(), clean.end(),
+                   [](const core::WeightedEdge& a, const core::WeightedEdge& b) {
+                     return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+                   });
+  std::vector<core::WeightedEdge> unique;
+  unique.reserve(clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (i + 1 < clean.size() && clean[i].src == clean[i + 1].src &&
+        clean[i].dst == clean[i + 1].dst) {
+      continue;  // superseded by a later duplicate
+    }
+    unique.push_back(clean[i]);
+  }
+
+  csr.row_offsets_.assign(num_vertices + 1, 0);
+  for (const auto& e : unique) ++csr.row_offsets_[e.src + 1];
+  for (std::uint32_t u = 0; u < num_vertices; ++u) {
+    csr.row_offsets_[u + 1] += csr.row_offsets_[u];
+  }
+  csr.col_indices_.resize(unique.size());
+  csr.weights_.resize(unique.size());
+  std::vector<std::uint64_t> cursor(csr.row_offsets_.begin(),
+                                    csr.row_offsets_.end() - 1);
+  for (const auto& e : unique) {
+    const std::uint64_t pos = cursor[e.src]++;
+    csr.col_indices_[pos] = e.dst;
+    csr.weights_[pos] = e.weight;
+  }
+  if (!sort) {
+    // Input was already grouped; shuffle within rows deterministically so
+    // "unsorted CSR" is genuinely unsorted (the sort benches re-sort it).
+    for (std::uint32_t u = 0; u < num_vertices; ++u) {
+      auto row = csr.col_indices_.begin() + static_cast<std::ptrdiff_t>(csr.row_offsets_[u]);
+      auto row_end = csr.col_indices_.begin() + static_cast<std::ptrdiff_t>(csr.row_offsets_[u + 1]);
+      std::reverse(row, row_end);
+    }
+  }
+  return csr;
+}
+
+bool Csr::edge_exists(core::VertexId u, core::VertexId v) const noexcept {
+  if (u >= num_vertices()) return false;
+  const auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::uint32_t> Csr::degrees() const {
+  std::vector<std::uint32_t> out(num_vertices());
+  for (std::uint32_t u = 0; u < num_vertices(); ++u) out[u] = degree(u);
+  return out;
+}
+
+}  // namespace sg::baselines

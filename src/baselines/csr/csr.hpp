@@ -1,0 +1,59 @@
+// Static CSR (Compressed Sparse Row) — the packed, non-updatable baseline
+// of §II-A. Used (a) as the static-graph comparator for triangle counting
+// (§V-C references Gunrock's CSR) and (b) as the substrate whose
+// adjacency-sort cost Table VIII measures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::baselines {
+
+class Csr {
+ public:
+  Csr() = default;
+
+  /// Builds from a directed edge list. Duplicate edges and self-loops are
+  /// removed (CSR is the clean static reference the dynamic structures are
+  /// validated against). Adjacency lists come out sorted iff `sort` is set.
+  static Csr from_edges(std::uint32_t num_vertices,
+                        std::span<const core::WeightedEdge> edges,
+                        bool sort = true);
+
+  std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(row_offsets_.size() - 1);
+  }
+  std::uint64_t num_edges() const noexcept { return col_indices_.size(); }
+
+  std::uint32_t degree(core::VertexId u) const noexcept {
+    return static_cast<std::uint32_t>(row_offsets_[u + 1] - row_offsets_[u]);
+  }
+  std::span<const core::VertexId> neighbors(core::VertexId u) const noexcept {
+    return {col_indices_.data() + row_offsets_[u], degree(u)};
+  }
+  std::span<const core::Weight> weights(core::VertexId u) const noexcept {
+    return {weights_.data() + row_offsets_[u], degree(u)};
+  }
+
+  /// Binary search in the (sorted) adjacency list: the O(log n) query the
+  /// paper contrasts with O(1) hash probes.
+  bool edge_exists(core::VertexId u, core::VertexId v) const noexcept;
+
+  std::span<const std::uint64_t> row_offsets() const noexcept {
+    return row_offsets_;
+  }
+  /// Mutable column array: the sort-cost benchmark shuffles and re-sorts it.
+  std::span<core::VertexId> col_indices_mutable() noexcept { return col_indices_; }
+
+  std::vector<std::uint32_t> degrees() const;
+
+ private:
+  std::vector<std::uint64_t> row_offsets_{0};
+  std::vector<core::VertexId> col_indices_;
+  std::vector<core::Weight> weights_;
+};
+
+}  // namespace sg::baselines

@@ -1,0 +1,33 @@
+#include "src/baselines/faim/page_pool.hpp"
+
+#include <stdexcept>
+
+namespace sg::baselines::faim {
+
+PagePool::PagePool()
+    : chunks_(new std::unique_ptr<Page[]>[kMaxChunks]) {}
+
+std::uint32_t PagePool::allocate() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++in_use_;
+  if (!free_queue_.empty()) {
+    const std::uint32_t page = free_queue_.back();
+    free_queue_.pop_back();
+    at(page) = Page{};
+    return page;
+  }
+  if (next_page_ >= chunk_count_ * kChunkPages) {
+    if (chunk_count_ >= kMaxChunks) throw std::bad_alloc();
+    chunks_[chunk_count_].reset(new Page[kChunkPages]);
+    ++chunk_count_;
+  }
+  return next_page_++;
+}
+
+void PagePool::free(std::uint32_t page) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_queue_.push_back(page);
+  --in_use_;
+}
+
+}  // namespace sg::baselines::faim

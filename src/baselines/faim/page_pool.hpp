@@ -1,0 +1,69 @@
+// faimGraph's memory layer (§II-B): "a single memory pool on the GPU ...
+// Queues are used for memory reclamations of pages and deleted vertex IDs."
+// Pages are 128 bytes (configured in the paper's tests to match the slab
+// size) and hold 15 <dst, weight> pairs plus a next-page link.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::baselines::faim {
+
+inline constexpr std::uint32_t kNullPage = 0xFFFFFFFFu;
+inline constexpr int kPairsPerPage = 15;  ///< 15*8 B data + link in 128 B
+
+struct alignas(128) Page {
+  core::VertexId dst[kPairsPerPage];
+  core::Weight weight[kPairsPerPage];
+  std::uint32_t reserved = 0;
+  std::uint32_t next = kNullPage;
+};
+static_assert(sizeof(Page) == 128);
+
+class PagePool {
+ public:
+  PagePool();
+  PagePool(const PagePool&) = delete;
+  PagePool& operator=(const PagePool&) = delete;
+
+  /// Pops a reclaimed page from the free queue, or carves a new one from
+  /// the pool. Thread-safe; existing pages never move (chunked storage),
+  /// so concurrent at() on live pages is safe during growth.
+  std::uint32_t allocate();
+
+  /// Pushes the page onto the reclamation queue.
+  void free(std::uint32_t page);
+
+  Page& at(std::uint32_t page) noexcept {
+    return chunks_[page >> kChunkBits][page & (kChunkPages - 1)];
+  }
+  const Page& at(std::uint32_t page) const noexcept {
+    return chunks_[page >> kChunkBits][page & (kChunkPages - 1)];
+  }
+
+  std::uint64_t pages_in_use() const noexcept { return in_use_; }
+  std::uint64_t bytes_reserved() const noexcept {
+    return chunk_count_ * kChunkPages * sizeof(Page);
+  }
+  std::size_t free_queue_size() const noexcept { return free_queue_.size(); }
+
+ private:
+  static constexpr std::uint32_t kChunkBits = 13;
+  static constexpr std::uint32_t kChunkPages = 1u << kChunkBits;  // 1 MiB
+  static constexpr std::uint32_t kMaxChunks = 1u << 15;
+
+  // Chunk pointer table is preallocated so readers never observe a moving
+  // table; only chunk slots transition nullptr -> chunk under the mutex.
+  std::unique_ptr<std::unique_ptr<Page[]>[]> chunks_;
+  std::uint32_t chunk_count_ = 0;
+  std::uint32_t next_page_ = 0;
+  std::vector<std::uint32_t> free_queue_;
+  std::mutex mutex_;
+  std::uint64_t in_use_ = 0;
+};
+
+}  // namespace sg::baselines::faim

@@ -1,0 +1,403 @@
+#include "src/baselines/gpma/gpma_graph.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstdio>
+
+namespace sg::baselines::gpma {
+
+namespace {
+constexpr std::size_t kNpos = ~std::size_t{0};
+constexpr std::size_t kInitialSegments = 4;
+}  // namespace
+
+GpmaGraph::GpmaGraph(std::uint32_t num_vertices)
+    : num_vertices_(num_vertices) {
+  keys_.assign(segment_size_ * kInitialSegments, kEmptySlot);
+  weights_.assign(keys_.size(), 0);
+  seg_count_.assign(kInitialSegments, 0);
+}
+
+int GpmaGraph::height() const noexcept {
+  return std::bit_width(num_segments()) - 1;  // num_segments is a power of 2
+}
+
+double GpmaGraph::upper_threshold(int level) const noexcept {
+  // Classic PMA thresholds: leaves may fill to 1.0, the root only to 0.75,
+  // interpolated linearly in between.
+  const int h = height();
+  if (h == 0) return 0.85;
+  return 1.0 - 0.25 * static_cast<double>(level) / static_cast<double>(h);
+}
+
+double GpmaGraph::lower_threshold(int level) const noexcept {
+  // Root keeps at least 0.30, leaves at least 0.10.
+  const int h = height();
+  if (h == 0) return 0.10;
+  return 0.10 + 0.20 * static_cast<double>(level) / static_cast<double>(h);
+}
+
+std::size_t GpmaGraph::segment_for(std::uint64_t key) const {
+  // Binary search over segment minima (first live key of each segment;
+  // segments are left-packed so slot seg*S holds the minimum when
+  // non-empty). Empty segments inherit the search direction of their
+  // predecessor, handled by scanning left for a non-empty one.
+  std::size_t lo = 0;
+  std::size_t hi = num_segments();  // exclusive
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    // Minimum of segment mid (walk right over empty segments).
+    std::size_t probe = mid;
+    std::uint64_t min_key = kEmptySlot;
+    while (probe < num_segments()) {
+      if (seg_count_[probe] > 0) {
+        min_key = keys_[probe * segment_size_];
+        break;
+      }
+      ++probe;
+    }
+    if (min_key == kEmptySlot || min_key > key) {
+      hi = mid;
+    } else {
+      lo = probe;  // segment minima up to probe are <= key
+      if (probe >= hi) hi = probe + 1;
+    }
+  }
+  return lo;
+}
+
+std::size_t GpmaGraph::find_slot(std::uint64_t key) const {
+  const std::size_t seg = segment_for(key);
+  const std::size_t base = seg * segment_size_;
+  for (std::uint32_t i = 0; i < seg_count_[seg]; ++i) {
+    if (keys_[base + i] == key) return base + i;
+    if (keys_[base + i] > key) return kNpos;
+  }
+  return kNpos;
+}
+
+void GpmaGraph::insert_into_segment(std::size_t segment, std::uint64_t key,
+                                    core::Weight weight) {
+  const std::size_t base = segment * segment_size_;
+  std::uint32_t n = seg_count_[segment];
+  assert(n < segment_size_);
+  // Shift the tail right to keep the segment sorted and left-packed.
+  std::uint32_t pos = 0;
+  while (pos < n && keys_[base + pos] < key) ++pos;
+  for (std::uint32_t i = n; i > pos; --i) {
+    keys_[base + i] = keys_[base + i - 1];
+    weights_[base + i] = weights_[base + i - 1];
+  }
+  keys_[base + pos] = key;
+  weights_[base + pos] = weight;
+  seg_count_[segment] = n + 1;
+  ++count_;
+}
+
+void GpmaGraph::rebalance(std::size_t first_seg, std::size_t window_segs) {
+  // Gather the window's live elements, then spread them evenly over its
+  // segments (left-packed per segment).
+  std::vector<std::uint64_t> keys;
+  std::vector<core::Weight> weights;
+  keys.reserve(window_segs * segment_size_);
+  for (std::size_t s = first_seg; s < first_seg + window_segs; ++s) {
+    const std::size_t base = s * segment_size_;
+    for (std::uint32_t i = 0; i < seg_count_[s]; ++i) {
+      keys.push_back(keys_[base + i]);
+      weights.push_back(weights_[base + i]);
+    }
+  }
+  const std::size_t total = keys.size();
+  const std::size_t per_seg = total / window_segs;
+  std::size_t extra = total % window_segs;
+  std::size_t cursor = 0;
+  for (std::size_t s = first_seg; s < first_seg + window_segs; ++s) {
+    const std::size_t take = per_seg + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const std::size_t base = s * segment_size_;
+    for (std::size_t i = 0; i < segment_size_; ++i) {
+      if (i < take) {
+        keys_[base + i] = keys[cursor];
+        weights_[base + i] = weights[cursor];
+        ++cursor;
+      } else {
+        keys_[base + i] = kEmptySlot;
+        weights_[base + i] = 0;
+      }
+    }
+    seg_count_[s] = static_cast<std::uint32_t>(take);
+  }
+}
+
+void GpmaGraph::grow() {
+  std::vector<std::uint64_t> keys;
+  std::vector<core::Weight> weights;
+  keys.reserve(count_);
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const std::size_t base = s * segment_size_;
+    for (std::uint32_t i = 0; i < seg_count_[s]; ++i) {
+      keys.push_back(keys_[base + i]);
+      weights.push_back(weights_[base + i]);
+    }
+  }
+  keys_.assign(keys_.size() * 2, kEmptySlot);
+  weights_.assign(keys_.size(), 0);
+  seg_count_.assign(keys_.size() / segment_size_, 0);
+  count_ = 0;
+  // Redistribute evenly; reuse rebalance over the whole array after a bulk
+  // refill of segment 0..: simplest is direct even spreading.
+  const std::size_t segs = num_segments();
+  const std::size_t per_seg = keys.size() / segs;
+  std::size_t extra = keys.size() % segs;
+  std::size_t cursor = 0;
+  for (std::size_t s = 0; s < segs; ++s) {
+    const std::size_t take = per_seg + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    const std::size_t base = s * segment_size_;
+    for (std::size_t i = 0; i < take; ++i) {
+      keys_[base + i] = keys[cursor];
+      weights_[base + i] = weights[cursor];
+      ++cursor;
+    }
+    seg_count_[s] = static_cast<std::uint32_t>(take);
+  }
+  count_ = keys.size();
+}
+
+void GpmaGraph::rebalance_insert(std::size_t first_seg,
+                                 std::size_t window_segs, std::uint64_t key,
+                                 core::Weight weight) {
+  // Gather the window, merge the new element at its sorted position, then
+  // spread evenly — inserting during the rebalance guarantees the target
+  // never overflows even when the spread leaves segments exactly full.
+  std::vector<std::uint64_t> keys;
+  std::vector<core::Weight> weights;
+  keys.reserve(window_segs * segment_size_ + 1);
+  for (std::size_t s = first_seg; s < first_seg + window_segs; ++s) {
+    const std::size_t base = s * segment_size_;
+    for (std::uint32_t i = 0; i < seg_count_[s]; ++i) {
+      keys.push_back(keys_[base + i]);
+      weights.push_back(weights_[base + i]);
+    }
+  }
+  const auto pos = static_cast<std::size_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  keys.insert(keys.begin() + static_cast<std::ptrdiff_t>(pos), key);
+  weights.insert(weights.begin() + static_cast<std::ptrdiff_t>(pos), weight);
+  const std::size_t total = keys.size();
+  const std::size_t per_seg = total / window_segs;
+  std::size_t extra = total % window_segs;
+  std::size_t cursor = 0;
+  for (std::size_t s = first_seg; s < first_seg + window_segs; ++s) {
+    const std::size_t take = per_seg + (extra > 0 ? 1 : 0);
+    if (extra > 0) --extra;
+    assert(take <= segment_size_);
+    const std::size_t base = s * segment_size_;
+    for (std::size_t i = 0; i < segment_size_; ++i) {
+      if (i < take) {
+        keys_[base + i] = keys[cursor];
+        weights_[base + i] = weights[cursor];
+        ++cursor;
+      } else {
+        keys_[base + i] = kEmptySlot;
+        weights_[base + i] = 0;
+      }
+    }
+    seg_count_[s] = static_cast<std::uint32_t>(take);
+  }
+  ++count_;
+}
+
+void GpmaGraph::insert_one(std::uint64_t key, core::Weight weight) {
+  // Duplicate => weight update in place (uniqueness, like the others).
+  const std::size_t slot = find_slot(key);
+  if (slot != kNpos) {
+    weights_[slot] = weight;
+    return;
+  }
+  const std::size_t seg = segment_for(key);
+  if (seg_count_[seg] < segment_size_) {
+    insert_into_segment(seg, key, weight);
+    return;
+  }
+  // Segment full: find the smallest enclosing window whose density after
+  // the insertion stays within its level threshold and rebalance it with
+  // the new element merged in. Grow at the root if the array is too dense.
+  std::size_t window = 1;
+  int level = 0;
+  for (;;) {
+    if (window >= num_segments()) {
+      const double density =
+          static_cast<double>(count_ + 1) / static_cast<double>(keys_.size());
+      if (density > upper_threshold(height())) {
+        grow();
+        insert_one(key, weight);
+        return;
+      }
+      rebalance_insert(0, num_segments(), key, weight);
+      return;
+    }
+    window *= 2;
+    ++level;
+    const std::size_t first = (seg / window) * window;
+    std::size_t live = 0;
+    for (std::size_t s = first; s < first + window; ++s) live += seg_count_[s];
+    const double density = static_cast<double>(live + 1) /
+                           static_cast<double>(window * segment_size_);
+    if (live + 1 <= window * segment_size_ &&
+        density <= upper_threshold(level)) {
+      rebalance_insert(first, window, key, weight);
+      return;
+    }
+  }
+}
+
+bool GpmaGraph::erase_one(std::uint64_t key) {
+  const std::size_t slot = find_slot(key);
+  if (slot == kNpos) return false;
+  const std::size_t seg = slot / segment_size_;
+  const std::size_t base = seg * segment_size_;
+  for (std::size_t i = slot; i + 1 < base + seg_count_[seg]; ++i) {
+    keys_[i] = keys_[i + 1];
+    weights_[i] = weights_[i + 1];
+  }
+  const std::size_t last = base + seg_count_[seg] - 1;
+  keys_[last] = kEmptySlot;
+  weights_[last] = 0;
+  --seg_count_[seg];
+  --count_;
+  // Under-density: rebalance the smallest enclosing window back above its
+  // lower threshold (shrinking is elided; gaps are reclaimed by growth).
+  std::size_t window = 1;
+  int level = 0;
+  while (window < num_segments()) {
+    const std::size_t first = (seg / window) * window;
+    std::size_t live = 0;
+    for (std::size_t s = first; s < first + window; ++s) live += seg_count_[s];
+    const double density = static_cast<double>(live) /
+                           static_cast<double>(window * segment_size_);
+    if (density >= lower_threshold(level)) return true;
+    window *= 2;
+    ++level;
+  }
+  if (count_ > 0) rebalance(0, num_segments());
+  return true;
+}
+
+std::uint64_t GpmaGraph::insert_edges(std::span<const core::WeightedEdge> edges) {
+  // GPMA sorts the update batch first ("a batch of updates is first
+  // sorted"), then applies it in key order — sequential inserts then hit
+  // adjacent segments.
+  std::vector<core::WeightedEdge> batch(edges.begin(), edges.end());
+  std::erase_if(batch, [this](const core::WeightedEdge& e) {
+    return e.src == e.dst || e.src >= num_vertices_ || e.dst >= num_vertices_;
+  });
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const core::WeightedEdge& a, const core::WeightedEdge& b) {
+                     return pack(a.src, a.dst) < pack(b.src, b.dst);
+                   });
+  std::uint64_t added = 0;
+  const std::uint64_t before = count_;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    // Within-batch duplicates: last occurrence wins.
+    if (i + 1 < batch.size() && batch[i].src == batch[i + 1].src &&
+        batch[i].dst == batch[i + 1].dst) {
+      continue;
+    }
+    insert_one(pack(batch[i].src, batch[i].dst), batch[i].weight);
+  }
+  added = count_ - before;
+  return added;
+}
+
+std::uint64_t GpmaGraph::delete_edges(std::span<const core::Edge> edges) {
+  std::vector<core::Edge> batch(edges.begin(), edges.end());
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const core::Edge& a, const core::Edge& b) {
+                     return pack(a.src, a.dst) < pack(b.src, b.dst);
+                   });
+  batch.erase(std::unique(batch.begin(), batch.end()), batch.end());
+  std::uint64_t removed = 0;
+  for (const auto& e : batch) {
+    if (e.src >= num_vertices_) continue;
+    removed += erase_one(pack(e.src, e.dst)) ? 1 : 0;
+  }
+  return removed;
+}
+
+void GpmaGraph::bulk_build(std::span<const core::WeightedEdge> edges) {
+  insert_edges(edges);
+}
+
+bool GpmaGraph::edge_exists(core::VertexId u, core::VertexId v) const {
+  if (u >= num_vertices_) return false;
+  return find_slot(pack(u, v)) != kNpos;
+}
+
+std::uint32_t GpmaGraph::degree(core::VertexId u) const {
+  std::uint32_t d = 0;
+  for_each_neighbor(u, [&d](core::VertexId, core::Weight) { ++d; });
+  return d;
+}
+
+std::vector<core::VertexId> GpmaGraph::neighbors(core::VertexId u) const {
+  std::vector<core::VertexId> out;
+  for_each_neighbor(u, [&out](core::VertexId v, core::Weight) {
+    out.push_back(v);
+  });
+  return out;
+}
+
+void GpmaGraph::for_each_neighbor(
+    core::VertexId u,
+    const std::function<void(core::VertexId, core::Weight)>& fn) const {
+  if (u >= num_vertices_) return;
+  const std::uint64_t lo = pack(u, 0);
+  // Start at the segment covering (u, 0) and stream until src changes.
+  std::size_t seg = segment_for(lo);
+  for (; seg < num_segments(); ++seg) {
+    const std::size_t base = seg * segment_size_;
+    for (std::uint32_t i = 0; i < seg_count_[seg]; ++i) {
+      const std::uint64_t key = keys_[base + i];
+      if (key < lo) continue;
+      const auto src = static_cast<core::VertexId>(key >> 32);
+      if (src != u) return;
+      fn(static_cast<core::VertexId>(key), weights_[base + i]);
+    }
+  }
+}
+
+bool GpmaGraph::check_invariants() const {
+  std::uint64_t previous = 0;
+  bool first = true;
+  std::uint64_t live = 0;
+  for (std::size_t s = 0; s < num_segments(); ++s) {
+    const std::size_t base = s * segment_size_;
+    for (std::size_t i = 0; i < segment_size_; ++i) {
+      const bool in_count = i < seg_count_[s];
+      const bool occupied = keys_[base + i] != kEmptySlot;
+      if (in_count != occupied) {
+        std::fprintf(stderr, "PACK seg=%zu i=%zu count=%u\n", s, i, seg_count_[s]);
+        return false;  // left-packing violated
+      }
+      if (!occupied) continue;
+      if (!first && keys_[base + i] <= previous) {
+        std::fprintf(stderr, "ORDER seg=%zu i=%zu key=%llx prev=%llx\n", s, i,
+                     (unsigned long long)keys_[base+i], (unsigned long long)previous);
+        return false;  // order
+      }
+      previous = keys_[base + i];
+      first = false;
+      ++live;
+    }
+  }
+  if (live != count_) {
+    std::fprintf(stderr, "COUNT live=%llu count=%llu\n",
+                 (unsigned long long)live, (unsigned long long)count_);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace sg::baselines::gpma

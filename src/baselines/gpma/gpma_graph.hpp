@@ -1,0 +1,124 @@
+// GPMA-style baseline [Sha et al., VLDB 2017], the third prior system the
+// paper describes (§II-B): a dynamic graph stored as a CSR-ordered edge
+// list inside a Packed Memory Array (PMA) [Bender & Hu, PODS 2006].
+//
+//   * Edges live in one sorted array keyed by (src << 32 | dst), with
+//     anticipated gaps, partitioned into leaf segments.
+//   * Each tree level has density thresholds; an insertion that pushes a
+//     segment past its upper threshold triggers a rebalance over the
+//     smallest enclosing window that is within threshold (doubling windows
+//     up the implicit tree), or an array doubling at the root.
+//   * Deletions remove elements and rebalance/shrink when a window falls
+//     below its lower threshold.
+//
+// The paper notes GPMA's updates are sorted-batch driven and its deletions
+// lazy; we implement eager deletion plus the sorted-batch insert path, and
+// expose the same query surface as the other baselines so it can join the
+// benchmarks as an extra comparator (the paper itself does not benchmark
+// GPMA — this is the reproduction's ablation extension).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::baselines::gpma {
+
+class GpmaGraph {
+ public:
+  explicit GpmaGraph(std::uint32_t num_vertices);
+
+  std::uint32_t num_vertices() const noexcept { return num_vertices_; }
+  std::uint64_t num_edges() const noexcept { return count_; }
+
+  /// Batched insertion (batch is sorted first, GPMA-style). Duplicates
+  /// update the weight in place. Returns the number of new unique edges.
+  std::uint64_t insert_edges(std::span<const core::WeightedEdge> edges);
+
+  /// Batched deletion; returns the number removed.
+  std::uint64_t delete_edges(std::span<const core::Edge> edges);
+
+  void bulk_build(std::span<const core::WeightedEdge> edges);
+
+  /// O(log |E|) search — the PMA keeps global sorted order at all times.
+  bool edge_exists(core::VertexId u, core::VertexId v) const;
+
+  std::uint32_t degree(core::VertexId u) const;
+
+  /// Ascending destinations of u (a contiguous key range scan).
+  std::vector<core::VertexId> neighbors(core::VertexId u) const;
+
+  void for_each_neighbor(
+      core::VertexId u,
+      const std::function<void(core::VertexId, core::Weight)>& fn) const;
+
+  // --- introspection for tests & the ablation bench --------------------
+  std::size_t capacity() const noexcept { return keys_.size(); }
+  std::size_t segment_size() const noexcept { return segment_size_; }
+  double density() const noexcept {
+    return keys_.empty() ? 0.0
+                         : static_cast<double>(count_) /
+                               static_cast<double>(keys_.size());
+  }
+  /// Verifies the PMA invariants (global sorted order, per-segment counts,
+  /// root density within thresholds). Used by the property tests.
+  bool check_invariants() const;
+
+ private:
+  static constexpr std::uint64_t kEmptySlot = ~std::uint64_t{0};
+
+  static std::uint64_t pack(core::VertexId u, core::VertexId v) noexcept {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  // Leaf-segment geometry. capacity = segment_size * num_segments, both
+  // powers of two; height = log2(num_segments).
+  std::size_t num_segments() const noexcept {
+    return keys_.size() / segment_size_;
+  }
+  int height() const noexcept;
+
+  /// Upper/lower density thresholds for a window at `level` (0 = leaf).
+  double upper_threshold(int level) const noexcept;
+  double lower_threshold(int level) const noexcept;
+
+  /// Segment whose key range covers `key` (first segment whose minimum is
+  /// <= key, by binary search over segment minima).
+  std::size_t segment_for(std::uint64_t key) const;
+
+  /// Slot of `key` within the PMA, or npos.
+  std::size_t find_slot(std::uint64_t key) const;
+
+  /// Inserts into the given segment (shifting within the segment); caller
+  /// guarantees space. Keeps elements left-packed per segment.
+  void insert_into_segment(std::size_t segment, std::uint64_t key,
+                           core::Weight weight);
+
+  /// Rebalances the window [first_seg, first_seg + window_segs) by
+  /// spreading its elements evenly.
+  void rebalance(std::size_t first_seg, std::size_t window_segs);
+
+  /// Rebalance that merges (key, weight) into the window while spreading —
+  /// the insert path, immune to the "segment exactly full after spread"
+  /// corner of insert-after-rebalance.
+  void rebalance_insert(std::size_t first_seg, std::size_t window_segs,
+                        std::uint64_t key, core::Weight weight);
+
+  /// Grows (doubles) the array and redistributes everything.
+  void grow();
+
+  void insert_one(std::uint64_t key, core::Weight weight);
+  bool erase_one(std::uint64_t key);
+
+  std::uint32_t num_vertices_ = 0;
+  std::size_t segment_size_ = 8;
+  std::uint64_t count_ = 0;
+  std::vector<std::uint64_t> keys_;      // kEmptySlot marks gaps
+  std::vector<core::Weight> weights_;
+  std::vector<std::uint32_t> seg_count_;  // live elements per segment
+};
+
+}  // namespace sg::baselines::gpma

@@ -1,0 +1,65 @@
+#include "src/baselines/hornet/block_manager.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace sg::baselines::hornet {
+
+std::uint8_t BlockManager::class_for(std::uint32_t edges) noexcept {
+  if (edges <= 1) return 0;
+  return static_cast<std::uint8_t>(std::bit_width(edges - 1));
+}
+
+BlockHandle BlockManager::allocate(std::uint8_t size_class) {
+  if (size_class > kMaxClass) {
+    throw std::length_error("hornet: adjacency list exceeds max block size");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Pool& pool = pools_[size_class];
+  BlockHandle handle;
+  handle.size_class = size_class;
+  handle.valid = true;
+  if (!pool.free_blocks.empty()) {
+    handle.index = *pool.free_blocks.begin();
+    pool.free_blocks.erase(pool.free_blocks.begin());
+  } else {
+    handle.index = pool.next_block++;
+    const std::size_t needed = static_cast<std::size_t>(pool.next_block)
+                               << size_class;
+    pool.dsts.resize(needed);
+    pool.weights.resize(needed);
+    bytes_reserved_ += (sizeof(core::VertexId) + sizeof(core::Weight))
+                       << size_class;
+  }
+  ++in_use_;
+  return handle;
+}
+
+void BlockManager::free(BlockHandle handle) {
+  if (!handle.valid) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  pools_[handle.size_class].free_blocks.insert(handle.index);
+  --in_use_;
+}
+
+core::VertexId* BlockManager::dst(BlockHandle handle) noexcept {
+  return pools_[handle.size_class].dsts.data() +
+         (static_cast<std::size_t>(handle.index) << handle.size_class);
+}
+
+core::Weight* BlockManager::weight(BlockHandle handle) noexcept {
+  return pools_[handle.size_class].weights.data() +
+         (static_cast<std::size_t>(handle.index) << handle.size_class);
+}
+
+const core::VertexId* BlockManager::dst(BlockHandle handle) const noexcept {
+  return pools_[handle.size_class].dsts.data() +
+         (static_cast<std::size_t>(handle.index) << handle.size_class);
+}
+
+const core::Weight* BlockManager::weight(BlockHandle handle) const noexcept {
+  return pools_[handle.size_class].weights.data() +
+         (static_cast<std::size_t>(handle.index) << handle.size_class);
+}
+
+}  // namespace sg::baselines::hornet

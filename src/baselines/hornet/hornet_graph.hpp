@@ -1,0 +1,73 @@
+// Hornet-style dynamic graph baseline [Busato et al., HPEC 2018], as
+// characterized by the paper:
+//   * per-vertex adjacency array in the smallest power-of-two block that
+//     fits; overflowing inserts copy the list to the next block size;
+//   * duplicates forbidden — enforced by sorting (batch and, on demand,
+//     adjacency) for deduplication, the cost the paper highlights;
+//   * vertex insertion/deletion expressed as edge insertions/deletions
+//     ("Hornet does not implement vertex deletion" as a vertex op);
+//   * unsorted adjacency by default; maintaining sorted order for
+//     intersect-based algorithms costs an explicit sort (Table VIII).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/baselines/hornet/block_manager.hpp"
+#include "src/core/types.hpp"
+
+namespace sg::baselines::hornet {
+
+class HornetGraph {
+ public:
+  explicit HornetGraph(std::uint32_t vertex_capacity);
+
+  /// Bulk build from a directed edge list (duplicates/self-loops dropped
+  /// via global sort+dedup, the Hornet initialization path).
+  void bulk_build(std::span<const core::WeightedEdge> edges);
+
+  /// Batched insertion: sort the batch, dedup within it, then per affected
+  /// vertex merge-dedup against the existing list, growing blocks as
+  /// needed. Returns the number of new unique edges stored.
+  std::uint64_t insert_edges(std::span<const core::WeightedEdge> edges);
+
+  /// Batched deletion (compacting the adjacency array). Returns #removed.
+  std::uint64_t delete_edges(std::span<const core::Edge> edges);
+
+  std::uint32_t num_vertices() const noexcept {
+    return static_cast<std::uint32_t>(used_.size());
+  }
+  std::uint32_t degree(core::VertexId u) const noexcept { return used_[u]; }
+  std::uint64_t num_edges() const noexcept;
+
+  std::span<const core::VertexId> neighbors(core::VertexId u) const noexcept {
+    return {blocks_.dst(handle_[u]), used_[u]};
+  }
+  std::span<const core::Weight> weights(core::VertexId u) const noexcept {
+    return {blocks_.weight(handle_[u]), used_[u]};
+  }
+
+  /// Linear scan — the O(n) unsorted-list query the paper contrasts with
+  /// hash probing. After sort_adjacency_lists() callers may binary search.
+  bool edge_exists(core::VertexId u, core::VertexId v) const noexcept;
+
+  /// Sorts every adjacency list in place (not included in update timings,
+  /// exactly as in the paper's Table VII methodology).
+  void sort_adjacency_lists();
+  bool adjacency_sorted(core::VertexId u) const noexcept;
+
+  /// Flattened CSR-style offsets (for the segmented-sort benches).
+  std::vector<std::uint64_t> row_offsets() const;
+
+  std::uint64_t bytes_reserved() const noexcept { return blocks_.bytes_reserved(); }
+
+ private:
+  void grow_to_fit(core::VertexId u, std::uint32_t needed);
+
+  BlockManager blocks_;
+  std::vector<BlockHandle> handle_;
+  std::vector<std::uint32_t> used_;
+};
+
+}  // namespace sg::baselines::hornet

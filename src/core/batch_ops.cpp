@@ -1,0 +1,57 @@
+#include "src/core/batch_utils.hpp"
+
+#include <stdexcept>
+
+namespace sg::core {
+
+VertexId max_vertex_id(std::span<const WeightedEdge> edges) {
+  VertexId max_id = 0;
+  for (const auto& e : edges) {
+    if (e.src > max_id) max_id = e.src;
+    if (e.dst > max_id) max_id = e.dst;
+  }
+  return max_id;
+}
+
+VertexId max_vertex_id(std::span<const Edge> edges) {
+  VertexId max_id = 0;
+  for (const auto& e : edges) {
+    if (e.src > max_id) max_id = e.src;
+    if (e.dst > max_id) max_id = e.dst;
+  }
+  return max_id;
+}
+
+void validate_batch(std::span<const WeightedEdge> edges) {
+  if (max_vertex_id(edges) > kMaxVertexId) {
+    throw std::invalid_argument("edge batch contains an out-of-range vertex id");
+  }
+}
+
+void validate_batch(std::span<const Edge> edges) {
+  if (max_vertex_id(edges) > kMaxVertexId) {
+    throw std::invalid_argument("edge batch contains an out-of-range vertex id");
+  }
+}
+
+std::vector<WeightedEdge> mirror_edges(std::span<const WeightedEdge> edges) {
+  std::vector<WeightedEdge> out;
+  out.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    out.push_back(e);
+    out.push_back({e.dst, e.src, e.weight});
+  }
+  return out;
+}
+
+std::vector<Edge> mirror_edges(std::span<const Edge> edges) {
+  std::vector<Edge> out;
+  out.reserve(edges.size() * 2);
+  for (const auto& e : edges) {
+    out.push_back(e);
+    out.push_back({e.dst, e.src});
+  }
+  return out;
+}
+
+}  // namespace sg::core

@@ -1,0 +1,27 @@
+// Host-side helpers shared by the batched mutation paths: batch validation,
+// id range discovery, and undirected mirroring (an undirected edge is
+// applied to both endpoint adjacency lists, §IV-C).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::core {
+
+/// Largest vertex id referenced by the batch; 0 for an empty batch.
+VertexId max_vertex_id(std::span<const WeightedEdge> edges);
+VertexId max_vertex_id(std::span<const Edge> edges);
+
+/// Throws std::invalid_argument if any id exceeds kMaxVertexId (ids that
+/// would collide with the slab sentinels are unrepresentable).
+void validate_batch(std::span<const WeightedEdge> edges);
+void validate_batch(std::span<const Edge> edges);
+
+/// Batch plus its reverse edges (for undirected updates).
+std::vector<WeightedEdge> mirror_edges(std::span<const WeightedEdge> edges);
+std::vector<Edge> mirror_edges(std::span<const Edge> edges);
+
+}  // namespace sg::core

@@ -1,0 +1,262 @@
+// SlabGraph — the paper's dynamic graph data structure (§III-IV).
+//
+// One hash table per vertex stores that vertex's adjacency list; a vertex
+// dictionary maps ids to tables. Two variants are provided, mirroring the
+// paper's map/set split:
+//
+//   DynGraphMap — SlabHash concurrent map (Bc = 15): per-edge values.
+//   DynGraphSet — SlabHash concurrent set (Bc = 30): destinations only.
+//
+// Batched mutations run as SIMT grid launches in the Warp Cooperative Work
+// Sharing style: insert_edges is Algorithm 1 verbatim (ballot work queue,
+// ffs election, shuffle broadcast, same-source grouping, popc success
+// counting); delete_vertices is Algorithm 2 (atomic work-queue counter, one
+// warp per vertex, slab-granular neighbour cleanup, dynamic-slab reclaim).
+//
+// The structure is phase-concurrent (§II-A): mutation batches and query
+// batches never overlap, but everything *within* a batch runs concurrently.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/core/vertex_dictionary.hpp"
+#include "src/memory/slab_arena.hpp"
+#include "src/slabhash/slab_map.hpp"
+#include "src/slabhash/slab_set.hpp"
+
+namespace sg::core {
+
+/// Adjacency policy: concurrent-map tables (value = edge weight).
+struct MapPolicy {
+  static constexpr int kSlotCapacity = slabhash::kMapPairsPerSlab;
+  static constexpr bool kHasValues = true;
+
+  static bool insert(memory::SlabArena& arena, slabhash::TableRef t,
+                     VertexId dst, Weight w, std::uint64_t seed,
+                     std::uint32_t alloc_seed) {
+    return slabhash::map_replace(arena, t, dst, w, seed, alloc_seed);
+  }
+  static bool erase(memory::SlabArena& arena, slabhash::TableRef t, VertexId dst,
+                    std::uint64_t seed) {
+    return slabhash::map_erase(arena, t, dst, seed);
+  }
+  static bool contains(const memory::SlabArena& arena, slabhash::TableRef t,
+                       VertexId dst, std::uint64_t seed) {
+    return slabhash::map_search(arena, t, dst, seed).found;
+  }
+  static void for_each(const memory::SlabArena& arena, slabhash::TableRef t,
+                       const std::function<void(VertexId, Weight)>& fn) {
+    slabhash::map_for_each(arena, t, fn);
+  }
+  static slabhash::TableOccupancy occupancy(const memory::SlabArena& arena,
+                                            slabhash::TableRef t) {
+    return slabhash::map_occupancy(arena, t);
+  }
+  static void clear(memory::SlabArena& arena, slabhash::TableRef t) {
+    slabhash::map_clear(arena, t);
+  }
+  static void flush_tombstones(memory::SlabArena& arena, slabhash::TableRef t) {
+    slabhash::map_flush_tombstones(arena, t);
+  }
+  /// Key stored at slot `i` of a slab (layout-aware; for the iterator).
+  static std::uint32_t slot_key(const memory::Slab& slab, int i) {
+    return slab.words[i * 2];
+  }
+};
+
+/// Adjacency policy: concurrent-set tables (no values; Bc = 30).
+struct SetPolicy {
+  static constexpr int kSlotCapacity = slabhash::kSetKeysPerSlab;
+  static constexpr bool kHasValues = false;
+
+  static bool insert(memory::SlabArena& arena, slabhash::TableRef t,
+                     VertexId dst, Weight /*w*/, std::uint64_t seed,
+                     std::uint32_t alloc_seed) {
+    return slabhash::set_insert(arena, t, dst, seed, alloc_seed);
+  }
+  static bool erase(memory::SlabArena& arena, slabhash::TableRef t, VertexId dst,
+                    std::uint64_t seed) {
+    return slabhash::set_erase(arena, t, dst, seed);
+  }
+  static bool contains(const memory::SlabArena& arena, slabhash::TableRef t,
+                       VertexId dst, std::uint64_t seed) {
+    return slabhash::set_contains(arena, t, dst, seed);
+  }
+  static void for_each(const memory::SlabArena& arena, slabhash::TableRef t,
+                       const std::function<void(VertexId, Weight)>& fn) {
+    slabhash::set_for_each(arena, t,
+                           [&fn](std::uint32_t key) { fn(key, Weight{0}); });
+  }
+  static slabhash::TableOccupancy occupancy(const memory::SlabArena& arena,
+                                            slabhash::TableRef t) {
+    return slabhash::set_occupancy(arena, t);
+  }
+  static void clear(memory::SlabArena& arena, slabhash::TableRef t) {
+    slabhash::set_clear(arena, t);
+  }
+  static void flush_tombstones(memory::SlabArena& arena, slabhash::TableRef t) {
+    slabhash::set_flush_tombstones(arena, t);
+  }
+  static std::uint32_t slot_key(const memory::Slab& slab, int i) {
+    return slab.words[i];
+  }
+};
+
+/// Slab-granular adjacency iterator (§IV-B): "the iterator loads one slab
+/// at a time and moves from one slab to the next using a next operator."
+/// Algorithm 2 consumes adjacency lists through this, one slab per warp
+/// iteration.
+template <class Policy>
+class EdgeSlabIterator {
+ public:
+  EdgeSlabIterator(const memory::SlabArena& arena, slabhash::TableRef table)
+      : arena_(&arena), table_(table) {}
+
+  /// Advances to the next slab in the table; false when exhausted.
+  bool next();
+
+  /// Key at slot `slot` of the current slab (kEmptyKey / kTombstoneKey
+  /// sentinels included — callers filter, as Algorithm 2's lanes do).
+  std::uint32_t key(int slot) const {
+    return Policy::slot_key(arena_->resolve(current_), slot);
+  }
+  static constexpr int slots() { return Policy::kSlotCapacity; }
+
+  memory::SlabHandle current_handle() const { return current_; }
+  bool on_base_slab() const { return on_base_; }
+
+ private:
+  const memory::SlabArena* arena_;
+  slabhash::TableRef table_;
+  memory::SlabHandle current_ = memory::kNullSlab;
+  std::uint32_t next_bucket_ = 0;
+  bool on_base_ = false;
+  bool started_ = false;
+};
+
+template <class Policy>
+class DynGraph {
+ public:
+  explicit DynGraph(GraphConfig config);
+
+  DynGraph(const DynGraph&) = delete;
+  DynGraph& operator=(const DynGraph&) = delete;
+
+  // ---- construction workloads (§V-B) ---------------------------------
+  /// Bulk build (§V-B1): degrees are known a priori, so every vertex gets
+  /// ceil(d / (lf * Bc)) buckets up front, then all edges are inserted in
+  /// one batched launch. Input edges are directed as given (symmetrize
+  /// before calling for undirected graphs, or set config.undirected and
+  /// pass each undirected edge once).
+  void bulk_build(std::span<const WeightedEdge> edges);
+
+  // ---- edge operations (§IV-C) ----------------------------------------
+  /// Algorithm 1. Duplicates within the batch and against the graph are
+  /// tolerated; self-loops are dropped; the most recent weight wins.
+  /// Returns the number of *new* unique directed edges added.
+  std::uint64_t insert_edges(std::span<const WeightedEdge> edges);
+
+  /// Batched deletion; returns the number of edges actually removed.
+  std::uint64_t delete_edges(std::span<const Edge> edges);
+
+  // ---- vertex operations (§IV-D) --------------------------------------
+  /// Vertex insertion: dictionary entry (+ optional degree hint for bucket
+  /// sizing) per §IV-D1. Edges attached to new vertices are then added
+  /// with insert_edges / Algorithm 1.
+  void insert_vertices(std::span<const VertexId> ids,
+                       std::span<const std::uint32_t> degree_hints = {});
+
+  /// Algorithm 2: deletes vertices and every edge pointing at them; frees
+  /// dynamically allocated slabs; zeroes edge counts. For directed graphs
+  /// the neighbour cleanup is the follow-up full sweep the paper describes.
+  void delete_vertices(std::span<const VertexId> ids);
+
+  // ---- queries (§IV-B) -------------------------------------------------
+  bool edge_exists(VertexId u, VertexId v) const;
+
+  /// Batched edgeExist: out[i] = 1 iff queries[i] is present. Runs as a
+  /// warp launch (one query per lane).
+  void edges_exist(std::span<const Edge> queries, std::uint8_t* out) const;
+
+  /// Weight lookup; meaningful for the map variant only (set returns 0).
+  slabhash::MapFindResult edge_weight(VertexId u, VertexId v) const
+      requires Policy::kHasValues;
+
+  /// Visits every live neighbour of `u` (and weight; 0 for the set variant).
+  void for_each_neighbor(VertexId u,
+                         const std::function<void(VertexId, Weight)>& fn) const;
+
+  /// Slab-granular iterator over `u`'s adjacency list.
+  EdgeSlabIterator<Policy> edge_iterator(VertexId u) const {
+    return EdgeSlabIterator<Policy>(arena_, dict_.table(u));
+  }
+
+  /// Exact out-degree (maintained by Alg. 1/2 counters).
+  std::uint32_t degree(VertexId u) const { return dict_.edge_count(u); }
+
+  /// Total live directed edges (undirected edges count twice).
+  std::uint64_t num_edges() const { return dict_.total_edges(); }
+
+  std::uint32_t vertex_capacity() const { return dict_.capacity(); }
+  bool vertex_live(VertexId u) const {
+    return u < dict_.capacity() && dict_.has_table(u) && !dict_.deleted(u);
+  }
+
+  /// Pre-extends the vertex dictionary (pointer-copy growth).
+  void reserve_vertices(std::uint32_t capacity) { dict_.grow(capacity); }
+
+  // ---- maintenance & accounting ----------------------------------------
+  /// Flush tombstones of every table (the paper's optional compaction).
+  void flush_all_tombstones();
+
+  /// The §III maintenance hook: "maintain low-cost metrics per vertex to
+  /// determine the chain-length and periodically perform rehashing if it
+  /// exceeds a given threshold." Rebuilds every table whose expected chain
+  /// length (live keys / (buckets * Bc)) exceeds `max_chain_slabs` into a
+  /// table sized for the configured load factor. Returns the number of
+  /// tables rehashed. Phase-serial (must not run concurrently with other
+  /// operations). Old base slabs are abandoned (bulk slabs are never
+  /// reclaimed, matching §IV-D2); overflow slabs are freed.
+  std::uint32_t rehash_long_chains(double max_chain_slabs = 1.0);
+
+  GraphMemoryStats memory_stats() const;
+  memory::ArenaStats arena_stats() const { return arena_.stats(); }
+  const GraphConfig& config() const { return config_; }
+  std::uint32_t dictionary_growths() const { return dict_.growth_count(); }
+
+ private:
+  /// Serial pre-pass of every batched mutation: validates ids and grows the
+  /// dictionary to cover the batch (pointer-copy growth must not race the
+  /// parallel phase).
+  void prepare_batch(std::span<const WeightedEdge> edges);
+  void ensure_vertex(VertexId u, std::uint32_t degree_hint);
+
+  /// Table lookup on the insert path; creates a single-bucket table on
+  /// first use ("if the connectivity information for a vertex is not
+  /// available, we construct a hash table with a single bucket") and
+  /// revives deleted sources. Safe under concurrent warps.
+  slabhash::TableRef acquire_table(VertexId u);
+
+  std::uint64_t insert_directed(std::span<const WeightedEdge> edges);
+  std::uint64_t delete_directed(std::span<const Edge> edges);
+
+  GraphConfig config_;
+  mutable memory::SlabArena arena_;
+  VertexDictionary dict_;
+  std::mutex lazy_table_mutex_;  ///< serializes first-touch table creation
+};
+
+using DynGraphMap = DynGraph<MapPolicy>;
+using DynGraphSet = DynGraph<SetPolicy>;
+
+extern template class DynGraph<MapPolicy>;
+extern template class DynGraph<SetPolicy>;
+extern template class EdgeSlabIterator<MapPolicy>;
+extern template class EdgeSlabIterator<SetPolicy>;
+
+}  // namespace sg::core

@@ -1,0 +1,494 @@
+// Method bodies of DynGraph<Policy>; included by dyn_graph_map.cpp and
+// dyn_graph_set.cpp which explicitly instantiate the two variants.
+#pragma once
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/batch_utils.hpp"
+#include "src/core/dyn_graph.hpp"
+#include "src/simt/atomics.hpp"
+#include "src/simt/grid.hpp"
+
+namespace sg::core {
+
+// --------------------------------------------------------------------------
+// EdgeSlabIterator
+// --------------------------------------------------------------------------
+
+template <class Policy>
+bool EdgeSlabIterator<Policy>::next() {
+  if (!table_.valid()) return false;
+  if (started_) {
+    // Follow the current slab's next pointer; fall through to the next
+    // bucket when the chain ends.
+    const memory::SlabHandle nxt = simt::atomic_load(
+        arena_->resolve(current_).words[slabhash::kNextPtrWord]);
+    if (nxt != memory::kNullSlab) {
+      current_ = nxt;
+      on_base_ = false;
+      return true;
+    }
+  }
+  if (next_bucket_ >= table_.num_buckets) return false;
+  current_ = table_.bucket_head(next_bucket_++);
+  on_base_ = true;
+  started_ = true;
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Construction & vertex-table management
+// --------------------------------------------------------------------------
+
+template <class Policy>
+DynGraph<Policy>::DynGraph(GraphConfig config)
+    : config_(config), dict_(config.vertex_capacity) {
+  if (config_.load_factor <= 0.0) {
+    throw std::invalid_argument("load_factor must be positive");
+  }
+}
+
+template <class Policy>
+void DynGraph<Policy>::ensure_vertex(VertexId u, std::uint32_t degree_hint) {
+  if (u >= dict_.capacity()) dict_.grow(u + 1);
+  if (!dict_.has_table(u)) {
+    // "If the connectivity information for a vertex is not available, we
+    // construct a hash table with a single bucket" (§III-b).
+    const std::uint32_t buckets =
+        degree_hint == 0
+            ? 1
+            : slabhash::buckets_for(degree_hint, config_.load_factor,
+                                    Policy::kSlotCapacity);
+    const memory::SlabHandle base =
+        arena_.allocate_contiguous(buckets, slabhash::kEmptyKey);
+    dict_.set_table(u, {base, buckets});
+    dict_.set_edge_count(u, 0);
+  }
+  dict_.set_deleted(u, false);
+}
+
+template <class Policy>
+void DynGraph<Policy>::prepare_batch(std::span<const WeightedEdge> edges) {
+  VertexId max_id = 0;
+  for (const auto& e : edges) {
+    if (e.src > max_id) max_id = e.src;
+    if (e.dst > max_id) max_id = e.dst;
+  }
+  if (max_id > kMaxVertexId) {
+    throw std::invalid_argument("edge batch contains an out-of-range vertex id");
+  }
+  if (max_id >= dict_.capacity()) dict_.grow(max_id + 1);
+}
+
+template <class Policy>
+slabhash::TableRef DynGraph<Policy>::acquire_table(VertexId u) {
+  slabhash::TableRef table = dict_.table_acquire(u);
+  if (table.valid()) {
+    if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
+    return table;
+  }
+  std::lock_guard<std::mutex> lock(lazy_table_mutex_);
+  table = dict_.table_acquire(u);
+  if (!table.valid()) {
+    const memory::SlabHandle base =
+        arena_.allocate_contiguous(1, slabhash::kEmptyKey);
+    table = {base, 1};
+    dict_.publish_table(u, table);
+    dict_.set_edge_count(u, 0);
+  }
+  dict_.set_deleted(u, false);
+  return table;
+}
+
+template <class Policy>
+void DynGraph<Policy>::insert_vertices(
+    std::span<const VertexId> ids, std::span<const std::uint32_t> degree_hints) {
+  if (!degree_hints.empty() && degree_hints.size() != ids.size()) {
+    throw std::invalid_argument("degree_hints size mismatch");
+  }
+  VertexId max_id = 0;
+  for (VertexId id : ids) {
+    if (id > kMaxVertexId) {
+      throw std::invalid_argument("vertex id out of range");
+    }
+    if (id > max_id) max_id = id;
+  }
+  if (!ids.empty() && max_id >= dict_.capacity()) dict_.grow(max_id + 1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ensure_vertex(ids[i], degree_hints.empty() ? 0 : degree_hints[i]);
+  }
+}
+
+template <class Policy>
+void DynGraph<Policy>::bulk_build(std::span<const WeightedEdge> edges) {
+  validate_batch(edges);
+  std::vector<WeightedEdge> mirrored;
+  std::span<const WeightedEdge> directed = edges;
+  if (config_.undirected) {
+    mirrored = mirror_edges(edges);
+    directed = mirrored;
+  }
+  // Degrees are known a priori in the bulk-build workload: size each table
+  // for its true degree and the configured load factor (§V-B1).
+  const VertexId max_id = directed.empty() ? 0 : max_vertex_id(directed);
+  if (max_id >= dict_.capacity()) dict_.grow(max_id + 1);
+  std::vector<std::uint32_t> degrees(dict_.capacity(), 0);
+  std::vector<std::uint8_t> referenced(dict_.capacity(), 0);
+  for (const auto& e : directed) {
+    if (e.src != e.dst) ++degrees[e.src];
+    referenced[e.src] = 1;
+    referenced[e.dst] = 1;
+  }
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (referenced[u]) ensure_vertex(u, degrees[u]);
+  }
+  insert_directed(directed);
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 1: warp-cooperative batched edge insertion
+// --------------------------------------------------------------------------
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::insert_directed(
+    std::span<const WeightedEdge> edges) {
+  std::atomic<std::uint64_t> total_added{0};
+  const std::uint64_t seed = config_.hash_seed;
+
+  // Per-lane predicates live in 32-bit masks, which is exactly what the
+  // ballot intrinsic produces on the GPU: `pending` IS Algorithm 1's work
+  // queue (line 4), bit iteration IS find-first-set (line 5). This keeps
+  // the emulation cost proportional to live lanes rather than re-scanning
+  // 32 lanes per round (a serialization artifact a real warp never pays).
+  simt::launch(edges.size(), [&](const simt::WarpId& warp) {
+    VertexId src[simt::kWarpSize];
+    VertexId dst[simt::kWarpSize];
+    Weight weight[simt::kWarpSize];
+    std::uint32_t pending = 0;  // ballot(to_insert): the work queue
+    for (std::uint32_t m = warp.active; m; m &= m - 1) {
+      const int lane = std::countr_zero(m);
+      const WeightedEdge e = edges[warp.item(lane)];
+      src[lane] = e.src;
+      dst[lane] = e.dst;
+      weight[lane] = e.weight;
+      if (e.src != e.dst) pending |= 1u << lane;  // line 3: no self-edges
+    }
+    std::uint64_t warp_added = 0;
+    while (pending != 0u) {  // line 4
+      const int current_lane = simt::ffs(pending) - 1;       // line 5
+      const VertexId current_src = src[current_lane];        // line 6 (shuffle)
+      const slabhash::TableRef table = acquire_table(current_src);
+      // Lines 7-8: lanes sharing the source form the coalesced group.
+      std::uint32_t group = 0;
+      std::uint32_t success = 0;
+      for (std::uint32_t m = pending; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        if (src[lane] != current_src) continue;
+        group |= 1u << lane;
+        if (Policy::insert(arena_, table, dst[lane], weight[lane], seed,
+                           warp.warp)) {
+          success |= 1u << lane;
+        }
+      }
+      // Lines 9-10: exact edge counting from the replace() booleans.
+      const int added = simt::popc(success);
+      if (added > 0) {
+        simt::atomic_add(dict_.edge_count_word(current_src),
+                         static_cast<std::uint32_t>(added));
+        warp_added += static_cast<std::uint64_t>(added);
+      }
+      pending &= ~group;  // lines 11-12
+    }
+    if (warp_added) total_added.fetch_add(warp_added, std::memory_order_relaxed);
+  });
+  return total_added.load(std::memory_order_relaxed);
+}
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::insert_edges(std::span<const WeightedEdge> edges) {
+  if (edges.empty()) return 0;
+  if (config_.undirected) {
+    const std::vector<WeightedEdge> mirrored = mirror_edges(edges);
+    prepare_batch(mirrored);
+    return insert_directed(mirrored);
+  }
+  prepare_batch(edges);
+  return insert_directed(edges);
+}
+
+// --------------------------------------------------------------------------
+// Batched edge deletion (§IV-C2): Algorithm 1 with delete instead of
+// replace; the returned boolean decrements the exact edge counters.
+// --------------------------------------------------------------------------
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::delete_directed(std::span<const Edge> edges) {
+  std::atomic<std::uint64_t> total_removed{0};
+  const std::uint64_t seed = config_.hash_seed;
+  const std::uint32_t capacity = dict_.capacity();
+
+  simt::launch(edges.size(), [&](const simt::WarpId& warp) {
+    VertexId src[simt::kWarpSize];
+    VertexId dst[simt::kWarpSize];
+    std::uint32_t pending = 0;
+    for (std::uint32_t m = warp.active; m; m &= m - 1) {
+      const int lane = std::countr_zero(m);
+      const Edge e = edges[warp.item(lane)];
+      src[lane] = e.src;
+      dst[lane] = e.dst;
+      if (e.src < capacity && dict_.has_table(e.src)) pending |= 1u << lane;
+    }
+    std::uint64_t warp_removed = 0;
+    while (pending != 0u) {
+      const int current_lane = simt::ffs(pending) - 1;
+      const VertexId current_src = src[current_lane];
+      const slabhash::TableRef table = dict_.table(current_src);
+      std::uint32_t group = 0;
+      std::uint32_t success = 0;
+      for (std::uint32_t m = pending; m; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        if (src[lane] != current_src) continue;
+        group |= 1u << lane;
+        if (Policy::erase(arena_, table, dst[lane], seed)) {
+          success |= 1u << lane;
+        }
+      }
+      const int removed = simt::popc(success);
+      if (removed > 0) {
+        simt::atomic_sub(dict_.edge_count_word(current_src),
+                         static_cast<std::uint32_t>(removed));
+        warp_removed += static_cast<std::uint64_t>(removed);
+      }
+      pending &= ~group;
+    }
+    if (warp_removed) {
+      total_removed.fetch_add(warp_removed, std::memory_order_relaxed);
+    }
+  });
+  return total_removed.load(std::memory_order_relaxed);
+}
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::delete_edges(std::span<const Edge> edges) {
+  if (edges.empty()) return 0;
+  validate_batch(edges);
+  if (config_.undirected) {
+    const std::vector<Edge> mirrored = mirror_edges(edges);
+    return delete_directed(mirrored);
+  }
+  return delete_directed(edges);
+}
+
+// --------------------------------------------------------------------------
+// Algorithm 2: vertex deletion
+// --------------------------------------------------------------------------
+
+template <class Policy>
+void DynGraph<Policy>::delete_vertices(std::span<const VertexId> ids) {
+  if (ids.empty()) return;
+  const std::uint64_t seed = config_.hash_seed;
+  const std::uint32_t count = static_cast<std::uint32_t>(ids.size());
+
+  // Serial pre-pass: mark the batch. The `doomed` bitmap (this batch only)
+  // drives the cleanup so that stale liveness flags from earlier deletions
+  // can never widen it; the persistent flags feed vertex_live().
+  std::vector<std::uint8_t> doomed(dict_.capacity(), 0);
+  for (VertexId v : ids) {
+    if (v < dict_.capacity()) {
+      doomed[v] = 1;
+      dict_.set_deleted(v, true);
+    }
+  }
+
+  // Phase 1 — remove the deleted vertices from *other* adjacency lists.
+  if (config_.undirected) {
+    // Undirected: a vertex's own adjacency list names exactly the tables
+    // that reference it (Algorithm 2 lines 11-17). One warp per vertex,
+    // claimed from an atomic work queue (lines 2-9) for load balance.
+    std::uint32_t queue = 0;
+    // One warp per vertex, capped so small batches do not oversubscribe.
+    const std::uint32_t num_warps = count < 256u ? count : 256u;
+    simt::launch_warps(num_warps, [&](const simt::WarpId&) {
+      for (;;) {
+        // Lines 3-6: lane 0 claims a queue slot; broadcast to the warp.
+        const std::uint32_t queue_id = simt::atomic_add(queue, 1u);
+        if (queue_id >= count) return;  // line 7-8
+        const VertexId warp_vertex = ids[queue_id];  // line 10
+        if (warp_vertex >= dict_.capacity() || !dict_.has_table(warp_vertex)) {
+          continue;
+        }
+        // Lines 11-17: iterate the vertex's slabs; every lane takes one
+        // destination and deletes warp_vertex from that neighbour's table.
+        auto it = edge_iterator(warp_vertex);
+        while (it.next()) {
+          for (int lane = 0; lane < it.slots(); ++lane) {
+            const std::uint32_t dst = it.key(lane);
+            // Empties exist only at the tail of a slab's used region, so
+            // the first EMPTY ends this slab (the §IV-C2 invariant).
+            if (dst == slabhash::kEmptyKey) break;
+            if (dst == slabhash::kTombstoneKey) continue;
+            if (dst >= dict_.capacity() || doomed[dst] ||
+                !dict_.has_table(dst)) {
+              continue;  // neighbour is being deleted too: its table dies anyway
+            }
+            if (Policy::erase(arena_, dict_.table(dst), warp_vertex, seed)) {
+              simt::atomic_sub(dict_.edge_count_word(dst), 1u);
+            }
+          }
+        }
+        // Lines 18-22, same warp pass: free this vertex's dynamically
+        // allocated slabs (base slabs stay), zero its edge count. Safe here
+        // because no other warp touches a doomed vertex's table.
+        Policy::clear(arena_, dict_.table(warp_vertex));
+        dict_.set_edge_count(warp_vertex, 0);
+      }
+    });
+    return;  // cleanup already done per-warp above
+  } else {
+    // Directed: incoming edges are unknown, so run the paper's follow-up
+    // sweep — "a follow-up lookup and delete all of the deleted vertices in
+    // all of the hash tables" — over every live vertex.
+    std::uint32_t queue = 0;
+    const std::uint32_t capacity = dict_.capacity();
+    simt::launch_warps(256, [&](const simt::WarpId&) {
+      for (;;) {
+        const std::uint32_t u = simt::atomic_add(queue, 1u);
+        if (u >= capacity) return;
+        if (!dict_.has_table(u) || doomed[u]) continue;
+        const slabhash::TableRef table = dict_.table(u);
+        auto it = EdgeSlabIterator<Policy>(arena_, table);
+        while (it.next()) {
+          for (int lane = 0; lane < it.slots(); ++lane) {
+            const std::uint32_t dst = it.key(lane);
+            if (dst == slabhash::kEmptyKey) break;  // empties only at tail
+            if (dst == slabhash::kTombstoneKey) continue;
+            if (dst < capacity && doomed[dst]) {
+              if (Policy::erase(arena_, table, dst, seed)) {
+                simt::atomic_sub(dict_.edge_count_word(u), 1u);
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+
+  // Phase 2 — dismantle the deleted vertices' own tables: free dynamically
+  // allocated slabs (lines 18-20), keep base slabs ("statically allocated
+  // memory is not reclaimed"), zero the edge count (line 22).
+  std::uint32_t queue2 = 0;
+  simt::launch_warps(64, [&](const simt::WarpId&) {
+    for (;;) {
+      const std::uint32_t queue_id = simt::atomic_add(queue2, 1u);
+      if (queue_id >= count) return;
+      const VertexId v = ids[queue_id];
+      if (v >= dict_.capacity() || !dict_.has_table(v)) continue;
+      Policy::clear(arena_, dict_.table(v));
+      dict_.set_edge_count(v, 0);
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Queries
+// --------------------------------------------------------------------------
+
+template <class Policy>
+bool DynGraph<Policy>::edge_exists(VertexId u, VertexId v) const {
+  // No liveness flag checks: Algorithm 2's cleanup guarantees deleted
+  // vertices appear in no adjacency list and own an empty table, so the
+  // table contents alone answer correctly ("no edge query involving u may
+  // have a false positive result").
+  if (u >= dict_.capacity() || !dict_.has_table(u)) return false;
+  return Policy::contains(arena_, dict_.table(u), v, config_.hash_seed);
+}
+
+template <class Policy>
+void DynGraph<Policy>::edges_exist(std::span<const Edge> queries,
+                                   std::uint8_t* out) const {
+  simt::launch(queries.size(), [&](const simt::WarpId& warp) {
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!warp.lane_active(lane)) continue;
+      const std::uint64_t i = warp.item(lane);
+      out[i] = edge_exists(queries[i].src, queries[i].dst) ? 1 : 0;
+    }
+  });
+}
+
+template <class Policy>
+slabhash::MapFindResult DynGraph<Policy>::edge_weight(VertexId u, VertexId v) const
+    requires Policy::kHasValues {
+  if (u >= dict_.capacity() || !dict_.has_table(u)) return {};
+  return slabhash::map_search(arena_, dict_.table(u), v, config_.hash_seed);
+}
+
+template <class Policy>
+void DynGraph<Policy>::for_each_neighbor(
+    VertexId u, const std::function<void(VertexId, Weight)>& fn) const {
+  if (u >= dict_.capacity() || !dict_.has_table(u)) return;
+  Policy::for_each(arena_, dict_.table(u), fn);
+}
+
+// --------------------------------------------------------------------------
+// Maintenance & accounting
+// --------------------------------------------------------------------------
+
+template <class Policy>
+void DynGraph<Policy>::flush_all_tombstones() {
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (dict_.has_table(u)) Policy::flush_tombstones(arena_, dict_.table(u));
+  }
+}
+
+template <class Policy>
+std::uint32_t DynGraph<Policy>::rehash_long_chains(double max_chain_slabs) {
+  if (max_chain_slabs <= 0.0) {
+    throw std::invalid_argument("max_chain_slabs must be positive");
+  }
+  std::uint32_t rehashed = 0;
+  const std::uint64_t seed = config_.hash_seed;
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (!dict_.has_table(u)) continue;
+    const slabhash::TableRef old_table = dict_.table(u);
+    const std::uint32_t live = dict_.edge_count(u);
+    const double expected_chain =
+        static_cast<double>(live) /
+        (static_cast<double>(old_table.num_buckets) * Policy::kSlotCapacity);
+    if (expected_chain <= max_chain_slabs) continue;
+    // Build a right-sized table and move the live keys over; the move also
+    // sheds tombstones. Only adjacency-list contents move — the dictionary
+    // entry is a pointer swap, as in §IV-A1.
+    const std::uint32_t buckets = slabhash::buckets_for(
+        live, config_.load_factor, Policy::kSlotCapacity);
+    slabhash::TableRef fresh{
+        arena_.allocate_contiguous(buckets, slabhash::kEmptyKey), buckets};
+    Policy::for_each(arena_, old_table,
+                     [&](VertexId dst, Weight w) {
+                       Policy::insert(arena_, fresh, dst, w, seed, u);
+                     });
+    Policy::clear(arena_, old_table);  // frees the old overflow chain
+    dict_.set_table(u, fresh);
+    ++rehashed;
+  }
+  return rehashed;
+}
+
+template <class Policy>
+GraphMemoryStats DynGraph<Policy>::memory_stats() const {
+  GraphMemoryStats stats;
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (!dict_.has_table(u)) continue;
+    const slabhash::TableOccupancy occ = Policy::occupancy(arena_, dict_.table(u));
+    stats.live_edges += occ.live_keys;
+    stats.tombstones += occ.tombstones;
+    stats.slots += occ.slots;
+    stats.base_slabs += occ.base_slabs;
+    stats.overflow_slabs += occ.overflow_slabs;
+  }
+  stats.bytes = (stats.base_slabs + stats.overflow_slabs) * sizeof(memory::Slab);
+  return stats;
+}
+
+}  // namespace sg::core

@@ -1,0 +1,8 @@
+#include "src/core/dyn_graph_impl.hpp"
+
+namespace sg::core {
+
+template class EdgeSlabIterator<MapPolicy>;
+template class DynGraph<MapPolicy>;
+
+}  // namespace sg::core

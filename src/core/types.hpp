@@ -1,0 +1,72 @@
+// Public value types of the dynamic graph API (paper §II-A):
+// G = (V, E, W); an edge is <u, v, w> with w standing in for any per-edge
+// meta-data. Vertex ids are dense uint32 indices into the vertex dictionary.
+#pragma once
+
+#include <cstdint>
+
+namespace sg::core {
+
+using VertexId = std::uint32_t;
+using Weight = std::uint32_t;
+
+/// Largest usable vertex id (ids at/above this collide with the slab
+/// sentinels kEmptyKey / kTombstoneKey).
+inline constexpr VertexId kMaxVertexId = 0xFFFFFFFDu;
+
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+struct WeightedEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  Weight weight = 0;
+
+  friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// Construction-time knobs (§III, §IV-A).
+struct GraphConfig {
+  /// Initial vertex-dictionary capacity. "Selecting a large-enough initial
+  /// capacity ... ensures good performance during vertices insertion."
+  /// The dictionary grows automatically (pointer-copy) if exceeded.
+  std::uint32_t vertex_capacity = 1024;
+
+  /// Target hash-table load factor; the paper uses 0.7 throughout.
+  double load_factor = 0.7;
+
+  /// Undirected graphs store each edge in both endpoint adjacency lists;
+  /// edge mutations are applied in both directions (§IV-C).
+  bool undirected = false;
+
+  /// Seed of the universal hash functions (shared by all tables) and of
+  /// anything randomized inside the structure. Fixed => reproducible runs.
+  std::uint64_t hash_seed = 0x5EEDF00DULL;
+};
+
+/// Aggregated memory accounting for Figure 2 (b) and (c).
+struct GraphMemoryStats {
+  std::uint64_t live_edges = 0;       ///< live keys over all adjacency tables
+  std::uint64_t tombstones = 0;
+  std::uint64_t slots = 0;            ///< key capacity over all slabs
+  std::uint64_t base_slabs = 0;
+  std::uint64_t overflow_slabs = 0;
+  std::uint64_t bytes = 0;            ///< slab bytes owned by adjacency lists
+
+  double utilization() const noexcept {
+    return slots == 0 ? 0.0
+                      : static_cast<double>(live_edges) / static_cast<double>(slots);
+  }
+  /// Mean bucket-chain length in slabs (the x-axis of Figures 2-3).
+  double avg_chain_length() const noexcept {
+    return base_slabs == 0 ? 0.0
+                           : static_cast<double>(base_slabs + overflow_slabs) /
+                                 static_cast<double>(base_slabs);
+  }
+};
+
+}  // namespace sg::core

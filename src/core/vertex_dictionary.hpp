@@ -1,0 +1,69 @@
+// Vertex dictionary (§III-a, §IV-A1): a fixed-size array indexed by vertex
+// id holding, per vertex, the handle of its adjacency hash table (base slab
+// + bucket count), the exact edge counter, and liveness. Growing the
+// dictionary copies only these per-vertex entries — "shallow copying of the
+// pointers to each of the hash tables" — never the adjacency data itself.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/slabhash/slab_layout.hpp"
+
+namespace sg::core {
+
+class VertexDictionary {
+ public:
+  explicit VertexDictionary(std::uint32_t capacity);
+
+  std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(table_base_.size());
+  }
+
+  /// Grows capacity to at least `min_capacity` (next power of two); a
+  /// shallow copy of per-vertex entries. No-op if already large enough.
+  void grow(std::uint32_t min_capacity);
+
+  /// Number of grow() calls that actually reallocated; exposed so tests can
+  /// verify the overallocation strategy avoids repeated copies.
+  std::uint32_t growth_count() const noexcept { return growth_count_; }
+
+  // --- per-vertex slots (bounds-unchecked hot accessors) ---------------
+  slabhash::TableRef table(VertexId u) const noexcept {
+    return {table_base_[u], num_buckets_[u]};
+  }
+  bool has_table(VertexId u) const noexcept {
+    return table_base_[u] != memory::kNullSlab;
+  }
+  void set_table(VertexId u, slabhash::TableRef ref) noexcept {
+    table_base_[u] = ref.base;
+    num_buckets_[u] = ref.num_buckets;
+  }
+
+  /// Racy-read-safe variants for lazy table creation during a parallel
+  /// insert phase: the bucket count is published before the base handle
+  /// (release), and readers order their loads behind the base (acquire).
+  slabhash::TableRef table_acquire(VertexId u) const noexcept;
+  void publish_table(VertexId u, slabhash::TableRef ref) noexcept;
+
+  /// Edge counters are mutated with atomics during batched updates.
+  std::uint32_t& edge_count_word(VertexId u) noexcept { return edge_count_[u]; }
+  std::uint32_t edge_count(VertexId u) const noexcept { return edge_count_[u]; }
+  void set_edge_count(VertexId u, std::uint32_t n) noexcept { edge_count_[u] = n; }
+
+  bool deleted(VertexId u) const noexcept { return deleted_[u] != 0; }
+  void set_deleted(VertexId u, bool flag) noexcept { deleted_[u] = flag ? 1 : 0; }
+
+  /// Sum of all per-vertex edge counters.
+  std::uint64_t total_edges() const noexcept;
+
+ private:
+  std::vector<memory::SlabHandle> table_base_;
+  std::vector<std::uint32_t> num_buckets_;
+  std::vector<std::uint32_t> edge_count_;
+  std::vector<std::uint8_t> deleted_;
+  std::uint32_t growth_count_ = 0;
+};
+
+}  // namespace sg::core

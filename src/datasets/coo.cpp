@@ -1,0 +1,111 @@
+#include "src/datasets/coo.hpp"
+
+#include <algorithm>
+
+#include "src/util/prng.hpp"
+
+namespace sg::datasets {
+
+std::vector<std::uint32_t> Coo::degrees() const {
+  std::vector<std::uint32_t> out(num_vertices, 0);
+  for (const auto& e : edges) {
+    if (e.src < num_vertices) ++out[e.src];
+  }
+  return out;
+}
+
+util::DegreeStats Coo::degree_stats() const {
+  const auto d = degrees();
+  return util::degree_stats(d);
+}
+
+void Coo::canonicalize() {
+  std::erase_if(edges, [this](const core::WeightedEdge& e) {
+    return e.src == e.dst || e.src >= num_vertices || e.dst >= num_vertices;
+  });
+  std::sort(edges.begin(), edges.end(),
+            [](const core::WeightedEdge& a, const core::WeightedEdge& b) {
+              return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const core::WeightedEdge& a,
+                             const core::WeightedEdge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+}
+
+std::vector<core::WeightedEdge> Coo::unique_undirected_edges() const {
+  std::vector<core::WeightedEdge> out;
+  out.reserve(edges.size() / 2);
+  for (const auto& e : edges) {
+    if (e.src < e.dst) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<core::WeightedEdge> random_edge_batch(const Coo& graph,
+                                                  std::size_t batch_size,
+                                                  std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<core::WeightedEdge> batch;
+  batch.reserve(batch_size);
+  const std::uint32_t n = graph.num_vertices == 0 ? 1 : graph.num_vertices;
+  while (batch.size() < batch_size) {
+    const auto src = static_cast<core::VertexId>(rng.below(n));
+    const auto dst = static_cast<core::VertexId>(rng.below(n));
+    batch.push_back({src, dst, static_cast<core::Weight>(rng.below(1u << 20))});
+  }
+  return batch;
+}
+
+std::vector<core::Edge> random_deletion_batch(const Coo& graph,
+                                              std::size_t batch_size,
+                                              std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  std::vector<core::Edge> batch;
+  batch.reserve(batch_size);
+  const std::uint64_t m = graph.edges.empty() ? 1 : graph.edges.size();
+  for (std::size_t i = 0; i < batch_size; ++i) {
+    if (!graph.edges.empty() && rng.uniform() < 0.75) {
+      const auto& e = graph.edges[rng.below(m)];
+      batch.push_back({e.src, e.dst});
+    } else {
+      // A share of misses: random pairs that are mostly absent, the
+      // "randomly generated edges" of the paper's deletion workload.
+      const std::uint32_t n = graph.num_vertices == 0 ? 1 : graph.num_vertices;
+      batch.push_back({static_cast<core::VertexId>(rng.below(n)),
+                       static_cast<core::VertexId>(rng.below(n))});
+    }
+  }
+  return batch;
+}
+
+std::vector<core::VertexId> random_vertex_batch(std::uint32_t num_vertices,
+                                                std::size_t batch_size,
+                                                std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  // Distinct ids via partial Fisher-Yates over an index array.
+  std::vector<core::VertexId> ids(num_vertices);
+  for (std::uint32_t i = 0; i < num_vertices; ++i) ids[i] = i;
+  const std::size_t take = batch_size < num_vertices ? batch_size : num_vertices;
+  for (std::size_t i = 0; i < take; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(rng.below(num_vertices - i));
+    std::swap(ids[i], ids[j]);
+  }
+  ids.resize(take);
+  return ids;
+}
+
+std::vector<std::span<const core::WeightedEdge>> split_batches(
+    std::span<const core::WeightedEdge> edges, std::size_t batch_size) {
+  std::vector<std::span<const core::WeightedEdge>> out;
+  if (batch_size == 0) batch_size = 1;
+  for (std::size_t start = 0; start < edges.size(); start += batch_size) {
+    const std::size_t len = std::min(batch_size, edges.size() - start);
+    out.push_back(edges.subspan(start, len));
+  }
+  return out;
+}
+
+}  // namespace sg::datasets

@@ -1,0 +1,62 @@
+// COO (coordinate-list) container: the interchange format between the
+// generators and every graph structure ("we assume that the input is given
+// in a COO format", §V-B1). Undirected graphs carry both directions
+// explicitly, matching how the paper's (symmetric SuiteSparse) datasets are
+// consumed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/util/stats.hpp"
+
+namespace sg::datasets {
+
+struct Coo {
+  std::string name;
+  std::uint32_t num_vertices = 0;
+  bool undirected = false;        ///< true => edges contains both directions
+  std::vector<core::WeightedEdge> edges;
+
+  std::uint64_t num_edges() const noexcept { return edges.size(); }
+
+  /// Out-degree of every vertex.
+  std::vector<std::uint32_t> degrees() const;
+
+  /// Table I statistics (min / max / avg / sigma of degree).
+  util::DegreeStats degree_stats() const;
+
+  /// Drops duplicate (src, dst) pairs (keeping the first) and self-loops;
+  /// generators call this so COO inputs are clean static graphs.
+  void canonicalize();
+
+  /// The undirected edge list with src < dst (each undirected edge once).
+  std::vector<core::WeightedEdge> unique_undirected_edges() const;
+};
+
+/// Random batch of edges between *existing* vertices, duplicates allowed
+/// within the batch and against the graph (Table II/III workload, §V-A1).
+std::vector<core::WeightedEdge> random_edge_batch(const Coo& graph,
+                                                  std::size_t batch_size,
+                                                  std::uint64_t seed);
+
+/// Batch of edges sampled *from* the graph (so deletions mostly hit live
+/// edges), plus duplicates, for the deletion benches.
+std::vector<core::Edge> random_deletion_batch(const Coo& graph,
+                                              std::size_t batch_size,
+                                              std::uint64_t seed);
+
+/// Distinct random vertex ids for the vertex-deletion bench (§V-A2).
+std::vector<core::VertexId> random_vertex_batch(std::uint32_t num_vertices,
+                                                std::size_t batch_size,
+                                                std::uint64_t seed);
+
+/// Splits `edges` into consecutive batches of `batch_size` (last may be
+/// short) for the incremental-build workload (§V-B2).
+std::vector<std::span<const core::WeightedEdge>> split_batches(
+    std::span<const core::WeightedEdge> edges, std::size_t batch_size);
+
+}  // namespace sg::datasets

@@ -1,0 +1,261 @@
+#include "src/datasets/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cmath>
+
+#include "src/util/prng.hpp"
+
+namespace sg::datasets {
+
+namespace {
+
+core::Weight random_weight(util::Xoshiro256& rng) {
+  return static_cast<core::Weight>(rng.below(1u << 20));
+}
+
+/// Adds u<->v (both directions) to the edge list.
+void add_undirected(Coo& coo, util::Xoshiro256& rng, core::VertexId u,
+                    core::VertexId v) {
+  const core::Weight w = random_weight(rng);
+  coo.edges.push_back({u, v, w});
+  coo.edges.push_back({v, u, w});
+}
+
+}  // namespace
+
+Coo make_road(std::uint32_t target_vertices, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto side = static_cast<std::uint32_t>(std::sqrt(double(target_vertices)));
+  Coo coo;
+  coo.name = "road";
+  coo.undirected = true;
+  coo.num_vertices = side * side;
+  auto id = [side](std::uint32_t x, std::uint32_t y) { return y * side + x; };
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      // Street grid with dropped segments: keep right/down links with
+      // probability tuned so the average undirected degree lands ~2.2
+      // (each kept link contributes 1 to both endpoints' degrees).
+      if (x + 1 < side && rng.uniform() < 0.55) {
+        add_undirected(coo, rng, id(x, y), id(x + 1, y));
+      }
+      if (y + 1 < side && rng.uniform() < 0.55) {
+        add_undirected(coo, rng, id(x, y), id(x, y + 1));
+      }
+      // Occasional diagonal shortcut (ramps / bridges).
+      if (x + 1 < side && y + 1 < side && rng.uniform() < 0.02) {
+        add_undirected(coo, rng, id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+Coo make_delaunay(std::uint32_t target_vertices, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto side = static_cast<std::uint32_t>(std::sqrt(double(target_vertices)));
+  Coo coo;
+  coo.name = "delaunay";
+  coo.undirected = true;
+  coo.num_vertices = side * side;
+  auto id = [side](std::uint32_t x, std::uint32_t y) { return y * side + x; };
+  // Triangulated grid: right, down, and one diagonal per cell => interior
+  // degree exactly 6, like a Delaunay triangulation of near-uniform points.
+  for (std::uint32_t y = 0; y < side; ++y) {
+    for (std::uint32_t x = 0; x < side; ++x) {
+      if (x + 1 < side) add_undirected(coo, rng, id(x, y), id(x + 1, y));
+      if (y + 1 < side) add_undirected(coo, rng, id(x, y), id(x, y + 1));
+      if (x + 1 < side && y + 1 < side) {
+        add_undirected(coo, rng, id(x, y), id(x + 1, y + 1));
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+Coo make_rgg(std::uint32_t target_vertices, double avg_degree,
+             std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Coo coo;
+  coo.name = "rgg";
+  coo.undirected = true;
+  coo.num_vertices = target_vertices;
+  // Expected degree of an RGG with radius r is n * pi * r^2.
+  const double r =
+      std::sqrt(avg_degree / (static_cast<double>(target_vertices) * M_PI));
+  std::vector<float> xs(target_vertices);
+  std::vector<float> ys(target_vertices);
+  for (std::uint32_t i = 0; i < target_vertices; ++i) {
+    xs[i] = static_cast<float>(rng.uniform());
+    ys[i] = static_cast<float>(rng.uniform());
+  }
+  // Grid-bucket the points at cell size r: neighbours lie in the 3x3 cells.
+  const auto cells = static_cast<std::uint32_t>(std::max(1.0, 1.0 / r));
+  const double cell_size = 1.0 / cells;
+  std::vector<std::vector<std::uint32_t>> grid(
+      static_cast<std::size_t>(cells) * cells);
+  auto cell_of = [&](float x, float y) {
+    auto cx = static_cast<std::uint32_t>(x / cell_size);
+    auto cy = static_cast<std::uint32_t>(y / cell_size);
+    if (cx >= cells) cx = cells - 1;
+    if (cy >= cells) cy = cells - 1;
+    return static_cast<std::size_t>(cy) * cells + cx;
+  };
+  for (std::uint32_t i = 0; i < target_vertices; ++i) {
+    grid[cell_of(xs[i], ys[i])].push_back(i);
+  }
+  const double r2 = r * r;
+  for (std::uint32_t i = 0; i < target_vertices; ++i) {
+    const auto cx = static_cast<std::int64_t>(xs[i] / cell_size);
+    const auto cy = static_cast<std::int64_t>(ys[i] / cell_size);
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+      for (std::int64_t dx = -1; dx <= 1; ++dx) {
+        const std::int64_t nx = cx + dx;
+        const std::int64_t ny = cy + dy;
+        if (nx < 0 || ny < 0 || nx >= cells || ny >= cells) continue;
+        for (std::uint32_t j : grid[static_cast<std::size_t>(ny) * cells +
+                                    static_cast<std::size_t>(nx)]) {
+          if (j <= i) continue;  // emit each pair once
+          const double ddx = xs[i] - xs[j];
+          const double ddy = ys[i] - ys[j];
+          if (ddx * ddx + ddy * ddy <= r2) add_undirected(coo, rng, i, j);
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+Coo make_mesh3d(std::uint32_t target_vertices, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  const auto side = static_cast<std::uint32_t>(
+      std::round(std::cbrt(double(target_vertices))));
+  Coo coo;
+  coo.name = "mesh3d";
+  coo.undirected = true;
+  coo.num_vertices = side * side * side;
+  auto id = [side](std::uint32_t x, std::uint32_t y, std::uint32_t z) {
+    return (z * side + y) * side + x;
+  };
+  // 27-point stencil (26 neighbours) plus ~45% of the axis-aligned
+  // distance-2 shell: interior degree ~ 26 + 0.45*48 ~ 48, sigma from the
+  // random second shell and boundary effects — the ldoor-like profile.
+  for (std::uint32_t z = 0; z < side; ++z) {
+    for (std::uint32_t y = 0; y < side; ++y) {
+      for (std::uint32_t x = 0; x < side; ++x) {
+        const core::VertexId u = id(x, y, z);
+        for (int dz = -1; dz <= 1; ++dz) {
+          for (int dy = -1; dy <= 1; ++dy) {
+            for (int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const std::int64_t nx = std::int64_t(x) + dx;
+              const std::int64_t ny = std::int64_t(y) + dy;
+              const std::int64_t nz = std::int64_t(z) + dz;
+              if (nx < 0 || ny < 0 || nz < 0 || nx >= side || ny >= side ||
+                  nz >= side) {
+                continue;
+              }
+              const core::VertexId v = id(static_cast<std::uint32_t>(nx),
+                                          static_cast<std::uint32_t>(ny),
+                                          static_cast<std::uint32_t>(nz));
+              if (v > u) add_undirected(coo, rng, u, v);
+            }
+          }
+        }
+        for (const auto& [dx, dy, dz] :
+             {std::array<int, 3>{2, 0, 0}, {0, 2, 0}, {0, 0, 2},
+              {2, 2, 0}, {2, 0, 2}, {0, 2, 2},
+              {2, 1, 0}, {1, 2, 0}, {0, 2, 1}, {0, 1, 2}, {2, 0, 1},
+              {1, 0, 2}}) {
+          if (rng.uniform() >= 0.9) continue;
+          const std::int64_t nx = std::int64_t(x) + dx;
+          const std::int64_t ny = std::int64_t(y) + dy;
+          const std::int64_t nz = std::int64_t(z) + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= side || ny >= side ||
+              nz >= side) {
+            continue;
+          }
+          const core::VertexId v = id(static_cast<std::uint32_t>(nx),
+                                      static_cast<std::uint32_t>(ny),
+                                      static_cast<std::uint32_t>(nz));
+          add_undirected(coo, rng, u, v);
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+Coo make_preferential(std::uint32_t target_vertices,
+                      std::uint32_t edges_per_new, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Coo coo;
+  coo.name = "preferential";
+  coo.undirected = true;
+  coo.num_vertices = target_vertices;
+  // Barabasi-Albert: each new vertex attaches to `edges_per_new` targets
+  // sampled proportionally to degree (endpoint-list sampling).
+  std::vector<core::VertexId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(target_vertices) * edges_per_new * 2);
+  const std::uint32_t seed_clique = edges_per_new + 1;
+  for (std::uint32_t u = 0; u < seed_clique && u < target_vertices; ++u) {
+    for (std::uint32_t v = u + 1; v < seed_clique && v < target_vertices; ++v) {
+      add_undirected(coo, rng, u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (std::uint32_t u = seed_clique; u < target_vertices; ++u) {
+    for (std::uint32_t k = 0; k < edges_per_new; ++k) {
+      const core::VertexId v = endpoints[rng.below(endpoints.size())];
+      if (v == u) continue;
+      add_undirected(coo, rng, u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+Coo make_rmat(std::uint32_t target_vertices, std::uint64_t directed_edges,
+              std::uint64_t seed, double a, double b, double c) {
+  util::Xoshiro256 rng(seed);
+  Coo coo;
+  coo.name = "rmat";
+  coo.undirected = true;
+  coo.num_vertices = std::bit_ceil(target_vertices);
+  const int levels = std::countr_zero(coo.num_vertices);
+  coo.edges.reserve(directed_edges * 2);
+  for (std::uint64_t e = 0; e < directed_edges / 2; ++e) {
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    for (int level = 0; level < levels; ++level) {
+      const double p = rng.uniform();
+      src <<= 1;
+      dst <<= 1;
+      if (p < a) {
+        // top-left quadrant: neither bit set
+      } else if (p < a + b) {
+        dst |= 1;
+      } else if (p < a + b + c) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    if (src == dst) continue;
+    add_undirected(coo, rng, src, dst);
+  }
+  coo.canonicalize();
+  return coo;
+}
+
+}  // namespace sg::datasets

@@ -1,0 +1,51 @@
+// Synthetic graph generators matched to the degree statistics of the
+// paper's Table I dataset families (the DESIGN.md hardware-substitution
+// table explains why families, not exact datasets, are what matters):
+//
+//   road graphs        (luxembourg/germany/usa): avg degree ~2.1-2.4, tiny
+//                      variance, max degree <= ~9
+//   delaunay meshes    : degree 6 +- ~1.3
+//   random geometric   (rgg): degree 13-16 +- ~4 (Poisson-like)
+//   FEM mesh (ldoor)   : degree ~48 +- ~12, min degree high
+//   co-authorship      : degree ~6.4, heavy-ish tail (sigma ~10)
+//   social / web (soc-*, hollywood): scale-free RMAT, max degree 10^3-10^4
+//
+// All generators are deterministic in (parameters, seed), emit symmetric
+// (undirected, both directions present) simple graphs, and attach uniform
+// random weights.
+#pragma once
+
+#include <cstdint>
+
+#include "src/datasets/coo.hpp"
+
+namespace sg::datasets {
+
+/// Road network: 2D grid with randomly dropped street segments and a few
+/// diagonal shortcuts. Average (directed) degree ~2.1-2.4.
+Coo make_road(std::uint32_t target_vertices, std::uint64_t seed);
+
+/// Delaunay-like triangulated grid: interior vertices have degree 6.
+Coo make_delaunay(std::uint32_t target_vertices, std::uint64_t seed);
+
+/// Random geometric graph on the unit square with radius tuned for
+/// `avg_degree`; grid-bucketed neighbour search.
+Coo make_rgg(std::uint32_t target_vertices, double avg_degree,
+             std::uint64_t seed);
+
+/// 3D FEM-style mesh (27-point stencil + partial second shell): degree ~48.
+Coo make_mesh3d(std::uint32_t target_vertices, std::uint64_t seed);
+
+/// Preferential attachment (co-authorship-like): avg degree ~2*edges_per_new,
+/// right-skewed degree distribution.
+Coo make_preferential(std::uint32_t target_vertices,
+                      std::uint32_t edges_per_new, std::uint64_t seed);
+
+/// RMAT scale-free graph (a=0.57, b=c=0.19, d=0.05 by default — the
+/// Graph500 parameters). `directed_edges` counts generated directed edges
+/// before symmetrization/dedup.
+Coo make_rmat(std::uint32_t target_vertices, std::uint64_t directed_edges,
+              std::uint64_t seed, double a = 0.57, double b = 0.19,
+              double c = 0.19);
+
+}  // namespace sg::datasets

@@ -1,0 +1,84 @@
+#include "src/datasets/suite.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/datasets/generators.hpp"
+
+namespace sg::datasets {
+
+const std::vector<SuiteSpec>& table1_specs() {
+  static const std::vector<SuiteSpec> specs = {
+      // name                 family          vertices  avg degree (Table I)
+      {"luxembourg_osm",      "road",          16384,    2.1},
+      {"germany_osm",         "road",         147456,    2.1},
+      {"road_usa",            "road",         262144,    2.4},
+      {"delaunay_n23",        "delaunay",      65536,    6.0},
+      {"delaunay_n20",        "delaunay",      16384,    6.0},
+      {"rgg_n_2_20_s0",       "rgg",           16384,   13.1},
+      {"rgg_n_2_24_s0",       "rgg",          131072,   16.0},
+      {"coAuthorsDBLP",       "preferential",  32768,    6.4},
+      {"ldoor",               "mesh3d",        32768,   47.7},
+      {"soc-LiveJournal1",    "rmat",          65536,   17.2},
+      {"soc-orkut",           "rmat",          32768,   70.9},
+      {"hollywood-2009",      "rmat",          16384,   98.9},
+  };
+  return specs;
+}
+
+Coo make_dataset(const std::string& name, double scale, std::uint64_t seed) {
+  if (scale <= 0.0 || scale > 8.0) {
+    throw std::invalid_argument("dataset scale must be in (0, 8]");
+  }
+  for (const auto& spec : table1_specs()) {
+    if (spec.name != name) continue;
+    const auto vertices = static_cast<std::uint32_t>(
+        std::max(64.0, std::round(spec.vertices * scale)));
+    Coo coo;
+    if (spec.family == "road") {
+      coo = make_road(vertices, seed);
+    } else if (spec.family == "delaunay") {
+      coo = make_delaunay(vertices, seed);
+    } else if (spec.family == "rgg") {
+      coo = make_rgg(vertices, spec.avg_degree, seed);
+    } else if (spec.family == "mesh3d") {
+      coo = make_mesh3d(vertices, seed);
+    } else if (spec.family == "preferential") {
+      coo = make_preferential(vertices, 3, seed);
+    } else if (spec.family == "rmat") {
+      const auto edges = static_cast<std::uint64_t>(
+          static_cast<double>(vertices) * spec.avg_degree);
+      coo = make_rmat(vertices, edges, seed);
+    } else {
+      throw std::logic_error("unknown generator family: " + spec.family);
+    }
+    coo.name = name;
+    return coo;
+  }
+  throw std::invalid_argument("unknown dataset: " + name);
+}
+
+std::vector<std::string> suite_names() {
+  std::vector<std::string> names;
+  for (const auto& spec : table1_specs()) names.push_back(spec.name);
+  return names;
+}
+
+std::vector<std::string> small_suite_names() {
+  return {"luxembourg_osm", "delaunay_n20", "rgg_n_2_20_s0", "coAuthorsDBLP",
+          "hollywood-2009"};
+}
+
+std::vector<std::string> vertex_deletion_suite_names() {
+  // Table IV: "averaged over four datasets: soc-orkut, soc-LiveJournal1,
+  // delaunay_n23, and germany_osm".
+  return {"soc-orkut", "soc-LiveJournal1", "delaunay_n23", "germany_osm"};
+}
+
+std::vector<std::string> incremental_suite_names() {
+  // Table VI: "graphs with a similar number of edges (ldoor, delaunay_n23,
+  // road_usa, soc-LiveJournal1)".
+  return {"ldoor", "delaunay_n23", "road_usa", "soc-LiveJournal1"};
+}
+
+}  // namespace sg::datasets

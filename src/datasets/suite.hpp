@@ -1,0 +1,41 @@
+// The benchmark dataset suite: one synthetic analog per Table I row, scaled
+// to host-feasible sizes (DESIGN.md §5). Every bench binary pulls datasets
+// from here by name so paper tables and our tables share row labels.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/datasets/coo.hpp"
+
+namespace sg::datasets {
+
+struct SuiteSpec {
+  std::string name;        ///< Table I dataset name this analog stands in for
+  std::string family;      ///< generator family (road, delaunay, rgg, ...)
+  std::uint32_t vertices;  ///< scaled vertex count at scale = 1
+  double avg_degree;       ///< Table I's reported average degree (target)
+};
+
+/// The 12 Table I rows, in paper order.
+const std::vector<SuiteSpec>& table1_specs();
+
+/// Generates the named analog. `scale` multiplies the vertex budget
+/// (0 < scale <= 8); rmat edge counts scale along. Deterministic.
+Coo make_dataset(const std::string& name, double scale = 1.0,
+                 std::uint64_t seed = 42);
+
+/// All 12 names, paper order.
+std::vector<std::string> suite_names();
+
+/// A fast 5-dataset subset used by integration tests and quick runs.
+std::vector<std::string> small_suite_names();
+
+/// The four datasets Table IV averages over.
+std::vector<std::string> vertex_deletion_suite_names();
+
+/// The four "similar edge count" datasets of Table VI.
+std::vector<std::string> incremental_suite_names();
+
+}  // namespace sg::datasets

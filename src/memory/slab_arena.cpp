@@ -1,0 +1,179 @@
+#include "src/memory/slab_arena.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "src/util/prng.hpp"
+
+namespace sg::memory {
+
+namespace {
+constexpr std::uint32_t kOffsetBits = 13;
+constexpr std::uint32_t kOffsetMask = SlabArena::kChunkSlabs - 1;
+constexpr std::uint32_t kBitmapWords = SlabArena::kChunkSlabs / 64;
+}  // namespace
+
+struct SlabArena::Chunk {
+  std::unique_ptr<Slab[]> slabs;
+  bool dynamic = false;
+  // Occupancy bitmap + free counter; only used by dynamic chunks.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> bitmap;
+  std::atomic<std::uint32_t> free_count{0};
+
+  explicit Chunk(bool is_dynamic)
+      : slabs(new Slab[SlabArena::kChunkSlabs]), dynamic(is_dynamic) {
+    if (dynamic) {
+      bitmap.reset(new std::atomic<std::uint64_t>[kBitmapWords]);
+      for (std::uint32_t w = 0; w < kBitmapWords; ++w) {
+        bitmap[w].store(0, std::memory_order_relaxed);
+      }
+      free_count.store(SlabArena::kChunkSlabs, std::memory_order_relaxed);
+    }
+  }
+};
+
+SlabArena::SlabArena()
+    : chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+  for (std::uint32_t i = 0; i < kMaxChunks; ++i) {
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+  }
+}
+
+SlabArena::~SlabArena() {
+  const std::uint32_t n = num_chunks_.load(std::memory_order_acquire);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    delete chunks_[i].load(std::memory_order_relaxed);
+  }
+}
+
+SlabArena::Chunk* SlabArena::chunk_at(std::uint32_t index) const {
+  return chunks_[index].load(std::memory_order_acquire);
+}
+
+std::uint32_t SlabArena::add_chunk(bool dynamic) {
+  const std::uint32_t index = num_chunks_.load(std::memory_order_acquire);
+  if (index >= kMaxChunks) throw std::bad_alloc();
+  auto* chunk = new Chunk(dynamic);
+  chunks_[index].store(chunk, std::memory_order_release);
+  num_chunks_.store(index + 1, std::memory_order_release);
+  return index;
+}
+
+SlabHandle SlabArena::allocate_contiguous(std::uint32_t count,
+                                          std::uint32_t fill_word) {
+  if (count == 0 || count > kChunkSlabs) {
+    throw std::invalid_argument("allocate_contiguous: bad slab count");
+  }
+  SlabHandle first;
+  Chunk* chunk;
+  {
+    std::lock_guard<std::mutex> lock(bulk_mutex_);
+    if (bulk_cursor_ + count > kChunkSlabs) {
+      std::lock_guard<std::mutex> grow(grow_mutex_);
+      bulk_chunk_ = add_chunk(/*dynamic=*/false);
+      bulk_cursor_ = 0;
+    }
+    first = (bulk_chunk_ << kOffsetBits) | bulk_cursor_;
+    bulk_cursor_ += count;
+    chunk = chunk_at(bulk_chunk_);
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Slab& slab = chunk->slabs[(first & kOffsetMask) + i];
+    for (int w = 0; w < kWordsPerSlab; ++w) slab.words[w] = fill_word;
+  }
+  bulk_slabs_.fetch_add(count, std::memory_order_relaxed);
+  return first;
+}
+
+SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
+  for (int attempt = 0;; ++attempt) {
+    const std::uint32_t n = num_chunks_.load(std::memory_order_acquire);
+    // Visit dynamic chunks starting from a seed-dependent position, the
+    // moral equivalent of SlabAlloc hashing resident warps to super blocks.
+    for (std::uint32_t probe = 0; probe < n; ++probe) {
+      const std::uint32_t ci =
+          static_cast<std::uint32_t>((util::mix64(seed) + probe) % n);
+      Chunk* chunk = chunk_at(ci);
+      if (chunk == nullptr || !chunk->dynamic) continue;
+      if (chunk->free_count.load(std::memory_order_relaxed) == 0) continue;
+      // Scan bitmap words from a seed-dependent start.
+      const std::uint32_t w0 = static_cast<std::uint32_t>(
+          util::mix64(seed * 0x9E3779B9u + probe) % kBitmapWords);
+      for (std::uint32_t dw = 0; dw < kBitmapWords; ++dw) {
+        const std::uint32_t w = (w0 + dw) % kBitmapWords;
+        std::uint64_t bits = chunk->bitmap[w].load(std::memory_order_relaxed);
+        while (bits != ~std::uint64_t{0}) {
+          const int bit = std::countr_one(bits);
+          const std::uint64_t mask = std::uint64_t{1} << bit;
+          const std::uint64_t prev =
+              chunk->bitmap[w].fetch_or(mask, std::memory_order_acq_rel);
+          if ((prev & mask) == 0) {
+            chunk->free_count.fetch_sub(1, std::memory_order_relaxed);
+            const std::uint32_t slot = w * 64 + static_cast<std::uint32_t>(bit);
+            Slab& slab = chunk->slabs[slot];
+            for (int word = 0; word < kWordsPerSlab; ++word) {
+              slab.words[word] = fill_word;
+            }
+            dynamic_slabs_.fetch_add(1, std::memory_order_relaxed);
+            return (ci << kOffsetBits) | slot;
+          }
+          bits = prev | mask;
+        }
+      }
+    }
+    // No dynamic chunk had space: grow. Only one grower at a time; others
+    // retry and find the fresh chunk.
+    {
+      std::lock_guard<std::mutex> grow(grow_mutex_);
+      bool has_space = false;
+      const std::uint32_t m = num_chunks_.load(std::memory_order_acquire);
+      for (std::uint32_t i = 0; i < m; ++i) {
+        Chunk* chunk = chunk_at(i);
+        if (chunk && chunk->dynamic &&
+            chunk->free_count.load(std::memory_order_relaxed) > 0) {
+          has_space = true;
+          break;
+        }
+      }
+      if (!has_space) add_chunk(/*dynamic=*/true);
+    }
+  }
+}
+
+void SlabArena::free(SlabHandle handle) {
+  const std::uint32_t ci = handle >> kOffsetBits;
+  const std::uint32_t slot = handle & kOffsetMask;
+  Chunk* chunk = chunk_at(ci);
+  assert(chunk != nullptr && chunk->dynamic && "free of a non-dynamic slab");
+  if (chunk == nullptr || !chunk->dynamic) return;
+  const std::uint64_t mask = std::uint64_t{1} << (slot % 64);
+  const std::uint64_t prev =
+      chunk->bitmap[slot / 64].fetch_and(~mask, std::memory_order_acq_rel);
+  assert((prev & mask) != 0 && "double free");
+  if (prev & mask) {
+    chunk->free_count.fetch_add(1, std::memory_order_relaxed);
+    dynamic_slabs_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+Slab& SlabArena::resolve(SlabHandle handle) const {
+  Chunk* chunk = chunk_at(handle >> kOffsetBits);
+  return chunk->slabs[handle & kOffsetMask];
+}
+
+bool SlabArena::is_dynamic(SlabHandle handle) const {
+  Chunk* chunk = chunk_at(handle >> kOffsetBits);
+  return chunk != nullptr && chunk->dynamic;
+}
+
+ArenaStats SlabArena::stats() const {
+  ArenaStats s;
+  s.bulk_slabs = bulk_slabs_.load(std::memory_order_relaxed);
+  s.dynamic_slabs = dynamic_slabs_.load(std::memory_order_relaxed);
+  s.reserved_slabs =
+      static_cast<std::uint64_t>(num_chunks_.load(std::memory_order_relaxed)) *
+      kChunkSlabs;
+  return s;
+}
+
+}  // namespace sg::memory

@@ -1,0 +1,108 @@
+// SlabArena: the memory manager of paper §IV-A, standing in for SlabAlloc.
+//
+// All hash-table storage is made of 128-byte slabs (32 x uint32 words).
+// Two allocation paths mirror the paper exactly:
+//
+//  * Bulk contiguous allocation — the graph statically allocates all *base*
+//    slabs (one per hash-table bucket) "in bulk ... more desirable than
+//    requiring each hash table to independently allocate a small number of
+//    buckets with different cudaMalloc calls". Bulk slabs are bump-allocated
+//    and never individually reclaimed ("statically allocated memory is not
+//    reclaimed", §IV-D2).
+//
+//  * Dynamic single-slab allocation — collision-resolution slabs appended to
+//    a bucket's linked list. These come from super blocks with an atomic
+//    occupancy bitmap (the SlabAlloc scheme) and are freed when a vertex is
+//    deleted.
+//
+// Slabs are addressed by 32-bit handles (like SlabAlloc's 32-bit slab
+// addresses): handle = chunk_index << 13 | slot. Handle resolution is two
+// dependent loads, lock-free, and safe under concurrent allocation.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+namespace sg::memory {
+
+/// 32-bit slab address; kNullSlab terminates bucket chains.
+using SlabHandle = std::uint32_t;
+inline constexpr SlabHandle kNullSlab = 0xFFFFFFFFu;
+
+inline constexpr int kWordsPerSlab = 32;
+
+/// A 128-byte slab, the unit of all adjacency-list storage.
+struct alignas(128) Slab {
+  std::uint32_t words[kWordsPerSlab];
+};
+static_assert(sizeof(Slab) == 128);
+
+struct ArenaStats {
+  std::uint64_t bulk_slabs = 0;       ///< base slabs handed out (never freed)
+  std::uint64_t dynamic_slabs = 0;    ///< collision slabs currently live
+  std::uint64_t reserved_slabs = 0;   ///< total slab capacity backed by memory
+  std::uint64_t bytes_reserved() const { return reserved_slabs * sizeof(Slab); }
+  std::uint64_t bytes_in_use() const {
+    return (bulk_slabs + dynamic_slabs) * sizeof(Slab);
+  }
+};
+
+class SlabArena {
+ public:
+  /// Slabs per super block (chunk): 8192 slabs = 1 MiB. Also the upper
+  /// bound on one contiguous (base-slab) allocation.
+  static constexpr std::uint32_t kChunkSlabs = 1u << 13;
+  static constexpr std::uint32_t kMaxChunks = 1u << 15;  ///< 32 GiB addressable
+
+  SlabArena();
+  ~SlabArena();
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Bump-allocates `count` consecutive slabs (count <= kChunkSlabs) and
+  /// returns the handle of the first; handles h .. h+count-1 are valid.
+  /// Slabs are zero-initialized with `fill_word` in every word.
+  /// Thread-safe but intended for (phase-serial) build/insert-vertex paths.
+  SlabHandle allocate_contiguous(std::uint32_t count, std::uint32_t fill_word);
+
+  /// Allocates one dynamic slab (collision slab), words filled with
+  /// `fill_word`. `seed` spreads concurrent allocators over super blocks,
+  /// mirroring SlabAlloc's per-warp super-block hashing. Thread-safe.
+  SlabHandle allocate(std::uint32_t fill_word, std::uint32_t seed = 0);
+
+  /// Returns a dynamic slab to the arena. Freeing a bulk slab is invalid
+  /// (asserts in debug builds); the paper never reclaims base slabs.
+  void free(SlabHandle handle);
+
+  /// Handle -> storage. Valid for any live handle; lock-free.
+  Slab& resolve(SlabHandle handle) const;
+
+  ArenaStats stats() const;
+
+  /// True if `handle` addresses a dynamic (freeable) slab.
+  bool is_dynamic(SlabHandle handle) const;
+
+ private:
+  struct Chunk;
+
+  Chunk* chunk_at(std::uint32_t index) const;
+  std::uint32_t add_chunk(bool dynamic);  // returns chunk index
+
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::atomic<std::uint32_t> num_chunks_{0};
+
+  // Bulk (base-slab) bump state.
+  std::mutex bulk_mutex_;
+  std::uint32_t bulk_chunk_ = 0;       // current bulk chunk index
+  std::uint32_t bulk_cursor_ = kChunkSlabs;  // next free slot in bulk chunk
+
+  // Dynamic allocation state.
+  std::mutex grow_mutex_;
+  std::atomic<std::uint64_t> bulk_slabs_{0};
+  std::atomic<std::uint64_t> dynamic_slabs_{0};
+};
+
+}  // namespace sg::memory

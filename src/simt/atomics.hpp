@@ -1,0 +1,79 @@
+// Device-atomic substitutes. CUDA's atomicCAS/atomicAdd/atomicExch on
+// global memory words become std::atomic_ref operations on plain arrays,
+// so the slab protocols (slot claiming, tombstoning, next-pointer splicing,
+// work-queue counters) run under real multi-thread contention.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sg::simt {
+
+template <typename T>
+inline T atomic_load(const T& word) noexcept {
+  return std::atomic_ref<const T>(word).load(std::memory_order_acquire);
+}
+
+template <typename T>
+inline void atomic_store(T& word, T value) noexcept {
+  std::atomic_ref<T>(word).store(value, std::memory_order_release);
+}
+
+/// CUDA atomicCAS semantics: returns the value observed before the
+/// operation; the swap succeeded iff the return value equals `expected`.
+template <typename T>
+inline T atomic_cas(T& word, T expected, T desired) noexcept {
+  std::atomic_ref<T> ref(word);
+  ref.compare_exchange_strong(expected, desired, std::memory_order_acq_rel,
+                              std::memory_order_acquire);
+  return expected;  // updated to the observed value on failure
+}
+
+template <typename T>
+inline T atomic_add(T& word, T delta) noexcept {
+  return std::atomic_ref<T>(word).fetch_add(delta, std::memory_order_acq_rel);
+}
+
+template <typename T>
+inline T atomic_sub(T& word, T delta) noexcept {
+  return std::atomic_ref<T>(word).fetch_sub(delta, std::memory_order_acq_rel);
+}
+
+template <typename T>
+inline T atomic_exch(T& word, T value) noexcept {
+  return std::atomic_ref<T>(word).exchange(value, std::memory_order_acq_rel);
+}
+
+template <typename T>
+inline T atomic_or(T& word, T bits) noexcept {
+  return std::atomic_ref<T>(word).fetch_or(bits, std::memory_order_acq_rel);
+}
+
+template <typename T>
+inline T atomic_and(T& word, T bits) noexcept {
+  return std::atomic_ref<T>(word).fetch_and(bits, std::memory_order_acq_rel);
+}
+
+template <typename T>
+inline T atomic_min(T& word, T value) noexcept {
+  std::atomic_ref<T> ref(word);
+  T cur = ref.load(std::memory_order_acquire);
+  while (value < cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+  }
+  return cur;
+}
+
+template <typename T>
+inline T atomic_max(T& word, T value) noexcept {
+  std::atomic_ref<T> ref(word);
+  T cur = ref.load(std::memory_order_acquire);
+  while (value > cur &&
+         !ref.compare_exchange_weak(cur, value, std::memory_order_acq_rel,
+                                    std::memory_order_acquire)) {
+  }
+  return cur;
+}
+
+}  // namespace sg::simt

@@ -1,0 +1,58 @@
+#include "src/simt/grid.hpp"
+
+namespace sg::simt {
+
+namespace {
+
+WarpId make_warp_id(std::uint32_t warp, std::uint64_t num_items) {
+  WarpId id;
+  id.warp = warp;
+  id.first_item = static_cast<std::uint64_t>(warp) * kWarpSize;
+  const std::uint64_t remaining =
+      num_items > id.first_item ? num_items - id.first_item : 0;
+  id.active = lanemask_below(
+      remaining >= kWarpSize ? kWarpSize : static_cast<int>(remaining));
+  return id;
+}
+
+}  // namespace
+
+void launch(std::uint64_t num_items, const WarpKernel& kernel,
+            const LaunchConfig& config) {
+  if (num_items == 0) return;
+  const std::uint32_t num_warps = warps_for(num_items);
+  if (config.serial) {
+    for (std::uint32_t w = 0; w < num_warps; ++w) kernel(make_warp_id(w, num_items));
+    return;
+  }
+  const std::uint32_t per_chunk = config.warps_per_chunk ? config.warps_per_chunk : 1;
+  const std::uint64_t num_chunks = (num_warps + per_chunk - 1) / per_chunk;
+  ThreadPool::instance().parallel_for(num_chunks, [&](std::uint64_t chunk) {
+    const std::uint32_t first = static_cast<std::uint32_t>(chunk) * per_chunk;
+    const std::uint32_t last =
+        first + per_chunk < num_warps ? first + per_chunk : num_warps;
+    for (std::uint32_t w = first; w < last; ++w) kernel(make_warp_id(w, num_items));
+  });
+}
+
+void launch_warps(std::uint32_t num_warps, const WarpKernel& kernel,
+                  const LaunchConfig& config) {
+  if (num_warps == 0) return;
+  if (config.serial) {
+    for (std::uint32_t w = 0; w < num_warps; ++w) {
+      WarpId id;
+      id.warp = w;
+      id.first_item = static_cast<std::uint64_t>(w) * kWarpSize;
+      kernel(id);
+    }
+    return;
+  }
+  ThreadPool::instance().parallel_for(num_warps, [&](std::uint64_t w) {
+    WarpId id;
+    id.warp = static_cast<std::uint32_t>(w);
+    id.first_item = w * kWarpSize;
+    kernel(id);
+  });
+}
+
+}  // namespace sg::simt

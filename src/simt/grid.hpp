@@ -1,0 +1,43 @@
+// Grid launch: the CUDA kernel-launch substitute. A launch over N work
+// items creates ceil(N/32) warps; each warp runs the user's warp-kernel
+// with a WarpId describing which items its lanes carry. Warps are batched
+// into chunks to amortize scheduling overhead and dispatched onto the
+// shared ThreadPool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/simt/thread_pool.hpp"
+#include "src/simt/warp.hpp"
+
+namespace sg::simt {
+
+/// A warp kernel receives the identity of the warp it runs as; per-lane
+/// work-item indices come from WarpId::item(lane).
+using WarpKernel = std::function<void(const WarpId&)>;
+
+struct LaunchConfig {
+  /// Warps per scheduling chunk. Larger values lower scheduling overhead;
+  /// smaller values improve balance for irregular kernels (Algorithm 2).
+  std::uint32_t warps_per_chunk = 16;
+  /// Run serially on the calling thread (deterministic debugging).
+  bool serial = false;
+};
+
+/// Launch a warp-kernel over `num_items` work items (one item per lane).
+void launch(std::uint64_t num_items, const WarpKernel& kernel,
+            const LaunchConfig& config = {});
+
+/// Launch exactly `num_warps` full warps; used by persistent-kernel-style
+/// code (Algorithm 2's vertex-deletion queue) where lanes pull work from a
+/// shared queue rather than being preassigned items.
+void launch_warps(std::uint32_t num_warps, const WarpKernel& kernel,
+                  const LaunchConfig& config = {});
+
+/// Number of warps needed for `num_items` items.
+constexpr std::uint32_t warps_for(std::uint64_t num_items) noexcept {
+  return static_cast<std::uint32_t>((num_items + kWarpSize - 1) / kWarpSize);
+}
+
+}  // namespace sg::simt

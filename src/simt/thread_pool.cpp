@@ -1,0 +1,117 @@
+#include "src/simt/thread_pool.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace sg::simt {
+
+struct ThreadPool::Job {
+  std::uint64_t num_chunks = 0;
+  const std::function<void(std::uint64_t)>* fn = nullptr;
+  std::atomic<std::uint64_t> cursor{0};
+  std::atomic<unsigned> workers_active{0};
+  std::exception_ptr error;
+  std::mutex error_mutex;
+
+  void run_chunks() {
+    std::uint64_t i;
+    while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) < num_chunks) {
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+        // Drain remaining chunks so the job terminates promptly.
+        cursor.store(num_chunks, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+unsigned ThreadPool::default_thread_count() {
+  if (const char* env = std::getenv("SG_THREADS")) {
+    const long n = std::strtol(env, nullptr, 10);
+    if (n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(unsigned num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  // A 1-thread pool runs jobs inline on the submitting thread: on
+  // single-core hosts cross-thread handoff only adds scheduler stalls.
+  if (num_threads <= 1) return;
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_work_.wait(lock, [this] { return shutdown_ || job_ != nullptr; });
+      if (shutdown_) return;
+      job = job_;
+      job->workers_active.fetch_add(1, std::memory_order_relaxed);
+    }
+    job->run_chunks();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (job == job_ &&
+          job->cursor.load(std::memory_order_relaxed) >= job->num_chunks) {
+        // This job has no more work to hand out; wake the submitter, which
+        // is also draining chunks and will observe completion.
+      }
+      job->workers_active.fetch_sub(1, std::memory_order_relaxed);
+    }
+    cv_done_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(std::uint64_t num_chunks,
+                              const std::function<void(std::uint64_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (workers_.empty()) {
+    for (std::uint64_t i = 0; i < num_chunks; ++i) fn(i);
+    return;
+  }
+  Job job;
+  job.num_chunks = num_chunks;
+  job.fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+  }
+  cv_work_.notify_all();
+  // The submitting thread participates too (it would otherwise idle).
+  job.run_chunks();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&job] {
+      return job.workers_active.load(std::memory_order_relaxed) == 0;
+    });
+    job_ = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace sg::simt

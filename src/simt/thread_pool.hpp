@@ -1,0 +1,52 @@
+// Fixed thread pool that plays the role of the GPU's SM array: warps are
+// distributed over worker threads, so warps on different threads are truly
+// concurrent (the phase-concurrent races the paper's protocols must
+// tolerate are real here, not simulated).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sg::simt {
+
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects the environment default: SG_THREADS if set,
+  /// otherwise max(2, hardware_concurrency) so concurrency is exercised
+  /// even on single-core hosts.
+  explicit ThreadPool(unsigned num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Runs fn(chunk_index) for chunk_index in [0, num_chunks), distributing
+  /// chunks over the pool with a shared atomic cursor; blocks until all
+  /// chunks complete. Exceptions from fn propagate (first one wins).
+  void parallel_for(std::uint64_t num_chunks,
+                    const std::function<void(std::uint64_t)>& fn);
+
+  /// Process-wide pool shared by all grid launches.
+  static ThreadPool& instance();
+
+  static unsigned default_thread_count();
+
+ private:
+  struct Job;
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  Job* job_ = nullptr;  // current job, guarded by mutex_
+  bool shutdown_ = false;
+};
+
+}  // namespace sg::simt

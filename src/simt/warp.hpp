@@ -1,0 +1,80 @@
+// SIMT warp model — the CPU substitute for CUDA's warp-level execution.
+//
+// The paper's algorithms (edge insertion, Algorithm 1; vertex deletion,
+// Algorithm 2; every SlabHash operation) are written in the Warp
+// Cooperative Work Sharing (WCWS) style: each of the 32 lanes carries an
+// independent task, and the warp repeatedly elects one lane's task (ballot
+// + find-first-set), broadcasts it (shuffle), and executes it cooperatively
+// with all 32 lanes touching consecutive words of a 128-byte slab.
+//
+// On the host we model a warp as 32 lanes evaluated in lockstep: a
+// "per-lane value" is a LaneArray<T> (one slot per lane), and the CUDA
+// intrinsics map to:
+//   __ballot_sync  -> ballot(lane predicates)      (uint32 mask)
+//   __shfl_sync    -> shuffle(lane values, src)    (broadcast)
+//   __popc         -> popc(mask)
+//   __ffs          -> ffs(mask)
+// Divergence inside warp-cooperative code is expressed with explicit
+// active masks, exactly as the CUDA code does with __activemask().
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+
+namespace sg::simt {
+
+inline constexpr int kWarpSize = 32;
+inline constexpr std::uint32_t kFullMask = 0xFFFFFFFFu;
+
+/// One value per lane of a warp.
+template <typename T>
+using LaneArray = std::array<T, kWarpSize>;
+
+/// Mask with bit i set for every lane i < n (n may be 32).
+constexpr std::uint32_t lanemask_below(int n) noexcept {
+  return n >= kWarpSize ? kFullMask : ((1u << n) - 1u);
+}
+
+/// __ballot_sync: bit i of the result is lane i's predicate, restricted to
+/// the active mask (inactive lanes contribute 0).
+constexpr std::uint32_t ballot(const LaneArray<bool>& pred,
+                               std::uint32_t active = kFullMask) noexcept {
+  std::uint32_t mask = 0;
+  for (int lane = 0; lane < kWarpSize; ++lane) {
+    if ((active >> lane) & 1u) mask |= static_cast<std::uint32_t>(pred[lane]) << lane;
+  }
+  return mask;
+}
+
+/// __shfl_sync broadcast: every lane reads src_lane's value.
+template <typename T>
+constexpr T shuffle(const LaneArray<T>& values, int src_lane) noexcept {
+  return values[src_lane & (kWarpSize - 1)];
+}
+
+/// __popc.
+constexpr int popc(std::uint32_t mask) noexcept { return std::popcount(mask); }
+
+/// __ffs: 1-based index of the least significant set bit; 0 if mask == 0.
+constexpr int ffs(std::uint32_t mask) noexcept {
+  return mask == 0 ? 0 : std::countr_zero(mask) + 1;
+}
+
+/// Identity of one warp inside a grid launch; `active` has a bit set for
+/// every lane that carries a real work item (the last warp of a launch may
+/// be partially populated).
+struct WarpId {
+  std::uint32_t warp = 0;          ///< warp index within the grid
+  std::uint64_t first_item = 0;    ///< global index of lane 0's work item
+  std::uint32_t active = kFullMask;
+
+  /// Global work-item index carried by `lane`.
+  std::uint64_t item(int lane) const noexcept {
+    return first_item + static_cast<std::uint64_t>(lane);
+  }
+  bool lane_active(int lane) const noexcept { return (active >> lane) & 1u; }
+  int active_count() const noexcept { return popc(active); }
+};
+
+}  // namespace sg::simt

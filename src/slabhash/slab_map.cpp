@@ -1,0 +1,223 @@
+#include "src/slabhash/slab_map.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "src/simt/atomics.hpp"
+
+namespace sg::slabhash {
+
+using memory::kNullSlab;
+using memory::Slab;
+using memory::SlabHandle;
+using simt::atomic_cas;
+using simt::atomic_load;
+using simt::atomic_store;
+
+namespace {
+
+/// Appends a fresh slab after `slab` if it has no successor; returns the
+/// successor either way. Losing the publication race frees the new slab and
+/// follows the winner, exactly as slab hash does on the GPU.
+SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
+                        std::uint32_t alloc_seed) {
+  const SlabHandle fresh = arena.allocate(kEmptyKey, alloc_seed);
+  // A fresh slab is all kEmptyKey; kEmptyKey == kNullSlab, so its next
+  // pointer is already "null".
+  const std::uint32_t observed =
+      atomic_cas(slab.words[kNextPtrWord], kNullSlab, fresh);
+  if (observed == kNullSlab) return fresh;
+  arena.free(fresh);
+  return observed;
+}
+
+}  // namespace
+
+bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                 std::uint32_t value, std::uint64_t seed,
+                 std::uint32_t alloc_seed) {
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  for (;;) {
+    Slab& slab = arena.resolve(handle);
+    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+      const int key_word = pair * 2;
+      std::uint32_t k = atomic_load(slab.words[key_word]);
+      if (k == key) {
+        atomic_store(slab.words[key_word + 1], value);
+        return false;
+      }
+      if (k == kTombstoneKey) continue;  // never reused by insertion
+      if (k == kEmptyKey) {
+        const std::uint32_t observed =
+            atomic_cas(slab.words[key_word], kEmptyKey, key);
+        if (observed == kEmptyKey) {
+          atomic_store(slab.words[key_word + 1], value);
+          return true;
+        }
+        if (observed == key) {  // lost the race to an identical key
+          atomic_store(slab.words[key_word + 1], value);
+          return false;
+        }
+        // A different key claimed the slot; fall through to the next slot.
+      }
+    }
+    SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+    if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
+    handle = next;
+  }
+}
+
+bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed) {
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  while (handle != kNullSlab) {
+    Slab& slab = arena.resolve(handle);
+    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+      const int key_word = pair * 2;
+      const std::uint32_t k = atomic_load(slab.words[key_word]);
+      if (k == key) {
+        // CAS (not a plain store) so two warps deleting the same key only
+        // decrement the edge counter once.
+        return atomic_cas(slab.words[key_word], key, kTombstoneKey) == key;
+      }
+      if (k == kEmptyKey) return false;  // empties only at the tail
+    }
+    handle = atomic_load(slab.words[kNextPtrWord]);
+  }
+  return false;
+}
+
+MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
+                         std::uint32_t key, std::uint64_t seed) {
+  // Query-phase scan; see set_contains for the warp-parallel-compare
+  // rationale behind the snapshot + plain loop.
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  while (handle != kNullSlab) {
+    std::uint32_t words[memory::kWordsPerSlab];
+    std::memcpy(words, arena.resolve(handle).words, sizeof(words));
+    int hit_pair = -1;
+    bool open = false;
+    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+      if (words[pair * 2] == key) hit_pair = pair;
+      open |= words[pair * 2] == kEmptyKey;
+    }
+    if (hit_pair >= 0) return {true, words[hit_pair * 2 + 1]};
+    if (open) return {};
+    handle = words[kNextPtrWord];
+  }
+  return {};
+}
+
+void map_for_each(const memory::SlabArena& arena, TableRef table,
+                  const std::function<void(std::uint32_t, std::uint32_t)>& fn) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    SlabHandle handle = table.bucket_head(b);
+    while (handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+        const std::uint32_t k = atomic_load(slab.words[pair * 2]);
+        if (k == kEmptyKey) break;  // empties only at the slab tail
+        if (k == kTombstoneKey) continue;
+        fn(k, atomic_load(slab.words[pair * 2 + 1]));
+      }
+      handle = atomic_load(slab.words[kNextPtrWord]);
+    }
+  }
+}
+
+TableOccupancy map_occupancy(const memory::SlabArena& arena, TableRef table) {
+  TableOccupancy occ;
+  occ.base_slabs = table.num_buckets;
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    SlabHandle handle = table.bucket_head(b);
+    bool base = true;
+    while (handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      if (!base) ++occ.overflow_slabs;
+      occ.slots += kMapPairsPerSlab;
+      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+        const std::uint32_t k = slab.words[pair * 2];
+        if (k == kTombstoneKey) {
+          ++occ.tombstones;
+        } else if (k != kEmptyKey) {
+          ++occ.live_keys;
+        }
+      }
+      handle = slab.words[kNextPtrWord];
+      base = false;
+    }
+  }
+  return occ;
+}
+
+void map_flush_tombstones(memory::SlabArena& arena, TableRef table) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    // Collect live pairs of this bucket chain, then rewrite the chain
+    // densely and free overflow slabs that became empty.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> live;
+    std::vector<SlabHandle> chain;
+    SlabHandle handle = table.bucket_head(b);
+    while (handle != kNullSlab) {
+      chain.push_back(handle);
+      const Slab& slab = arena.resolve(handle);
+      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+        const std::uint32_t k = slab.words[pair * 2];
+        if (k != kEmptyKey && k != kTombstoneKey) {
+          live.emplace_back(k, slab.words[pair * 2 + 1]);
+        }
+      }
+      handle = slab.words[kNextPtrWord];
+    }
+    std::size_t cursor = 0;
+    std::size_t keep_slabs = 0;
+    for (std::size_t s = 0; s < chain.size(); ++s) {
+      Slab& slab = arena.resolve(chain[s]);
+      bool any = false;
+      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+        if (cursor < live.size()) {
+          slab.words[pair * 2] = live[cursor].first;
+          slab.words[pair * 2 + 1] = live[cursor].second;
+          ++cursor;
+          any = true;
+        } else {
+          slab.words[pair * 2] = kEmptyKey;
+          slab.words[pair * 2 + 1] = kEmptyKey;
+        }
+      }
+      if (any || s == 0) keep_slabs = s + 1;
+    }
+    // Detach and free overflow slabs past the last one still in use.
+    if (!chain.empty()) {
+      Slab& last_kept = arena.resolve(chain[keep_slabs - 1]);
+      last_kept.words[kNextPtrWord] = kNullSlab;
+      for (std::size_t s = keep_slabs; s < chain.size(); ++s) {
+        arena.free(chain[s]);
+      }
+    }
+  }
+}
+
+void map_clear(memory::SlabArena& arena, TableRef table) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    Slab& head = arena.resolve(table.bucket_head(b));
+    SlabHandle overflow = head.words[kNextPtrWord];
+    while (overflow != kNullSlab) {
+      const SlabHandle next = arena.resolve(overflow).words[kNextPtrWord];
+      arena.free(overflow);
+      overflow = next;
+    }
+    for (int w = 0; w < memory::kWordsPerSlab; ++w) head.words[w] = kEmptyKey;
+  }
+}
+
+SlabHashMap::SlabHashMap(memory::SlabArena& arena, std::uint32_t num_buckets,
+                         std::uint64_t seed)
+    : arena_(&arena), seed_(seed) {
+  table_.num_buckets = num_buckets == 0 ? 1 : num_buckets;
+  table_.base = arena.allocate_contiguous(table_.num_buckets, kEmptyKey);
+}
+
+}  // namespace sg::slabhash

@@ -1,0 +1,94 @@
+// SlabHash concurrent map: <uint32 key, uint32 value> pairs, 15 per slab.
+// This is the weighted-edge adjacency store ("use the map variant if
+// storing a value per edge is required", §IV).
+//
+// Operations follow the paper's semantics:
+//   * replace  — inserts key uniquely; if present, overwrites the value
+//                ("most recent edge and its weight will be stored") and
+//                returns false; if absent, claims the first EMPTY slot
+//                (never a tombstone) and returns true. The boolean return
+//                feeds the per-vertex edge counters (Alg. 1 lines 8-10).
+//   * erase    — tombstones the key (CAS key -> TOMBSTONE); returns whether
+//                the key was present, feeding the counter decrement.
+//   * search   — walks the bucket chain; may stop at the first EMPTY slot
+//                thanks to the empties-at-the-tail invariant.
+//   * flush_tombstones — the documented alternative strategy (§IV-C2):
+//                compacts live pairs to the chain head, trading insertion
+//                throughput for memory. Phase-serial.
+//
+// All functions are safe under concurrent same-phase mutation (insert phase
+// or delete phase), which is the paper's phase-concurrent model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "src/slabhash/slab_layout.hpp"
+
+namespace sg::slabhash {
+
+struct MapFindResult {
+  bool found = false;
+  std::uint32_t value = 0;
+};
+
+/// Inserts or overwrites <key, value>; returns true iff the key was new.
+/// `seed` selects the table's hash function; `alloc_seed` spreads dynamic
+/// slab allocations (pass a warp id or thread id).
+bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                 std::uint32_t value, std::uint64_t seed,
+                 std::uint32_t alloc_seed = 0);
+
+/// Tombstones `key`; returns true iff it was present (and live).
+bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed);
+
+/// Point lookup.
+MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
+                         std::uint32_t key, std::uint64_t seed);
+
+/// Calls fn(key, value) for every live pair. Phase-concurrent with queries.
+void map_for_each(const memory::SlabArena& arena, TableRef table,
+                  const std::function<void(std::uint32_t, std::uint32_t)>& fn);
+
+/// Occupancy statistics (Figure 2b/2c inputs).
+TableOccupancy map_occupancy(const memory::SlabArena& arena, TableRef table);
+
+/// Compacts each bucket chain in-place: live pairs move toward the chain
+/// head, tombstones vanish, and emptied overflow slabs are freed. Must not
+/// run concurrently with any other operation on `table`.
+void map_flush_tombstones(memory::SlabArena& arena, TableRef table);
+
+/// Frees every overflow (dynamic) slab of the table and resets base slabs
+/// to EMPTY. Used by vertex deletion (§IV-D2). Phase-serial per table.
+void map_clear(memory::SlabArena& arena, TableRef table);
+
+/// Owning convenience wrapper used by unit tests and micro-benchmarks; the
+/// graph itself manages TableRefs directly through its vertex dictionary.
+class SlabHashMap {
+ public:
+  SlabHashMap(memory::SlabArena& arena, std::uint32_t num_buckets,
+              std::uint64_t seed = 0x5EEDULL);
+
+  bool replace(std::uint32_t key, std::uint32_t value) {
+    return map_replace(*arena_, table_, key, value, seed_);
+  }
+  bool erase(std::uint32_t key) { return map_erase(*arena_, table_, key, seed_); }
+  MapFindResult search(std::uint32_t key) const {
+    return map_search(*arena_, table_, key, seed_);
+  }
+  void for_each(const std::function<void(std::uint32_t, std::uint32_t)>& fn) const {
+    map_for_each(*arena_, table_, fn);
+  }
+  TableOccupancy occupancy() const { return map_occupancy(*arena_, table_); }
+  void flush_tombstones() { map_flush_tombstones(*arena_, table_); }
+  TableRef table() const { return table_; }
+
+ private:
+  memory::SlabArena* arena_;
+  TableRef table_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sg::slabhash

@@ -1,0 +1,190 @@
+#include "src/slabhash/slab_set.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include "src/simt/atomics.hpp"
+
+namespace sg::slabhash {
+
+using memory::kNullSlab;
+using memory::Slab;
+using memory::SlabHandle;
+using simt::atomic_cas;
+using simt::atomic_load;
+
+namespace {
+
+SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
+                        std::uint32_t alloc_seed) {
+  const SlabHandle fresh = arena.allocate(kEmptyKey, alloc_seed);
+  const std::uint32_t observed =
+      atomic_cas(slab.words[kNextPtrWord], kNullSlab, fresh);
+  if (observed == kNullSlab) return fresh;
+  arena.free(fresh);
+  return observed;
+}
+
+}  // namespace
+
+bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                std::uint64_t seed, std::uint32_t alloc_seed) {
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  for (;;) {
+    Slab& slab = arena.resolve(handle);
+    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+      const std::uint32_t k = atomic_load(slab.words[slot]);
+      if (k == key) return false;  // already present
+      if (k == kTombstoneKey) continue;
+      if (k == kEmptyKey) {
+        const std::uint32_t observed = atomic_cas(slab.words[slot], kEmptyKey, key);
+        if (observed == kEmptyKey) return true;
+        if (observed == key) return false;
+        // A different key won the slot; keep scanning.
+      }
+    }
+    SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+    if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
+    handle = next;
+  }
+}
+
+bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed) {
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  while (handle != kNullSlab) {
+    Slab& slab = arena.resolve(handle);
+    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+      const std::uint32_t k = atomic_load(slab.words[slot]);
+      if (k == key) return atomic_cas(slab.words[slot], key, kTombstoneKey) == key;
+      if (k == kEmptyKey) return false;
+    }
+    handle = atomic_load(slab.words[kNextPtrWord]);
+  }
+  return false;
+}
+
+bool set_contains(const memory::SlabArena& arena, TableRef table,
+                  std::uint32_t key, std::uint64_t seed) {
+  // Query-phase scan: a GPU warp compares all 32 slab words in one step, so
+  // the host analog snapshots the slab (plain, vectorizable loads — safe
+  // under the phase-concurrent model) and compares without per-word atomics.
+  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+  SlabHandle handle = table.bucket_head(bucket);
+  while (handle != kNullSlab) {
+    std::uint32_t words[memory::kWordsPerSlab];
+    std::memcpy(words, arena.resolve(handle).words, sizeof(words));
+    bool hit = false;
+    bool open = false;  // an EMPTY slot => the key cannot be further along
+    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+      hit |= words[slot] == key;
+      open |= words[slot] == kEmptyKey;
+    }
+    if (hit) return true;
+    if (open) return false;
+    handle = words[kNextPtrWord];
+  }
+  return false;
+}
+
+void set_for_each(const memory::SlabArena& arena, TableRef table,
+                  const std::function<void(std::uint32_t)>& fn) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    SlabHandle handle = table.bucket_head(b);
+    while (handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+        const std::uint32_t k = atomic_load(slab.words[slot]);
+        if (k == kEmptyKey) break;  // empties only at the slab tail
+        if (k != kTombstoneKey) fn(k);
+      }
+      handle = atomic_load(slab.words[kNextPtrWord]);
+    }
+  }
+}
+
+TableOccupancy set_occupancy(const memory::SlabArena& arena, TableRef table) {
+  TableOccupancy occ;
+  occ.base_slabs = table.num_buckets;
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    SlabHandle handle = table.bucket_head(b);
+    bool base = true;
+    while (handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      if (!base) ++occ.overflow_slabs;
+      occ.slots += kSetKeysPerSlab;
+      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+        const std::uint32_t k = slab.words[slot];
+        if (k == kTombstoneKey) {
+          ++occ.tombstones;
+        } else if (k != kEmptyKey) {
+          ++occ.live_keys;
+        }
+      }
+      handle = slab.words[kNextPtrWord];
+      base = false;
+    }
+  }
+  return occ;
+}
+
+void set_flush_tombstones(memory::SlabArena& arena, TableRef table) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    std::vector<std::uint32_t> live;
+    std::vector<SlabHandle> chain;
+    SlabHandle handle = table.bucket_head(b);
+    while (handle != kNullSlab) {
+      chain.push_back(handle);
+      const Slab& slab = arena.resolve(handle);
+      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+        const std::uint32_t k = slab.words[slot];
+        if (k != kEmptyKey && k != kTombstoneKey) live.push_back(k);
+      }
+      handle = slab.words[kNextPtrWord];
+    }
+    std::size_t cursor = 0;
+    std::size_t keep_slabs = 0;
+    for (std::size_t s = 0; s < chain.size(); ++s) {
+      Slab& slab = arena.resolve(chain[s]);
+      bool any = false;
+      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
+        if (cursor < live.size()) {
+          slab.words[slot] = live[cursor++];
+          any = true;
+        } else {
+          slab.words[slot] = kEmptyKey;
+        }
+      }
+      if (any || s == 0) keep_slabs = s + 1;
+    }
+    if (!chain.empty()) {
+      Slab& last_kept = arena.resolve(chain[keep_slabs - 1]);
+      last_kept.words[kNextPtrWord] = kNullSlab;
+      for (std::size_t s = keep_slabs; s < chain.size(); ++s) arena.free(chain[s]);
+    }
+  }
+}
+
+void set_clear(memory::SlabArena& arena, TableRef table) {
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    Slab& head = arena.resolve(table.bucket_head(b));
+    SlabHandle overflow = head.words[kNextPtrWord];
+    while (overflow != kNullSlab) {
+      const SlabHandle next = arena.resolve(overflow).words[kNextPtrWord];
+      arena.free(overflow);
+      overflow = next;
+    }
+    for (int w = 0; w < memory::kWordsPerSlab; ++w) head.words[w] = kEmptyKey;
+  }
+}
+
+SlabHashSet::SlabHashSet(memory::SlabArena& arena, std::uint32_t num_buckets,
+                         std::uint64_t seed)
+    : arena_(&arena), seed_(seed) {
+  table_.num_buckets = num_buckets == 0 ? 1 : num_buckets;
+  table_.base = arena.allocate_contiguous(table_.num_buckets, kEmptyKey);
+}
+
+}  // namespace sg::slabhash

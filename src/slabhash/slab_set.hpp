@@ -1,0 +1,64 @@
+// SlabHash concurrent set: uint32 keys only, 30 per slab — the new set
+// variant the paper adds to slab hash ("keys only, and no values",
+// footnote 5). Used when edge values are not required, e.g. triangle
+// counting (§VI-C). Same uniqueness / tombstone semantics as the map.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/slabhash/slab_layout.hpp"
+
+namespace sg::slabhash {
+
+/// Inserts `key` uniquely; returns true iff it was new.
+bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                std::uint64_t seed, std::uint32_t alloc_seed = 0);
+
+/// Tombstones `key`; returns true iff it was present (and live).
+bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed);
+
+/// Membership query — the edgeExist primitive of §IV-B.
+bool set_contains(const memory::SlabArena& arena, TableRef table,
+                  std::uint32_t key, std::uint64_t seed);
+
+/// Calls fn(key) for every live key.
+void set_for_each(const memory::SlabArena& arena, TableRef table,
+                  const std::function<void(std::uint32_t)>& fn);
+
+TableOccupancy set_occupancy(const memory::SlabArena& arena, TableRef table);
+
+/// Compaction (tombstone flush); phase-serial per table.
+void set_flush_tombstones(memory::SlabArena& arena, TableRef table);
+
+/// Frees overflow slabs, resets base slabs (vertex deletion support).
+void set_clear(memory::SlabArena& arena, TableRef table);
+
+/// Owning wrapper for tests / micro-benchmarks.
+class SlabHashSet {
+ public:
+  SlabHashSet(memory::SlabArena& arena, std::uint32_t num_buckets,
+              std::uint64_t seed = 0x5EEDULL);
+
+  bool insert(std::uint32_t key) {
+    return set_insert(*arena_, table_, key, seed_);
+  }
+  bool erase(std::uint32_t key) { return set_erase(*arena_, table_, key, seed_); }
+  bool contains(std::uint32_t key) const {
+    return set_contains(*arena_, table_, key, seed_);
+  }
+  void for_each(const std::function<void(std::uint32_t)>& fn) const {
+    set_for_each(*arena_, table_, fn);
+  }
+  TableOccupancy occupancy() const { return set_occupancy(*arena_, table_); }
+  void flush_tombstones() { set_flush_tombstones(*arena_, table_); }
+  TableRef table() const { return table_; }
+
+ private:
+  memory::SlabArena* arena_;
+  TableRef table_;
+  std::uint64_t seed_;
+};
+
+}  // namespace sg::slabhash

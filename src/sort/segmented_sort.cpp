@@ -1,0 +1,52 @@
+#include "src/sort/segmented_sort.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "src/simt/thread_pool.hpp"
+
+namespace sg::sort {
+
+void segmented_sort(std::span<std::uint32_t> values,
+                    std::span<const std::uint64_t> offsets) {
+  if (offsets.size() < 2) return;
+  // Pack (segment index, value) into 64-bit keys and sort globally — the
+  // device-wide strategy CUB uses (pay O(E log E) with a big constant,
+  // independent of how skewed the segment sizes are).
+  std::vector<std::uint64_t> keyed(values.size());
+  const std::size_t num_segments = offsets.size() - 1;
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    for (std::uint64_t i = offsets[s]; i < offsets[s + 1]; ++i) {
+      keyed[i] = (static_cast<std::uint64_t>(s) << 32) | values[i];
+    }
+  }
+  std::sort(keyed.begin(), keyed.end());
+  for (std::size_t i = 0; i < keyed.size(); ++i) {
+    values[i] = static_cast<std::uint32_t>(keyed[i]);
+  }
+}
+
+void per_segment_sort(std::span<std::uint32_t> values,
+                      std::span<const std::uint64_t> offsets) {
+  if (offsets.size() < 2) return;
+  const std::size_t num_segments = offsets.size() - 1;
+  // Parallel over segments; balanced enough for benchmark purposes since
+  // chunks interleave segments.
+  simt::ThreadPool::instance().parallel_for(num_segments, [&](std::uint64_t s) {
+    std::sort(values.begin() + static_cast<std::ptrdiff_t>(offsets[s]),
+              values.begin() + static_cast<std::ptrdiff_t>(offsets[s + 1]));
+  });
+}
+
+bool segments_sorted(std::span<const std::uint32_t> values,
+                     std::span<const std::uint64_t> offsets) {
+  if (offsets.size() < 2) return true;
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    for (std::uint64_t i = offsets[s] + 1; i < offsets[s + 1]; ++i) {
+      if (values[i - 1] > values[i]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sg::sort

@@ -1,0 +1,32 @@
+// Segmented sort — the CUB `DeviceSegmentedRadixSort` substitute used by
+// Table VIII ("Hornet does not provide a GPU sort for their data structure,
+// so we substitute CUB's segmented sort by key").
+//
+// The CUB-style path sorts the *whole* concatenated array by (segment, key)
+// in one global pass — cheap per element but indifferent to segment sizes,
+// which is why it loses badly to per-list sorts on road-like graphs and
+// wins on scale-free ones (the Table VIII crossover).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace sg::sort {
+
+/// Sorts each segment of `values` ascending; segment s spans
+/// [offsets[s], offsets[s+1]). One global (segment, value) radix-style sort,
+/// mirroring CUB's device-wide segmented sort behaviour.
+void segmented_sort(std::span<std::uint32_t> values,
+                    std::span<const std::uint64_t> offsets);
+
+/// Per-segment comparison sort (parallel over segments): the "sort each
+/// adjacency list independently" alternative. Exposed for the ablation in
+/// the sort micro-bench.
+void per_segment_sort(std::span<std::uint32_t> values,
+                      std::span<const std::uint64_t> offsets);
+
+/// True iff every segment is ascending.
+bool segments_sorted(std::span<const std::uint32_t> values,
+                     std::span<const std::uint64_t> offsets);
+
+}  // namespace sg::sort

@@ -1,0 +1,57 @@
+#include "src/util/cli.hpp"
+
+#include <stdexcept>
+
+namespace sg::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("expected --key=value argument, got: " + arg);
+    }
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg.substr(2)] = "1";
+    } else {
+      values_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  queried_[key] = true;
+  return values_.count(key) > 0;
+}
+
+std::string Cli::get(const std::string& key, const std::string& fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double fallback) const {
+  queried_[key] = true;
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : std::stod(it->second);
+}
+
+std::string Cli::unused_keys() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    (void)value;
+    if (!queried_.count(key)) {
+      if (!out.empty()) out += ", ";
+      out += key;
+    }
+  }
+  return out;
+}
+
+}  // namespace sg::util

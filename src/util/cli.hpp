@@ -1,0 +1,31 @@
+// Minimal --key=value command-line parsing for bench binaries and examples.
+// Every bench accepts a --scale flag so the harness can be resized without
+// recompilation; unknown flags are reported rather than silently ignored.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sg::util {
+
+class Cli {
+ public:
+  /// Parses argv of the form --key=value or --flag. Throws std::invalid_argument
+  /// on malformed input (anything not starting with "--").
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+
+  /// Keys that were provided but never queried; used to warn about typos.
+  std::string unused_keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+};
+
+}  // namespace sg::util

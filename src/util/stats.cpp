@@ -1,0 +1,46 @@
+#include "src/util/stats.hpp"
+
+#include <cmath>
+
+namespace sg::util {
+
+void StreamingStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+DegreeStats degree_stats(std::span<const std::uint32_t> degrees) {
+  StreamingStats acc;
+  DegreeStats out;
+  if (degrees.empty()) return out;
+  out.min_degree = degrees[0];
+  out.max_degree = degrees[0];
+  for (std::uint32_t d : degrees) {
+    acc.add(static_cast<double>(d));
+    if (d < out.min_degree) out.min_degree = d;
+    if (d > out.max_degree) out.max_degree = d;
+  }
+  out.avg_degree = acc.mean();
+  out.sigma = acc.stddev();
+  return out;
+}
+
+double mean_of(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace sg::util

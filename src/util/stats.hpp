@@ -1,0 +1,50 @@
+// Streaming statistics accumulator used by dataset generators (degree
+// statistics for the Table I analog) and by the benchmark harness
+// (mean throughput over a dataset suite).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sg::util {
+
+/// Welford-style streaming accumulator: mean, variance, min, max, count.
+class StreamingStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Population variance (matches how Table I reports sigma).
+  double variance() const noexcept { return count_ ? m2_ / static_cast<double>(count_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Degree statistics of a graph given its per-vertex degrees; the format of
+/// Table I (min / max / avg / sigma).
+struct DegreeStats {
+  std::uint64_t min_degree = 0;
+  std::uint64_t max_degree = 0;
+  double avg_degree = 0.0;
+  double sigma = 0.0;
+};
+
+DegreeStats degree_stats(std::span<const std::uint32_t> degrees);
+
+/// Arithmetic mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& xs);
+
+}  // namespace sg::util

@@ -1,0 +1,32 @@
+// Fixed-width console table printer. Every bench binary prints its results
+// in the same row/column layout as the corresponding table in the paper, so
+// the output can be compared side by side with the published numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sg::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; the row is padded/truncated to the header width.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column alignment, a header underline, and a title line.
+  std::string to_string(const std::string& title = "") const;
+
+  /// Convenience: render and write to stdout.
+  void print(const std::string& title = "") const;
+
+  static std::string fmt(double value, int precision = 2);
+  static std::string fmt_int(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sg::util

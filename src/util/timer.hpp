@@ -1,0 +1,34 @@
+// Wall-clock timing for the benchmark harness. Timings follow the paper's
+// methodology: only the operation itself is timed (no host<->device analog
+// transfers, no dataset generation).
+#pragma once
+
+#include <chrono>
+
+namespace sg::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Throughput in mega-items per second, the unit used by Tables II-IV & VI.
+inline double mitems_per_second(double items, double elapsed_seconds) {
+  if (elapsed_seconds <= 0.0) return 0.0;
+  return items / elapsed_seconds / 1e6;
+}
+
+}  // namespace sg::util

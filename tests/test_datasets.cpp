@@ -1,0 +1,212 @@
+// Dataset generator tests: determinism, structural invariants (simple,
+// symmetric graphs), and degree statistics matching the Table I families
+// each generator stands in for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/datasets/generators.hpp"
+#include "src/datasets/suite.hpp"
+
+namespace sg::datasets {
+namespace {
+
+/// Structural invariants every generated graph must satisfy: no self-loops,
+/// no duplicate directed edges, symmetric (undirected stored both ways),
+/// ids within range.
+void check_simple_symmetric(const Coo& coo) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> seen;
+  for (const auto& e : coo.edges) {
+    ASSERT_NE(e.src, e.dst) << "self loop";
+    ASSERT_LT(e.src, coo.num_vertices);
+    ASSERT_LT(e.dst, coo.num_vertices);
+    ASSERT_TRUE(seen.insert({e.src, e.dst}).second) << "duplicate edge";
+  }
+  for (const auto& e : coo.edges) {
+    ASSERT_TRUE(seen.count({e.dst, e.src}))
+        << "missing reverse of " << e.src << "->" << e.dst;
+  }
+}
+
+TEST(Generators, RoadInvariants) {
+  const Coo coo = make_road(4096, 1);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  EXPECT_GT(stats.avg_degree, 1.6);
+  EXPECT_LT(stats.avg_degree, 2.8);
+  EXPECT_LT(stats.max_degree, 10u);  // road networks have tiny max degree
+  EXPECT_LT(stats.sigma, 1.5);
+}
+
+TEST(Generators, RoadDeterministic) {
+  const Coo a = make_road(2048, 7);
+  const Coo b = make_road(2048, 7);
+  EXPECT_EQ(a.edges.size(), b.edges.size());
+  EXPECT_TRUE(std::equal(a.edges.begin(), a.edges.end(), b.edges.begin()));
+  const Coo c = make_road(2048, 8);
+  EXPECT_NE(a.edges.size(), c.edges.size());
+}
+
+TEST(Generators, DelaunayInvariants) {
+  const Coo coo = make_delaunay(4096, 2);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  // Interior degree is exactly 6; boundary pulls the average slightly down.
+  EXPECT_GT(stats.avg_degree, 5.0);
+  EXPECT_LE(stats.avg_degree, 6.0);
+  EXPECT_LE(stats.max_degree, 6u);
+  EXPECT_LT(stats.sigma, 1.5);  // low-variance family
+}
+
+TEST(Generators, RggInvariantsAndTunableDegree) {
+  const Coo coo = make_rgg(8192, 13.0, 3);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  EXPECT_NEAR(stats.avg_degree, 13.0, 2.5);
+  EXPECT_GT(stats.sigma, 2.0);  // Poisson-ish spread
+  const Coo denser = make_rgg(8192, 16.0, 3);
+  EXPECT_GT(denser.edges.size(), coo.edges.size());
+}
+
+TEST(Generators, Mesh3dInvariants) {
+  const Coo coo = make_mesh3d(32768, 4);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  EXPECT_NEAR(stats.avg_degree, 47.7, 10.0);  // ldoor profile
+  EXPECT_GT(stats.min_degree, 5u);            // meshes have no isolated rows
+}
+
+TEST(Generators, PreferentialHeavyTail) {
+  const Coo coo = make_preferential(8192, 3, 5);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  EXPECT_NEAR(stats.avg_degree, 6.0, 1.5);
+  // Right-skew: the hub dwarfs the average (coAuthors: avg 6.4, max 336).
+  EXPECT_GT(stats.max_degree, stats.avg_degree * 8);
+  EXPECT_GT(stats.sigma, stats.avg_degree / 2);
+}
+
+TEST(Generators, RmatScaleFree) {
+  const Coo coo = make_rmat(16384, 16384 * 16, 6);
+  check_simple_symmetric(coo);
+  const auto stats = coo.degree_stats();
+  // Scale-free shape: enormous max degree relative to the mean.
+  EXPECT_GT(stats.max_degree, stats.avg_degree * 20);
+  EXPECT_GT(stats.sigma, stats.avg_degree);
+  EXPECT_EQ(coo.num_vertices, 16384u);  // power-of-two vertex space
+}
+
+TEST(Generators, RmatEdgeBudgetScales) {
+  const Coo small = make_rmat(4096, 4096 * 8, 7);
+  const Coo large = make_rmat(4096, 4096 * 32, 7);
+  EXPECT_GT(large.edges.size(), small.edges.size() * 2);
+}
+
+TEST(Coo, DegreesMatchEdges) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.edges = {{0, 1, 0}, {0, 2, 0}, {3, 0, 0}};
+  EXPECT_EQ(coo.degrees(), (std::vector<std::uint32_t>{2, 0, 0, 1}));
+}
+
+TEST(Coo, CanonicalizeDropsJunk) {
+  Coo coo;
+  coo.num_vertices = 4;
+  coo.edges = {{0, 0, 1}, {0, 1, 1}, {0, 1, 2}, {9, 1, 1}, {1, 9, 1}};
+  coo.canonicalize();
+  EXPECT_EQ(coo.edges.size(), 1u);
+  EXPECT_EQ(coo.edges[0].src, 0u);
+  EXPECT_EQ(coo.edges[0].dst, 1u);
+}
+
+TEST(Coo, UniqueUndirectedHalvesEdges) {
+  const Coo coo = make_delaunay(1024, 9);
+  const auto unique = coo.unique_undirected_edges();
+  EXPECT_EQ(unique.size() * 2, coo.edges.size());
+  for (const auto& e : unique) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(Batches, RandomEdgeBatchRespectsVertexRange) {
+  const Coo coo = make_road(1024, 1);
+  const auto batch = random_edge_batch(coo, 5000, 11);
+  EXPECT_EQ(batch.size(), 5000u);
+  for (const auto& e : batch) {
+    ASSERT_LT(e.src, coo.num_vertices);
+    ASSERT_LT(e.dst, coo.num_vertices);
+  }
+}
+
+TEST(Batches, DeletionBatchMostlyHitsLiveEdges) {
+  const Coo coo = make_delaunay(4096, 2);
+  const auto batch = random_deletion_batch(coo, 2000, 13);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> live;
+  for (const auto& e : coo.edges) live.insert({e.src, e.dst});
+  int hits = 0;
+  for (const auto& e : batch) hits += live.count({e.src, e.dst}) ? 1 : 0;
+  EXPECT_GT(hits, 1000);  // ~75% sampled from the graph
+  EXPECT_LT(hits, 2000);  // but some random misses
+}
+
+TEST(Batches, VertexBatchIsDistinct) {
+  const auto ids = random_vertex_batch(1000, 400, 17);
+  EXPECT_EQ(ids.size(), 400u);
+  const std::set<std::uint32_t> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 400u);
+  for (auto id : ids) ASSERT_LT(id, 1000u);
+}
+
+TEST(Batches, VertexBatchClampedToPopulation) {
+  const auto ids = random_vertex_batch(10, 400, 17);
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+TEST(Batches, SplitBatchesCoversAll) {
+  std::vector<core::WeightedEdge> edges(107);
+  const auto batches = split_batches(edges, 25);
+  EXPECT_EQ(batches.size(), 5u);
+  std::size_t total = 0;
+  for (const auto& b : batches) total += b.size();
+  EXPECT_EQ(total, 107u);
+  EXPECT_EQ(batches.back().size(), 7u);
+}
+
+TEST(Suite, AllTwelveDatasetsGenerate) {
+  for (const auto& name : suite_names()) {
+    const Coo coo = make_dataset(name, /*scale=*/0.05);
+    EXPECT_GT(coo.num_vertices, 0u) << name;
+    EXPECT_GT(coo.edges.size(), 0u) << name;
+    EXPECT_EQ(coo.name, name);
+  }
+  EXPECT_EQ(suite_names().size(), 12u);  // one analog per Table I row
+}
+
+TEST(Suite, ScaleChangesSize) {
+  const Coo small = make_dataset("delaunay_n20", 0.1);
+  const Coo large = make_dataset("delaunay_n20", 0.4);
+  EXPECT_GT(large.num_vertices, small.num_vertices * 2);
+}
+
+TEST(Suite, UnknownNameThrows) {
+  EXPECT_THROW(make_dataset("not_a_dataset", 1.0), std::invalid_argument);
+}
+
+TEST(Suite, BadScaleThrows) {
+  EXPECT_THROW(make_dataset("ldoor", 0.0), std::invalid_argument);
+  EXPECT_THROW(make_dataset("ldoor", 100.0), std::invalid_argument);
+}
+
+TEST(Suite, SubsetsAreValidNames) {
+  const auto all = suite_names();
+  const std::set<std::string> valid(all.begin(), all.end());
+  for (const auto& n : small_suite_names()) EXPECT_TRUE(valid.count(n)) << n;
+  for (const auto& n : vertex_deletion_suite_names()) {
+    EXPECT_TRUE(valid.count(n)) << n;
+  }
+  for (const auto& n : incremental_suite_names()) EXPECT_TRUE(valid.count(n)) << n;
+  EXPECT_EQ(vertex_deletion_suite_names().size(), 4u);
+  EXPECT_EQ(incremental_suite_names().size(), 4u);
+}
+
+}  // namespace
+}  // namespace sg::datasets

@@ -1,0 +1,175 @@
+// Tests for the GPMA baseline: PMA invariants (global sorted order,
+// left-packed segments, density-driven rebalancing/growth), graph
+// semantics, and model-based equivalence under random churn.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/baselines/gpma/gpma_graph.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::baselines::gpma {
+namespace {
+
+using core::Edge;
+using core::VertexId;
+using core::WeightedEdge;
+
+TEST(Gpma, InsertThenQuery) {
+  GpmaGraph g(16);
+  std::vector<WeightedEdge> batch = {{1, 2, 5}, {1, 3, 6}, {2, 1, 7}};
+  EXPECT_EQ(g.insert_edges(batch), 3u);
+  EXPECT_TRUE(g.edge_exists(1, 2));
+  EXPECT_TRUE(g.edge_exists(2, 1));
+  EXPECT_FALSE(g.edge_exists(3, 1));
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(Gpma, SelfLoopsAndOutOfRangeDropped) {
+  GpmaGraph g(4);
+  std::vector<WeightedEdge> batch = {{1, 1, 5}, {9, 1, 5}, {1, 9, 5}, {0, 1, 1}};
+  EXPECT_EQ(g.insert_edges(batch), 1u);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Gpma, DuplicatesKeepMostRecentWeight) {
+  GpmaGraph g(8);
+  std::vector<WeightedEdge> batch = {{1, 2, 5}, {1, 2, 6}};
+  EXPECT_EQ(g.insert_edges(batch), 1u);
+  std::vector<WeightedEdge> again = {{1, 2, 9}};
+  EXPECT_EQ(g.insert_edges(again), 0u);
+  std::uint32_t w = 0;
+  g.for_each_neighbor(1, [&](VertexId, core::Weight weight) { w = weight; });
+  EXPECT_EQ(w, 9u);
+}
+
+TEST(Gpma, DeleteSemantics) {
+  GpmaGraph g(8);
+  std::vector<WeightedEdge> batch = {{1, 2, 0}, {1, 3, 0}};
+  g.insert_edges(batch);
+  std::vector<Edge> doomed = {{1, 2}, {1, 7}};
+  EXPECT_EQ(g.delete_edges(doomed), 1u);
+  EXPECT_FALSE(g.edge_exists(1, 2));
+  EXPECT_TRUE(g.edge_exists(1, 3));
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(Gpma, GrowthUnderLoad) {
+  GpmaGraph g(1024);
+  const std::size_t initial_capacity = g.capacity();
+  std::vector<WeightedEdge> batch;
+  for (std::uint32_t v = 1; v <= 500; ++v) batch.push_back({0, v % 1024, v});
+  g.insert_edges(batch);
+  EXPECT_GT(g.capacity(), initial_capacity);  // PMA doubled at least once
+  EXPECT_TRUE(g.check_invariants());
+  EXPECT_LE(g.density(), 1.0);
+  for (std::uint32_t v = 1; v < 500; ++v) {
+    ASSERT_TRUE(g.edge_exists(0, v % 1024)) << v;
+  }
+}
+
+TEST(Gpma, NeighborsAreSortedRanges) {
+  GpmaGraph g(64);
+  std::vector<WeightedEdge> batch;
+  for (std::uint32_t v : {9u, 3u, 61u, 17u, 40u}) batch.push_back({5, v, v});
+  g.insert_edges(batch);
+  const auto nbrs = g.neighbors(5);
+  EXPECT_EQ(nbrs, (std::vector<VertexId>{3, 9, 17, 40, 61}));
+  EXPECT_EQ(g.degree(5), 5u);
+  EXPECT_TRUE(g.neighbors(6).empty());
+}
+
+TEST(Gpma, InterleavedSourcesStayPartitioned) {
+  GpmaGraph g(32);
+  std::vector<WeightedEdge> batch;
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = 16; v < 24; ++v) batch.push_back({u, v, u + v});
+  }
+  g.insert_edges(batch);
+  for (VertexId u = 0; u < 16; ++u) {
+    ASSERT_EQ(g.degree(u), 8u) << u;
+  }
+  EXPECT_TRUE(g.check_invariants());
+}
+
+TEST(Gpma, HeavyChurnKeepsInvariants) {
+  GpmaGraph g(128);
+  util::Xoshiro256 rng(11);
+  std::map<std::pair<VertexId, VertexId>, core::Weight> model;
+  for (int round = 0; round < 30; ++round) {
+    std::vector<WeightedEdge> ins;
+    for (int i = 0; i < 60; ++i) {
+      const auto u = static_cast<VertexId>(rng.below(128));
+      const auto v = static_cast<VertexId>(rng.below(128));
+      const auto w = static_cast<core::Weight>(rng.below(100));
+      ins.push_back({u, v, w});
+    }
+    // Last-duplicate-wins on both sides.
+    std::map<std::pair<VertexId, VertexId>, core::Weight> last;
+    for (const auto& e : ins) last[{e.src, e.dst}] = e.weight;
+    std::vector<WeightedEdge> dedup;
+    for (const auto& [k, w] : last) {
+      if (k.first != k.second) dedup.push_back({k.first, k.second, w});
+    }
+    const std::uint64_t expected_new =
+        static_cast<std::uint64_t>(std::count_if(
+            dedup.begin(), dedup.end(), [&](const WeightedEdge& e) {
+              return model.find({e.src, e.dst}) == model.end();
+            }));
+    EXPECT_EQ(g.insert_edges(dedup), expected_new);
+    for (const auto& e : dedup) model[{e.src, e.dst}] = e.weight;
+
+    std::vector<Edge> del;
+    std::set<std::pair<VertexId, VertexId>> uniq;
+    for (int i = 0; i < 25; ++i) {
+      uniq.insert({static_cast<VertexId>(rng.below(128)),
+                   static_cast<VertexId>(rng.below(128))});
+    }
+    for (const auto& [u, v] : uniq) del.push_back({u, v});
+    std::uint64_t expected_removed = 0;
+    for (const auto& e : del) expected_removed += model.erase({e.src, e.dst});
+    EXPECT_EQ(g.delete_edges(del), expected_removed);
+    ASSERT_TRUE(g.check_invariants()) << "round " << round;
+  }
+  EXPECT_EQ(g.num_edges(), model.size());
+  for (const auto& [k, w] : model) {
+    ASSERT_TRUE(g.edge_exists(k.first, k.second));
+  }
+  for (VertexId u = 0; u < 128; ++u) {
+    g.for_each_neighbor(u, [&](VertexId v, core::Weight w) {
+      auto it = model.find({u, v});
+      ASSERT_NE(it, model.end()) << "phantom " << u << "->" << v;
+      ASSERT_EQ(it->second, w);
+    });
+  }
+}
+
+class GpmaScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(GpmaScale, BulkBuildRoundTrip) {
+  const int edges_per_vertex = GetParam();
+  GpmaGraph g(256);
+  util::Xoshiro256 rng(edges_per_vertex);
+  std::set<std::pair<VertexId, VertexId>> model;
+  std::vector<WeightedEdge> all;
+  for (VertexId u = 0; u < 256; ++u) {
+    for (int k = 0; k < edges_per_vertex; ++k) {
+      const auto v = static_cast<VertexId>(rng.below(256));
+      if (v == u) continue;
+      all.push_back({u, v, 1});
+      model.insert({u, v});
+    }
+  }
+  g.bulk_build(all);
+  EXPECT_EQ(g.num_edges(), model.size());
+  EXPECT_TRUE(g.check_invariants());
+  for (const auto& [u, v] : model) ASSERT_TRUE(g.edge_exists(u, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, GpmaScale, ::testing::Values(1, 4, 16, 64));
+
+}  // namespace
+}  // namespace sg::baselines::gpma

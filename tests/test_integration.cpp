@@ -1,0 +1,205 @@
+// Integration tests: whole-pipeline flows across modules — suite datasets
+// through build / update / query / delete cycles on the dynamic graph and
+// the baselines, bulk-vs-incremental equivalence, load-factor behaviour
+// (the Figure 2 mechanism), and the phase-concurrent update semantics at a
+// realistic scale.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/analytics/triangle_count.hpp"
+#include "src/baselines/csr/csr.hpp"
+#include "src/core/dyn_graph.hpp"
+#include "src/datasets/generators.hpp"
+#include "src/datasets/suite.hpp"
+
+namespace sg {
+namespace {
+
+using core::DynGraphMap;
+using core::DynGraphSet;
+using core::Edge;
+using core::GraphConfig;
+using core::VertexId;
+using core::WeightedEdge;
+
+GraphConfig cfg_for(const datasets::Coo& coo, double lf = 0.7) {
+  GraphConfig cfg;
+  cfg.vertex_capacity = coo.num_vertices;
+  cfg.load_factor = lf;
+  return cfg;
+}
+
+TEST(Integration, BulkBuildStoresEverySuiteDataset) {
+  for (const auto& name : datasets::small_suite_names()) {
+    const datasets::Coo coo = datasets::make_dataset(name, 0.05);
+    DynGraphMap g(cfg_for(coo));
+    g.bulk_build(coo.edges);
+    ASSERT_EQ(g.num_edges(), coo.edges.size()) << name;
+    // Spot-check membership on a sample.
+    for (std::size_t i = 0; i < coo.edges.size(); i += 97) {
+      const auto& e = coo.edges[i];
+      ASSERT_TRUE(g.edge_exists(e.src, e.dst)) << name;
+      ASSERT_EQ(g.edge_weight(e.src, e.dst).value, e.weight) << name;
+    }
+  }
+}
+
+TEST(Integration, BulkAndIncrementalBuildsAreEquivalent) {
+  const datasets::Coo coo = datasets::make_dataset("coAuthorsDBLP", 0.1);
+  DynGraphMap bulk(cfg_for(coo));
+  bulk.bulk_build(coo.edges);
+  DynGraphMap incremental(cfg_for(coo));
+  for (const auto batch : datasets::split_batches(coo.edges, 1000)) {
+    incremental.insert_edges(batch);
+  }
+  EXPECT_EQ(bulk.num_edges(), incremental.num_edges());
+  for (VertexId u = 0; u < coo.num_vertices; u += 31) {
+    ASSERT_EQ(bulk.degree(u), incremental.degree(u)) << u;
+  }
+  // Incremental (single-bucket tables) must chain far more than bulk.
+  EXPECT_GT(incremental.memory_stats().overflow_slabs,
+            bulk.memory_stats().overflow_slabs);
+}
+
+TEST(Integration, InsertDeleteChurnKeepsStructureConsistent) {
+  const datasets::Coo coo = datasets::make_dataset("rgg_n_2_20_s0", 0.1);
+  DynGraphMap g(cfg_for(coo));
+  g.bulk_build(coo.edges);
+  const std::uint64_t original = g.num_edges();
+  // Delete a third of the real edges, then reinsert them.
+  std::vector<Edge> doomed;
+  for (std::size_t i = 0; i < coo.edges.size(); i += 3) {
+    doomed.push_back({coo.edges[i].src, coo.edges[i].dst});
+  }
+  const std::uint64_t removed = g.delete_edges(doomed);
+  EXPECT_EQ(removed, doomed.size());
+  EXPECT_EQ(g.num_edges(), original - removed);
+  std::vector<WeightedEdge> restore;
+  for (std::size_t i = 0; i < coo.edges.size(); i += 3) {
+    restore.push_back(coo.edges[i]);
+  }
+  EXPECT_EQ(g.insert_edges(restore), restore.size());
+  EXPECT_EQ(g.num_edges(), original);
+  for (std::size_t i = 0; i < coo.edges.size(); i += 53) {
+    ASSERT_TRUE(g.edge_exists(coo.edges[i].src, coo.edges[i].dst));
+  }
+}
+
+TEST(Integration, LoadFactorControlsChainLengthAndMemory) {
+  // The Figure 2 mechanism: higher load factor (target chain length) =>
+  // fewer buckets, higher utilization, less memory, longer chains.
+  const datasets::Coo coo = datasets::make_rmat(2048, 2048 * 16, 21);
+  DynGraphMap tight(cfg_for(coo, 0.35));
+  tight.bulk_build(coo.edges);
+  DynGraphMap loose(cfg_for(coo, 3.0));
+  loose.bulk_build(coo.edges);
+  const auto tight_stats = tight.memory_stats();
+  const auto loose_stats = loose.memory_stats();
+  EXPECT_EQ(tight_stats.live_edges, loose_stats.live_edges);
+  EXPECT_GT(loose_stats.utilization(), tight_stats.utilization());
+  EXPECT_LT(loose_stats.bytes, tight_stats.bytes);
+  EXPECT_GT(loose_stats.avg_chain_length(), tight_stats.avg_chain_length());
+}
+
+TEST(Integration, DynGraphMatchesCsrOnFullDataset) {
+  const datasets::Coo coo = datasets::make_dataset("delaunay_n20", 0.1);
+  DynGraphSet g(cfg_for(coo));
+  g.bulk_build(coo.edges);
+  const baselines::Csr csr = baselines::Csr::from_edges(coo.num_vertices, coo.edges);
+  for (VertexId u = 0; u < coo.num_vertices; ++u) {
+    ASSERT_EQ(g.degree(u), csr.degree(u)) << u;
+    std::vector<VertexId> from_hash;
+    g.for_each_neighbor(u, [&](VertexId v, core::Weight) {
+      from_hash.push_back(v);
+    });
+    std::sort(from_hash.begin(), from_hash.end());
+    const auto row = csr.neighbors(u);
+    ASSERT_TRUE(std::equal(from_hash.begin(), from_hash.end(), row.begin(),
+                           row.end()))
+        << u;
+  }
+}
+
+TEST(Integration, VertexChurnOnRealGraph) {
+  datasets::Coo coo = datasets::make_dataset("coAuthorsDBLP", 0.05);
+  GraphConfig cfg = cfg_for(coo);
+  cfg.undirected = true;
+  DynGraphSet g(cfg);
+  g.insert_edges(coo.unique_undirected_edges());
+  const auto victims = datasets::random_vertex_batch(coo.num_vertices, 200, 3);
+  g.delete_vertices(victims);
+  const std::set<VertexId> dead(victims.begin(), victims.end());
+  for (VertexId v : victims) {
+    ASSERT_EQ(g.degree(v), 0u);
+    ASSERT_FALSE(g.vertex_live(v));
+  }
+  // No surviving adjacency references a deleted vertex, and every degree
+  // counter still matches the actual list content.
+  for (VertexId u = 0; u < coo.num_vertices; u += 17) {
+    std::uint32_t listed = 0;
+    g.for_each_neighbor(u, [&](VertexId v, core::Weight) {
+      ASSERT_FALSE(dead.count(v)) << u << "->" << v;
+      ++listed;
+    });
+    ASSERT_EQ(listed, g.degree(u)) << u;
+  }
+}
+
+TEST(Integration, TombstoneFlushAfterHeavyChurn) {
+  const datasets::Coo coo = datasets::make_dataset("luxembourg_osm", 0.25);
+  DynGraphMap g(cfg_for(coo));
+  g.bulk_build(coo.edges);
+  std::vector<Edge> half;
+  for (std::size_t i = 0; i < coo.edges.size(); i += 2) {
+    half.push_back({coo.edges[i].src, coo.edges[i].dst});
+  }
+  g.delete_edges(half);
+  const auto before = g.memory_stats();
+  EXPECT_GT(before.tombstones, 0u);
+  g.flush_all_tombstones();
+  const auto after = g.memory_stats();
+  EXPECT_EQ(after.tombstones, 0u);
+  EXPECT_EQ(after.live_edges, before.live_edges);
+  EXPECT_LE(after.overflow_slabs, before.overflow_slabs);
+  EXPECT_EQ(g.num_edges(), coo.edges.size() - half.size());
+}
+
+TEST(Integration, SetVariantUsesHalfTheBaseSlabsOfMap) {
+  // Bc 30 vs 15: at equal load factor, the set needs ~half the base slabs.
+  const datasets::Coo coo = datasets::make_dataset("hollywood-2009", 0.05);
+  DynGraphMap map_graph(cfg_for(coo));
+  map_graph.bulk_build(coo.edges);
+  DynGraphSet set_graph(cfg_for(coo));
+  set_graph.bulk_build(coo.edges);
+  EXPECT_LT(set_graph.memory_stats().base_slabs,
+            map_graph.memory_stats().base_slabs);
+  EXPECT_EQ(set_graph.num_edges(), map_graph.num_edges());
+}
+
+TEST(Integration, PhaseConcurrentMixedSourceBatches) {
+  // A large batch with sources spread across warps, duplicates across the
+  // whole batch, hitting shared destination vertices concurrently.
+  GraphConfig cfg;
+  cfg.vertex_capacity = 512;
+  cfg.undirected = true;
+  DynGraphMap g(cfg);
+  std::vector<WeightedEdge> batch;
+  for (std::uint32_t round = 0; round < 4; ++round) {
+    for (VertexId u = 0; u < 256; ++u) {
+      for (std::uint32_t k = 1; k <= 8; ++k) {
+        batch.push_back({u, static_cast<VertexId>((u + k) % 256), round});
+      }
+    }
+  }
+  g.insert_edges(batch);
+  // Every vertex: 8 forward + 8 backward distinct neighbours.
+  for (VertexId u = 0; u < 256; ++u) {
+    ASSERT_EQ(g.degree(u), 16u) << u;
+  }
+  EXPECT_EQ(g.num_edges(), 256u * 16u);
+}
+
+}  // namespace
+}  // namespace sg

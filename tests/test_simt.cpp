@@ -1,0 +1,278 @@
+// Unit tests for the SIMT substrate: warp primitive semantics must match
+// the CUDA intrinsics they stand in for, grid launches must cover exactly
+// the requested items, and the atomics must behave under real contention.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "src/simt/atomics.hpp"
+#include "src/simt/grid.hpp"
+#include "src/simt/thread_pool.hpp"
+#include "src/simt/warp.hpp"
+
+namespace sg::simt {
+namespace {
+
+TEST(Warp, BallotAllTrue) {
+  LaneArray<bool> pred;
+  pred.fill(true);
+  EXPECT_EQ(ballot(pred), kFullMask);
+}
+
+TEST(Warp, BallotAllFalse) {
+  LaneArray<bool> pred;
+  pred.fill(false);
+  EXPECT_EQ(ballot(pred), 0u);
+}
+
+TEST(Warp, BallotSingleLane) {
+  LaneArray<bool> pred{};
+  pred[5] = true;
+  EXPECT_EQ(ballot(pred), 1u << 5);
+}
+
+TEST(Warp, BallotRespectsActiveMask) {
+  LaneArray<bool> pred;
+  pred.fill(true);
+  EXPECT_EQ(ballot(pred, 0x0000FFFFu), 0x0000FFFFu);
+}
+
+TEST(Warp, BallotLane31) {
+  LaneArray<bool> pred{};
+  pred[31] = true;
+  EXPECT_EQ(ballot(pred), 0x80000000u);
+}
+
+TEST(Warp, ShuffleBroadcasts) {
+  LaneArray<int> vals;
+  std::iota(vals.begin(), vals.end(), 100);
+  EXPECT_EQ(shuffle(vals, 0), 100);
+  EXPECT_EQ(shuffle(vals, 31), 131);
+}
+
+TEST(Warp, ShuffleWrapsLikeCuda) {
+  // CUDA's __shfl_sync masks the source lane with warpSize-1.
+  LaneArray<int> vals;
+  std::iota(vals.begin(), vals.end(), 0);
+  EXPECT_EQ(shuffle(vals, 32), 0);
+  EXPECT_EQ(shuffle(vals, 33), 1);
+}
+
+TEST(Warp, PopcMatchesPopcount) {
+  EXPECT_EQ(popc(0u), 0);
+  EXPECT_EQ(popc(kFullMask), 32);
+  EXPECT_EQ(popc(0b1011u), 3);
+}
+
+TEST(Warp, FfsIsOneBasedLikeCuda) {
+  EXPECT_EQ(ffs(0u), 0);
+  EXPECT_EQ(ffs(1u), 1);
+  EXPECT_EQ(ffs(0b1000u), 4);
+  EXPECT_EQ(ffs(0x80000000u), 32);
+}
+
+TEST(Warp, LanemaskBelow) {
+  EXPECT_EQ(lanemask_below(0), 0u);
+  EXPECT_EQ(lanemask_below(1), 1u);
+  EXPECT_EQ(lanemask_below(32), kFullMask);
+  EXPECT_EQ(lanemask_below(16), 0x0000FFFFu);
+}
+
+TEST(Warp, WarpIdItemIndexing) {
+  WarpId id;
+  id.warp = 3;
+  id.first_item = 96;
+  EXPECT_EQ(id.item(0), 96u);
+  EXPECT_EQ(id.item(31), 127u);
+  EXPECT_EQ(id.active_count(), 32);
+}
+
+TEST(Grid, WarpsForRounding) {
+  EXPECT_EQ(warps_for(0), 0u);
+  EXPECT_EQ(warps_for(1), 1u);
+  EXPECT_EQ(warps_for(32), 1u);
+  EXPECT_EQ(warps_for(33), 2u);
+  EXPECT_EQ(warps_for(1024), 32u);
+}
+
+TEST(Grid, LaunchCoversEveryItemExactlyOnce) {
+  constexpr std::uint64_t kItems = 10007;  // prime => partial last warp
+  std::vector<std::atomic<int>> hits(kItems);
+  launch(kItems, [&](const WarpId& warp) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (warp.lane_active(lane)) {
+        hits[warp.item(lane)].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  for (std::uint64_t i = 0; i < kItems; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(Grid, LastWarpHasPartialActiveMask) {
+  std::atomic<std::uint32_t> last_mask{0};
+  launch(40, [&](const WarpId& warp) {
+    if (warp.warp == 1) last_mask = warp.active;
+  });
+  EXPECT_EQ(last_mask.load(), lanemask_below(8));
+}
+
+TEST(Grid, ZeroItemsIsNoop) {
+  bool ran = false;
+  launch(0, [&](const WarpId&) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(Grid, SerialModeMatchesParallel) {
+  constexpr std::uint64_t kItems = 1000;
+  std::vector<int> serial_hits(kItems, 0);
+  LaunchConfig serial_cfg;
+  serial_cfg.serial = true;
+  launch(kItems, [&](const WarpId& warp) {
+    for (int lane = 0; lane < kWarpSize; ++lane) {
+      if (warp.lane_active(lane)) ++serial_hits[warp.item(lane)];
+    }
+  }, serial_cfg);
+  EXPECT_EQ(std::accumulate(serial_hits.begin(), serial_hits.end(), 0), 1000);
+}
+
+TEST(Grid, LaunchWarpsRunsExactCount) {
+  std::atomic<int> warps_run{0};
+  launch_warps(17, [&](const WarpId&) { warps_run.fetch_add(1); });
+  EXPECT_EQ(warps_run.load(), 17);
+}
+
+TEST(Grid, WarpIdsAreDistinct) {
+  constexpr std::uint32_t kWarps = 64;
+  std::vector<std::atomic<int>> seen(kWarps);
+  launch_warps(kWarps, [&](const WarpId& warp) {
+    seen[warp.warp].fetch_add(1);
+  });
+  for (std::uint32_t w = 0; w < kWarps; ++w) EXPECT_EQ(seen[w].load(), 1);
+}
+
+TEST(ThreadPool, ParallelForRunsAllChunks) {
+  ThreadPool pool(4);
+  std::atomic<std::uint64_t> sum{0};
+  pool.parallel_for(1000, [&](std::uint64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(sum.load(), 1000ull * 999 / 2);
+}
+
+TEST(ThreadPool, ZeroChunksIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::uint64_t) { FAIL(); });
+}
+
+TEST(ThreadPool, ExceptionsPropagate) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](std::uint64_t i) {
+                          if (i == 50) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 10; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&](std::uint64_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64);
+  }
+}
+
+TEST(ThreadPool, DefaultThreadCountPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 0u);  // no workers: jobs run on the submitter
+  std::uint64_t sum = 0;
+  pool.parallel_for(100, [&](std::uint64_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPool, InlinePoolPropagatesExceptions) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::uint64_t i) {
+                                   if (i == 5) throw std::runtime_error("x");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(Atomics, CasReturnsObservedValue) {
+  std::uint32_t word = 5;
+  EXPECT_EQ(atomic_cas(word, 5u, 9u), 5u);  // success: old value
+  EXPECT_EQ(word, 9u);
+  EXPECT_EQ(atomic_cas(word, 5u, 7u), 9u);  // failure: current value
+  EXPECT_EQ(word, 9u);
+}
+
+TEST(Atomics, AddSubExch) {
+  std::uint32_t word = 10;
+  EXPECT_EQ(atomic_add(word, 5u), 10u);
+  EXPECT_EQ(word, 15u);
+  EXPECT_EQ(atomic_sub(word, 3u), 15u);
+  EXPECT_EQ(word, 12u);
+  EXPECT_EQ(atomic_exch(word, 99u), 12u);
+  EXPECT_EQ(word, 99u);
+}
+
+TEST(Atomics, MinMax) {
+  std::uint32_t word = 50;
+  atomic_min(word, 20u);
+  EXPECT_EQ(word, 20u);
+  atomic_min(word, 30u);
+  EXPECT_EQ(word, 20u);
+  atomic_max(word, 70u);
+  EXPECT_EQ(word, 70u);
+  atomic_max(word, 60u);
+  EXPECT_EQ(word, 70u);
+}
+
+TEST(Atomics, OrAnd) {
+  std::uint32_t word = 0b0101;
+  atomic_or(word, 0b0010u);
+  EXPECT_EQ(word, 0b0111u);
+  atomic_and(word, 0b0110u);
+  EXPECT_EQ(word, 0b0110u);
+}
+
+TEST(Atomics, ContendedCounterIsExact) {
+  std::uint64_t counter = 0;
+  ThreadPool pool(8);
+  pool.parallel_for(10000,
+                    [&](std::uint64_t) { atomic_add(counter, std::uint64_t{1}); });
+  EXPECT_EQ(counter, 10000u);
+}
+
+TEST(Atomics, ContendedCasClaimsAreUnique) {
+  // Many threads race to claim slots with CAS; each slot must be claimed
+  // exactly once — the protocol slab insertion depends on.
+  constexpr int kSlots = 128;
+  std::vector<std::uint32_t> slots(kSlots, 0xFFFFFFFFu);
+  std::atomic<int> claims{0};
+  ThreadPool pool(8);
+  pool.parallel_for(1024, [&](std::uint64_t task) {
+    for (int s = 0; s < kSlots; ++s) {
+      if (atomic_cas(slots[s], 0xFFFFFFFFu,
+                     static_cast<std::uint32_t>(task)) == 0xFFFFFFFFu) {
+        claims.fetch_add(1);
+        return;
+      }
+    }
+  });
+  EXPECT_EQ(claims.load(), kSlots);
+  for (auto slot : slots) EXPECT_NE(slot, 0xFFFFFFFFu);
+}
+
+}  // namespace
+}  // namespace sg::simt

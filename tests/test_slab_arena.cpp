@@ -1,0 +1,179 @@
+// Unit tests for the SlabArena: bulk contiguous allocation, dynamic slab
+// alloc/free/reuse, handle resolution, statistics, and concurrent stress.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/memory/slab_arena.hpp"
+#include "src/simt/thread_pool.hpp"
+
+namespace sg::memory {
+namespace {
+
+TEST(SlabArena, ContiguousAllocationIsContiguous) {
+  SlabArena arena;
+  const SlabHandle first = arena.allocate_contiguous(10, 0xAAAAAAAAu);
+  for (std::uint32_t i = 1; i < 10; ++i) {
+    // Consecutive handles resolve to adjacent slabs of the same chunk.
+    EXPECT_EQ(&arena.resolve(first + i), &arena.resolve(first) + i);
+  }
+}
+
+TEST(SlabArena, ContiguousFillWordApplied) {
+  SlabArena arena;
+  const SlabHandle h = arena.allocate_contiguous(3, 0xDEADBEEFu);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    for (int w = 0; w < kWordsPerSlab; ++w) {
+      ASSERT_EQ(arena.resolve(h + s).words[w], 0xDEADBEEFu);
+    }
+  }
+}
+
+TEST(SlabArena, ContiguousZeroCountThrows) {
+  SlabArena arena;
+  EXPECT_THROW(arena.allocate_contiguous(0, 0), std::invalid_argument);
+}
+
+TEST(SlabArena, ContiguousOverMaxThrows) {
+  SlabArena arena;
+  EXPECT_THROW(arena.allocate_contiguous(SlabArena::kChunkSlabs + 1, 0),
+               std::invalid_argument);
+}
+
+TEST(SlabArena, ContiguousMaxSizeSucceeds) {
+  SlabArena arena;
+  EXPECT_NO_THROW(arena.allocate_contiguous(SlabArena::kChunkSlabs, 0));
+}
+
+TEST(SlabArena, BulkAllocationsSpanChunksWithoutOverlap) {
+  SlabArena arena;
+  std::set<SlabHandle> seen;
+  // Allocate far more than one chunk's worth in odd sizes.
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint32_t count = 1 + (i % 17);
+    const SlabHandle h = arena.allocate_contiguous(count, 0);
+    for (std::uint32_t s = 0; s < count; ++s) {
+      ASSERT_TRUE(seen.insert(h + s).second) << "overlapping handle";
+    }
+  }
+}
+
+TEST(SlabArena, DynamicAllocFillsSlab) {
+  SlabArena arena;
+  const SlabHandle h = arena.allocate(0xFFFFFFFFu, 1);
+  for (int w = 0; w < kWordsPerSlab; ++w) {
+    EXPECT_EQ(arena.resolve(h).words[w], 0xFFFFFFFFu);
+  }
+}
+
+TEST(SlabArena, DynamicHandlesDistinct) {
+  SlabArena arena;
+  std::set<SlabHandle> seen;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(seen.insert(arena.allocate(0, i)).second);
+  }
+}
+
+TEST(SlabArena, FreeThenReallocateReusesSpace) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  for (int i = 0; i < 100; ++i) handles.push_back(arena.allocate(0, i));
+  const auto before = arena.stats();
+  for (SlabHandle h : handles) arena.free(h);
+  EXPECT_EQ(arena.stats().dynamic_slabs, before.dynamic_slabs - 100);
+  for (int i = 0; i < 100; ++i) arena.allocate(0, i);
+  // Reuse means the reserved capacity did not grow.
+  EXPECT_EQ(arena.stats().reserved_slabs, before.reserved_slabs);
+}
+
+TEST(SlabArena, IsDynamicDistinguishesPools) {
+  SlabArena arena;
+  const SlabHandle bulk = arena.allocate_contiguous(4, 0);
+  const SlabHandle dyn = arena.allocate(0, 0);
+  EXPECT_FALSE(arena.is_dynamic(bulk));
+  EXPECT_TRUE(arena.is_dynamic(dyn));
+}
+
+TEST(SlabArena, StatsTrackBulkAndDynamic) {
+  SlabArena arena;
+  arena.allocate_contiguous(7, 0);
+  const SlabHandle d1 = arena.allocate(0, 0);
+  arena.allocate(0, 1);
+  ArenaStats s = arena.stats();
+  EXPECT_EQ(s.bulk_slabs, 7u);
+  EXPECT_EQ(s.dynamic_slabs, 2u);
+  EXPECT_GT(s.bytes_reserved(), 0u);
+  EXPECT_EQ(s.bytes_in_use(), (7u + 2u) * sizeof(Slab));
+  arena.free(d1);
+  EXPECT_EQ(arena.stats().dynamic_slabs, 1u);
+}
+
+TEST(SlabArena, WritesToOneSlabDoNotLeakToNeighbors) {
+  SlabArena arena;
+  const SlabHandle h = arena.allocate_contiguous(3, 0x11111111u);
+  for (int w = 0; w < kWordsPerSlab; ++w) arena.resolve(h + 1).words[w] = 0;
+  for (int w = 0; w < kWordsPerSlab; ++w) {
+    EXPECT_EQ(arena.resolve(h).words[w], 0x11111111u);
+    EXPECT_EQ(arena.resolve(h + 2).words[w], 0x11111111u);
+  }
+}
+
+TEST(SlabArena, ConcurrentDynamicAllocationsAreUnique) {
+  SlabArena arena;
+  constexpr int kPerThreadAllocs = 500;
+  constexpr int kTasks = 16;
+  std::vector<std::vector<SlabHandle>> per_task(kTasks);
+  simt::ThreadPool pool(8);
+  pool.parallel_for(kTasks, [&](std::uint64_t t) {
+    for (int i = 0; i < kPerThreadAllocs; ++i) {
+      per_task[t].push_back(
+          arena.allocate(static_cast<std::uint32_t>(t), static_cast<std::uint32_t>(t)));
+    }
+  });
+  std::set<SlabHandle> seen;
+  for (const auto& handles : per_task) {
+    for (SlabHandle h : handles) {
+      ASSERT_TRUE(seen.insert(h).second) << "duplicate handle under contention";
+      // The fill word identifies the owner: no cross-thread clobbering.
+      ASSERT_EQ(arena.resolve(h).words[0] < kTasks, true);
+    }
+  }
+  EXPECT_EQ(arena.stats().dynamic_slabs,
+            static_cast<std::uint64_t>(kTasks) * kPerThreadAllocs);
+}
+
+TEST(SlabArena, ConcurrentAllocFreeChurn) {
+  SlabArena arena;
+  simt::ThreadPool pool(8);
+  pool.parallel_for(32, [&](std::uint64_t t) {
+    std::vector<SlabHandle> mine;
+    for (int round = 0; round < 50; ++round) {
+      for (int i = 0; i < 20; ++i) {
+        mine.push_back(arena.allocate(0, static_cast<std::uint32_t>(t)));
+      }
+      for (int i = 0; i < 10; ++i) {
+        arena.free(mine.back());
+        mine.pop_back();
+      }
+    }
+    for (SlabHandle h : mine) arena.free(h);
+  });
+  EXPECT_EQ(arena.stats().dynamic_slabs, 0u);
+}
+
+TEST(SlabArena, MixedBulkAndDynamicCoexist) {
+  SlabArena arena;
+  const SlabHandle bulk = arena.allocate_contiguous(100, 0xB0B0B0B0u);
+  std::vector<SlabHandle> dynamics;
+  for (int i = 0; i < 300; ++i) dynamics.push_back(arena.allocate(0xD0D0D0D0u, i));
+  for (std::uint32_t s = 0; s < 100; ++s) {
+    ASSERT_EQ(arena.resolve(bulk + s).words[0], 0xB0B0B0B0u);
+  }
+  for (SlabHandle h : dynamics) {
+    ASSERT_EQ(arena.resolve(h).words[0], 0xD0D0D0D0u);
+  }
+}
+
+}  // namespace
+}  // namespace sg::memory

@@ -1,0 +1,346 @@
+// Unit & property tests for the SlabHash concurrent map: uniqueness under
+// replace, most-recent-weight-wins, tombstone semantics (never reused by
+// insertion; empties only at chain tails), chain growth, iteration,
+// occupancy accounting, compaction, and concurrent stress.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/memory/slab_arena.hpp"
+#include "src/simt/thread_pool.hpp"
+#include "src/slabhash/slab_map.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::slabhash {
+namespace {
+
+class SlabMapTest : public ::testing::Test {
+ protected:
+  memory::SlabArena arena;
+};
+
+TEST_F(SlabMapTest, InsertThenFind) {
+  SlabHashMap map(arena, 4);
+  EXPECT_TRUE(map.replace(10, 100));
+  const auto hit = map.search(10);
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.value, 100u);
+}
+
+TEST_F(SlabMapTest, MissingKeyNotFound) {
+  SlabHashMap map(arena, 4);
+  map.replace(10, 100);
+  EXPECT_FALSE(map.search(11).found);
+}
+
+TEST_F(SlabMapTest, ReplaceReturnsFalseForExistingKey) {
+  SlabHashMap map(arena, 4);
+  EXPECT_TRUE(map.replace(10, 100));
+  EXPECT_FALSE(map.replace(10, 200));  // "previously existed ... just replaced"
+  EXPECT_EQ(map.search(10).value, 200u);
+}
+
+TEST_F(SlabMapTest, MostRecentValueWins) {
+  SlabHashMap map(arena, 2);
+  for (std::uint32_t v = 0; v < 50; ++v) map.replace(7, v);
+  EXPECT_EQ(map.search(7).value, 49u);
+  // Still exactly one live copy of the key.
+  EXPECT_EQ(map.occupancy().live_keys, 1u);
+}
+
+TEST_F(SlabMapTest, EraseReturnsPresence) {
+  SlabHashMap map(arena, 4);
+  map.replace(10, 1);
+  EXPECT_TRUE(map.erase(10));
+  EXPECT_FALSE(map.erase(10));  // second delete of the same key is a miss
+  EXPECT_FALSE(map.search(10).found);
+}
+
+TEST_F(SlabMapTest, EraseOfAbsentKeyIsFalse) {
+  SlabHashMap map(arena, 4);
+  EXPECT_FALSE(map.erase(999));
+}
+
+TEST_F(SlabMapTest, TombstoneNotReusedByInsertion) {
+  SlabHashMap map(arena, 1);  // single bucket => deterministic layout
+  map.replace(1, 10);
+  map.replace(2, 20);
+  map.erase(1);
+  // Re-inserting a *different* key must not overwrite the tombstone: the
+  // tombstone stays, so occupancy shows 2 live + 1 tombstone.
+  map.replace(3, 30);
+  const TableOccupancy occ = map.occupancy();
+  EXPECT_EQ(occ.live_keys, 2u);
+  EXPECT_EQ(occ.tombstones, 1u);
+}
+
+TEST_F(SlabMapTest, ReinsertAfterEraseWorks) {
+  SlabHashMap map(arena, 1);
+  map.replace(5, 50);
+  map.erase(5);
+  EXPECT_TRUE(map.replace(5, 51));  // new key again (tombstone skipped)
+  EXPECT_EQ(map.search(5).value, 51u);
+}
+
+TEST_F(SlabMapTest, EmptiesOnlyAtChainTail) {
+  // The paper's invariant: within a slab, EMPTY slots all sit after used
+  // (live or tombstoned) slots.
+  SlabHashMap map(arena, 1);
+  for (std::uint32_t k = 0; k < 40; ++k) map.replace(k, k);
+  for (std::uint32_t k = 0; k < 40; k += 3) map.erase(k);
+  for (std::uint32_t k = 100; k < 110; ++k) map.replace(k, k);
+  memory::SlabHandle h = map.table().base;
+  while (h != memory::kNullSlab) {
+    const memory::Slab& slab = arena.resolve(h);
+    bool seen_empty = false;
+    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
+      const std::uint32_t key = slab.words[pair * 2];
+      if (key == kEmptyKey) {
+        seen_empty = true;
+      } else {
+        ASSERT_FALSE(seen_empty) << "used slot after an empty slot";
+      }
+    }
+    h = slab.words[kNextPtrWord];
+  }
+}
+
+TEST_F(SlabMapTest, ChainGrowsBeyondOneSlab) {
+  SlabHashMap map(arena, 1);
+  for (std::uint32_t k = 0; k < 100; ++k) map.replace(k, k * 2);
+  for (std::uint32_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(map.search(k).found) << k;
+    ASSERT_EQ(map.search(k).value, k * 2);
+  }
+  EXPECT_GT(map.occupancy().overflow_slabs, 0u);
+}
+
+TEST_F(SlabMapTest, ForEachVisitsExactlyLivePairs) {
+  SlabHashMap map(arena, 3);
+  std::map<std::uint32_t, std::uint32_t> reference;
+  for (std::uint32_t k = 0; k < 60; ++k) {
+    map.replace(k, k + 1000);
+    reference[k] = k + 1000;
+  }
+  for (std::uint32_t k = 0; k < 60; k += 4) {
+    map.erase(k);
+    reference.erase(k);
+  }
+  std::map<std::uint32_t, std::uint32_t> seen;
+  map.for_each([&](std::uint32_t k, std::uint32_t v) {
+    ASSERT_TRUE(seen.emplace(k, v).second) << "duplicate key in iteration";
+  });
+  EXPECT_EQ(seen, reference);
+}
+
+TEST_F(SlabMapTest, OccupancyCountsSlots) {
+  SlabHashMap map(arena, 2);
+  const TableOccupancy empty = map.occupancy();
+  EXPECT_EQ(empty.live_keys, 0u);
+  EXPECT_EQ(empty.slots, 2u * kMapPairsPerSlab);
+  EXPECT_EQ(empty.base_slabs, 2u);
+  map.replace(1, 1);
+  EXPECT_DOUBLE_EQ(map.occupancy().utilization(),
+                   1.0 / (2 * kMapPairsPerSlab));
+}
+
+TEST_F(SlabMapTest, FlushTombstonesCompactsAndFrees) {
+  SlabHashMap map(arena, 1);
+  for (std::uint32_t k = 0; k < 90; ++k) map.replace(k, k);
+  for (std::uint32_t k = 0; k < 90; ++k) {
+    if (k % 3 != 0) map.erase(k);
+  }
+  const auto before = map.occupancy();
+  EXPECT_GT(before.tombstones, 0u);
+  const std::uint64_t dynamic_before = arena.stats().dynamic_slabs;
+  map.flush_tombstones();
+  const auto after = map.occupancy();
+  EXPECT_EQ(after.tombstones, 0u);
+  EXPECT_EQ(after.live_keys, before.live_keys);
+  EXPECT_LT(arena.stats().dynamic_slabs, dynamic_before);
+  // Content preserved.
+  for (std::uint32_t k = 0; k < 90; ++k) {
+    EXPECT_EQ(map.search(k).found, k % 3 == 0) << k;
+  }
+}
+
+TEST_F(SlabMapTest, ClearFreesOverflowAndEmptiesTable) {
+  SlabHashMap map(arena, 1);
+  for (std::uint32_t k = 0; k < 200; ++k) map.replace(k, k);
+  EXPECT_GT(arena.stats().dynamic_slabs, 0u);
+  map_clear(arena, map.table());
+  EXPECT_EQ(arena.stats().dynamic_slabs, 0u);
+  EXPECT_EQ(map.occupancy().live_keys, 0u);
+  for (std::uint32_t k = 0; k < 200; ++k) ASSERT_FALSE(map.search(k).found);
+}
+
+TEST_F(SlabMapTest, SentinelsAreNotStorableButNearMaxKeyIs) {
+  SlabHashMap map(arena, 2);
+  EXPECT_TRUE(map.replace(kMaxKey, 1));
+  EXPECT_TRUE(map.search(kMaxKey).found);
+}
+
+TEST_F(SlabMapTest, ZeroBucketRequestClampedToOne) {
+  SlabHashMap map(arena, 0);
+  EXPECT_TRUE(map.replace(1, 1));
+  EXPECT_EQ(map.table().num_buckets, 1u);
+}
+
+TEST(SlabMapHash, BucketOfIsStableAndInRange) {
+  for (std::uint32_t buckets : {1u, 2u, 7u, 1024u}) {
+    for (std::uint32_t key = 0; key < 1000; ++key) {
+      const std::uint32_t b = bucket_of(key, buckets, 42);
+      EXPECT_LT(b, buckets);
+      EXPECT_EQ(b, bucket_of(key, buckets, 42));
+    }
+  }
+}
+
+TEST(SlabMapHash, DifferentSeedsGiveDifferentPartitions) {
+  int moved = 0;
+  for (std::uint32_t key = 0; key < 1000; ++key) {
+    if (bucket_of(key, 64, 1) != bucket_of(key, 64, 2)) ++moved;
+  }
+  EXPECT_GT(moved, 800);
+}
+
+TEST(SlabMapHash, BucketsForSizingRule) {
+  // ceil(keys / (lf * Bc)), Bc = 15.
+  EXPECT_EQ(buckets_for(0, 0.7, 15), 1u);
+  EXPECT_EQ(buckets_for(10, 0.7, 15), 1u);    // 10 / 10.5 -> 1
+  EXPECT_EQ(buckets_for(11, 0.7, 15), 2u);    // 11 / 10.5 -> 2
+  EXPECT_EQ(buckets_for(105, 1.0, 15), 7u);
+  EXPECT_EQ(buckets_for(106, 1.0, 15), 8u);
+}
+
+// ---- parameterized sweeps ------------------------------------------------
+
+struct MapSweepParam {
+  std::uint32_t buckets;
+  std::uint32_t keys;
+};
+
+class SlabMapSweep : public ::testing::TestWithParam<MapSweepParam> {};
+
+TEST_P(SlabMapSweep, InsertSearchDeleteRoundTrip) {
+  const auto [buckets, keys] = GetParam();
+  memory::SlabArena arena;
+  SlabHashMap map(arena, buckets);
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    ASSERT_TRUE(map.replace(k * 7 + 1, k));
+  }
+  EXPECT_EQ(map.occupancy().live_keys, keys);
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    ASSERT_TRUE(map.search(k * 7 + 1).found);
+    ASSERT_EQ(map.search(k * 7 + 1).value, k);
+    ASSERT_FALSE(map.search(k * 7 + 2).found);
+  }
+  for (std::uint32_t k = 0; k < keys; k += 2) {
+    ASSERT_TRUE(map.erase(k * 7 + 1));
+  }
+  for (std::uint32_t k = 0; k < keys; ++k) {
+    ASSERT_EQ(map.search(k * 7 + 1).found, k % 2 == 1) << k;
+  }
+}
+
+TEST_P(SlabMapSweep, RandomizedAgainstStdMap) {
+  const auto [buckets, keys] = GetParam();
+  memory::SlabArena arena;
+  SlabHashMap map(arena, buckets);
+  std::map<std::uint32_t, std::uint32_t> reference;
+  util::Xoshiro256 rng(buckets * 1000 + keys);
+  for (std::uint32_t op = 0; op < keys * 4; ++op) {
+    const auto key = static_cast<std::uint32_t>(rng.below(keys * 2 + 1));
+    const auto value = static_cast<std::uint32_t>(rng.below(1 << 20));
+    switch (rng.below(3)) {
+      case 0:
+      case 1: {
+        const bool fresh = map.replace(key, value);
+        EXPECT_EQ(fresh, reference.find(key) == reference.end());
+        reference[key] = value;
+        break;
+      }
+      default: {
+        const bool removed = map.erase(key);
+        EXPECT_EQ(removed, reference.erase(key) == 1);
+        break;
+      }
+    }
+  }
+  for (const auto& [k, v] : reference) {
+    ASSERT_TRUE(map.search(k).found) << k;
+    ASSERT_EQ(map.search(k).value, v);
+  }
+  EXPECT_EQ(map.occupancy().live_keys, reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BucketKeyGrid, SlabMapSweep,
+    ::testing::Values(MapSweepParam{1, 10}, MapSweepParam{1, 100},
+                      MapSweepParam{1, 500}, MapSweepParam{4, 100},
+                      MapSweepParam{16, 400}, MapSweepParam{64, 2000},
+                      MapSweepParam{128, 500}, MapSweepParam{7, 333}),
+    [](const auto& info) {
+      return "b" + std::to_string(info.param.buckets) + "_k" +
+             std::to_string(info.param.keys);
+    });
+
+// ---- concurrency ---------------------------------------------------------
+
+TEST(SlabMapConcurrent, ParallelDistinctInsertsAllLand) {
+  memory::SlabArena arena;
+  SlabHashMap map(arena, 8);
+  simt::ThreadPool pool(8);
+  constexpr std::uint32_t kKeys = 4000;
+  pool.parallel_for(kKeys, [&](std::uint64_t k) {
+    map.replace(static_cast<std::uint32_t>(k),
+                static_cast<std::uint32_t>(k) + 7);
+  });
+  EXPECT_EQ(map.occupancy().live_keys, kKeys);
+  for (std::uint32_t k = 0; k < kKeys; ++k) {
+    ASSERT_EQ(map.search(k).value, k + 7);
+  }
+}
+
+TEST(SlabMapConcurrent, RacingDuplicateInsertsKeepUniqueness) {
+  // 16 tasks insert the SAME key set concurrently; the table must hold each
+  // key exactly once ("their ability to ensure uniqueness while performing
+  // updates").
+  memory::SlabArena arena;
+  SlabHashMap map(arena, 4);
+  simt::ThreadPool pool(8);
+  constexpr std::uint32_t kKeys = 300;
+  std::atomic<std::uint32_t> fresh_claims{0};
+  pool.parallel_for(16, [&](std::uint64_t) {
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+      if (map.replace(k, k)) fresh_claims.fetch_add(1);
+    }
+  });
+  // Exactly one task won the "new key" return per key.
+  EXPECT_EQ(fresh_claims.load(), kKeys);
+  EXPECT_EQ(map.occupancy().live_keys, kKeys);
+  std::set<std::uint32_t> seen;
+  map.for_each([&](std::uint32_t k, std::uint32_t) {
+    ASSERT_TRUE(seen.insert(k).second) << "duplicate key " << k;
+  });
+}
+
+TEST(SlabMapConcurrent, RacingDeletesCountEachKeyOnce) {
+  memory::SlabArena arena;
+  SlabHashMap map(arena, 4);
+  constexpr std::uint32_t kKeys = 500;
+  for (std::uint32_t k = 0; k < kKeys; ++k) map.replace(k, k);
+  std::atomic<std::uint32_t> removals{0};
+  simt::ThreadPool pool(8);
+  pool.parallel_for(16, [&](std::uint64_t) {
+    for (std::uint32_t k = 0; k < kKeys; ++k) {
+      if (map.erase(k)) removals.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(removals.load(), kKeys);  // the CAS makes deletion exactly-once
+  EXPECT_EQ(map.occupancy().live_keys, 0u);
+}
+
+}  // namespace
+}  // namespace sg::slabhash

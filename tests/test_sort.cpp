@@ -1,0 +1,105 @@
+// Tests for the segmented-sort substrate (the CUB substitute of Table VIII).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/sort/segmented_sort.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::sort {
+namespace {
+
+struct Segmented {
+  std::vector<std::uint32_t> values;
+  std::vector<std::uint64_t> offsets;
+};
+
+Segmented random_segments(std::uint32_t num_segments, std::uint32_t max_len,
+                          std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  Segmented s;
+  s.offsets.push_back(0);
+  for (std::uint32_t seg = 0; seg < num_segments; ++seg) {
+    const auto len = rng.below(max_len + 1);
+    for (std::uint64_t i = 0; i < len; ++i) {
+      s.values.push_back(static_cast<std::uint32_t>(rng.below(1u << 30)));
+    }
+    s.offsets.push_back(s.values.size());
+  }
+  return s;
+}
+
+TEST(SegmentedSort, SortsEachSegment) {
+  Segmented s = random_segments(50, 40, 1);
+  segmented_sort(s.values, s.offsets);
+  EXPECT_TRUE(segments_sorted(s.values, s.offsets));
+}
+
+TEST(SegmentedSort, PreservesMultisetPerSegment) {
+  Segmented s = random_segments(20, 30, 2);
+  std::vector<std::vector<std::uint32_t>> before;
+  for (std::size_t seg = 0; seg + 1 < s.offsets.size(); ++seg) {
+    std::vector<std::uint32_t> part(s.values.begin() + s.offsets[seg],
+                                    s.values.begin() + s.offsets[seg + 1]);
+    std::sort(part.begin(), part.end());
+    before.push_back(std::move(part));
+  }
+  segmented_sort(s.values, s.offsets);
+  for (std::size_t seg = 0; seg + 1 < s.offsets.size(); ++seg) {
+    const std::vector<std::uint32_t> part(s.values.begin() + s.offsets[seg],
+                                          s.values.begin() + s.offsets[seg + 1]);
+    ASSERT_EQ(part, before[seg]) << "segment " << seg;
+  }
+}
+
+TEST(SegmentedSort, EmptyAndSingletonSegments) {
+  std::vector<std::uint32_t> values = {5, 3};
+  std::vector<std::uint64_t> offsets = {0, 0, 1, 1, 2, 2};
+  segmented_sort(values, offsets);
+  EXPECT_TRUE(segments_sorted(values, offsets));
+  EXPECT_EQ(values, (std::vector<std::uint32_t>{5, 3}));  // singletons untouched
+}
+
+TEST(SegmentedSort, NoSegments) {
+  std::vector<std::uint32_t> values;
+  std::vector<std::uint64_t> offsets = {0};
+  EXPECT_NO_THROW(segmented_sort(values, offsets));
+  EXPECT_NO_THROW(segmented_sort(values, {}));
+}
+
+TEST(PerSegmentSort, MatchesSegmentedSort) {
+  Segmented a = random_segments(64, 100, 3);
+  Segmented b = a;
+  segmented_sort(a.values, a.offsets);
+  per_segment_sort(b.values, b.offsets);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(PerSegmentSort, LargeSkewedSegments) {
+  // One huge segment among many tiny ones (scale-free shape).
+  util::Xoshiro256 rng(4);
+  Segmented s;
+  s.offsets.push_back(0);
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    s.values.push_back(static_cast<std::uint32_t>(rng.below(1u << 30)));
+  }
+  s.offsets.push_back(s.values.size());
+  for (int seg = 0; seg < 100; ++seg) {
+    s.values.push_back(static_cast<std::uint32_t>(rng.below(100)));
+    s.offsets.push_back(s.values.size());
+  }
+  per_segment_sort(s.values, s.offsets);
+  EXPECT_TRUE(segments_sorted(s.values, s.offsets));
+}
+
+TEST(SegmentsSorted, DetectsUnsorted) {
+  std::vector<std::uint32_t> values = {1, 2, 3, 2};
+  std::vector<std::uint64_t> offsets = {0, 3, 4};
+  EXPECT_TRUE(segments_sorted(values, offsets));
+  const std::vector<std::uint64_t> one_seg = {0, 4};
+  EXPECT_FALSE(segments_sorted(values, one_seg));
+}
+
+}  // namespace
+}  // namespace sg::sort

@@ -1,0 +1,227 @@
+// Unit tests for src/util: PRNG determinism & distribution sanity,
+// streaming statistics, table rendering, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "src/util/cli.hpp"
+#include "src/util/prng.hpp"
+#include "src/util/stats.hpp"
+#include "src/util/table.hpp"
+#include "src/util/timer.hpp"
+
+namespace sg::util {
+namespace {
+
+TEST(Prng, SplitMixIsDeterministic) {
+  std::uint64_t s1 = 7, s2 = 7;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(Prng, SplitMixAdvancesState) {
+  std::uint64_t s = 7;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(Prng, Mix64IsInjectiveOnSample) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 10000; ++x) seen.insert(mix64(x));
+  EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Prng, XoshiroSameSeedSameStream) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, XoshiroDifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(Prng, BelowZeroBoundReturnsZero) {
+  Xoshiro256 rng(9);
+  EXPECT_EQ(rng.below(0), 0u);
+}
+
+TEST(Prng, BelowOneBoundReturnsZero) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Prng, RangeInclusiveBounds) {
+  Xoshiro256 rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = rng.range(3, 6);
+    EXPECT_GE(x, 3u);
+    EXPECT_LE(x, 6u);
+    saw_lo |= (x == 3);
+    saw_hi |= (x == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Prng, UniformIsInHalfOpenUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 20000.0, 0.5, 0.02);
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(13);
+  int histogram[10] = {};
+  for (int i = 0; i < 100000; ++i) ++histogram[rng.below(10)];
+  for (int bucket : histogram) {
+    EXPECT_NEAR(bucket, 10000, 600);
+  }
+}
+
+TEST(Stats, EmptyAccumulator) {
+  StreamingStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, SingleValue) {
+  StreamingStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(Stats, KnownMoments) {
+  StreamingStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);  // classic population-sigma example
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Stats, DegreeStatsMatchManualComputation) {
+  const std::vector<std::uint32_t> degrees = {1, 2, 3, 4};
+  const DegreeStats d = degree_stats(degrees);
+  EXPECT_EQ(d.min_degree, 1u);
+  EXPECT_EQ(d.max_degree, 4u);
+  EXPECT_DOUBLE_EQ(d.avg_degree, 2.5);
+  EXPECT_NEAR(d.sigma, std::sqrt(1.25), 1e-12);
+}
+
+TEST(Stats, DegreeStatsEmpty) {
+  const DegreeStats d = degree_stats({});
+  EXPECT_EQ(d.min_degree, 0u);
+  EXPECT_EQ(d.max_degree, 0u);
+}
+
+TEST(Stats, MeanOf) {
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean_of({}), 0.0);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string("title");
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("a"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.to_string());
+}
+
+TEST(Table, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt_int(-42), "-42");
+}
+
+TEST(Cli, ParsesKeyValue) {
+  const char* argv[] = {"prog", "--scale=0.5", "--name=abc"};
+  Cli cli(3, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.5);
+  EXPECT_EQ(cli.get("name", ""), "abc");
+}
+
+TEST(Cli, FlagWithoutValueIsTruthy) {
+  const char* argv[] = {"prog", "--verbose"};
+  Cli cli(2, argv);
+  EXPECT_TRUE(cli.has("verbose"));
+  EXPECT_EQ(cli.get_int("verbose", 0), 1);
+}
+
+TEST(Cli, FallbacksApply) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, MalformedArgumentThrows) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, argv), std::invalid_argument);
+}
+
+TEST(Cli, UnusedKeysReported) {
+  const char* argv[] = {"prog", "--typo=1", "--used=2"};
+  Cli cli(3, argv);
+  (void)cli.get_int("used", 0);
+  EXPECT_EQ(cli.unused_keys(), "typo");
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GE(t.seconds(), 0.0);
+  EXPECT_GE(t.milliseconds(), t.seconds());
+}
+
+TEST(Timer, ResetRestartsClock) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 1000000; ++i) sink += i;
+  const double before = t.seconds();
+  t.reset();
+  EXPECT_LE(t.seconds(), before + 1.0);
+}
+
+TEST(Timer, ThroughputHelper) {
+  EXPECT_DOUBLE_EQ(mitems_per_second(2e6, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(mitems_per_second(1e6, 0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace sg::util
