@@ -83,7 +83,7 @@ void run(const bench::BenchContext& ctx) {
     table.add_row({name, "query MQ/s", util::Table::fmt(hornet_q),
                    util::Table::fmt(gpma_q), util::Table::fmt(ours_q)});
   }
-  table.print("Ablation: GPMA (PMA-based) vs Hornet vs ours");
+  ctx.emit(table, "Ablation: GPMA (PMA-based) vs Hornet vs ours");
   bench::paper_shape_note(
       "expected ordering: ours fastest on both ops; GPMA queries beat "
       "Hornet's unsorted scans (O(log E) vs O(d)) but its insertions pay "
@@ -95,8 +95,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25, "ablation_gpma");
   ctx.print_header("Ablation: GPMA baseline (extension beyond the paper)");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

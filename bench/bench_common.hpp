@@ -7,10 +7,15 @@
 //
 // Common flags: --scale=<f> multiplies dataset sizes (default 0.25 of the
 // DESIGN.md base sizes, which are themselves ~32x below the paper);
-// --seed=<n> reseeds generators; --quick runs a reduced grid.
+// --seed=<n> reseeds generators; --quick runs a reduced grid;
+// --json=<path> additionally writes the results as machine-readable JSON
+// (schema in docs/PERF.md) so the perf trajectory can be tracked across
+// PRs. Tables routed through BenchContext::emit() land in the JSON
+// verbatim; scalar metrics are added with BenchContext::record().
 #pragma once
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,19 +28,82 @@
 
 namespace sg::bench {
 
+/// One scalar result destined for the JSON report.
+struct JsonMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  std::map<std::string, std::string> labels;
+};
+
+namespace detail {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline std::string json_string(const std::string& s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // NaN/Inf are not valid JSON; report them as null.
+  for (const char* p = buf; *p; ++p) {
+    if (*p == 'n' || *p == 'i') return "null";
+  }
+  return buf;
+}
+
+}  // namespace detail
+
 struct BenchContext {
   double scale = 1.0;
   std::uint64_t seed = 42;
   bool quick = false;
+  std::string bench_name;       ///< stem of the producing binary
+  std::string json_path;        ///< empty = console output only
+
+  // Captured results (mutable so `run(const BenchContext&)` signatures keep
+  // working; collection is conceptually const bench plumbing).
+  struct CapturedTable {
+    std::string title;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+  };
+  mutable std::vector<CapturedTable> tables;
+  mutable std::vector<JsonMetric> metrics;
 
   /// `default_scale` lets quadratic-cost benches (probing TC) default
   /// smaller while the update benches run the full DESIGN.md base sizes.
-  static BenchContext from_cli(const util::Cli& cli,
-                               double default_scale = 1.0) {
+  static BenchContext from_cli(const util::Cli& cli, double default_scale = 1.0,
+                               std::string bench_name = "") {
     BenchContext ctx;
     ctx.scale = cli.get_double("scale", default_scale);
     ctx.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     ctx.quick = cli.has("quick");
+    ctx.json_path = cli.get("json", "");
+    ctx.bench_name = std::move(bench_name);
     return ctx;
   }
 
@@ -45,7 +113,99 @@ struct BenchContext {
                 scale, static_cast<unsigned long long>(seed),
                 quick ? ", quick grid" : "");
   }
+
+  /// Print the table and capture it for the JSON report.
+  void emit(const util::Table& table, const std::string& title) const {
+    table.print(title);
+    tables.push_back({title, table.headers(), table.rows()});
+  }
+
+  /// Record one scalar metric for the JSON report.
+  void record(std::string name, double value, std::string unit,
+              std::map<std::string, std::string> labels = {}) const {
+    metrics.push_back(
+        {std::move(name), value, std::move(unit), std::move(labels)});
+  }
+
+  /// Write everything captured so far to `json_path` (no-op when --json was
+  /// not given). Returns false and warns on I/O failure.
+  bool write_json() const {
+    if (json_path.empty()) return true;
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+      return false;
+    }
+    std::string out = "{\n";
+    out += "  \"bench\": " + detail::json_string(bench_name) + ",\n";
+    out += "  \"config\": {\"scale\": " + detail::json_number(scale) +
+           ", \"seed\": " + std::to_string(seed) +
+           ", \"quick\": " + (quick ? "true" : "false") + "},\n";
+    out += "  \"tables\": [";
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+      const auto& table = tables[t];
+      out += (t == 0 ? "\n" : ",\n");
+      out += "    {\"title\": " + detail::json_string(table.title) +
+             ", \"headers\": [";
+      for (std::size_t c = 0; c < table.headers.size(); ++c) {
+        if (c) out += ", ";
+        out += detail::json_string(table.headers[c]);
+      }
+      out += "], \"rows\": [";
+      for (std::size_t r = 0; r < table.rows.size(); ++r) {
+        if (r) out += ", ";
+        out += "[";
+        for (std::size_t c = 0; c < table.rows[r].size(); ++c) {
+          if (c) out += ", ";
+          out += detail::json_string(table.rows[r][c]);
+        }
+        out += "]";
+      }
+      out += "]}";
+    }
+    out += tables.empty() ? "],\n" : "\n  ],\n";
+    out += "  \"metrics\": [";
+    for (std::size_t m = 0; m < metrics.size(); ++m) {
+      const auto& metric = metrics[m];
+      out += (m == 0 ? "\n" : ",\n");
+      out += "    {\"name\": " + detail::json_string(metric.name) +
+             ", \"value\": " + detail::json_number(metric.value) +
+             ", \"unit\": " + detail::json_string(metric.unit) +
+             ", \"labels\": {";
+      std::size_t l = 0;
+      for (const auto& [key, value] : metric.labels) {
+        if (l++) out += ", ";
+        out += detail::json_string(key) + ": " + detail::json_string(value);
+      }
+      out += "}}";
+    }
+    out += metrics.empty() ? "]\n" : "\n  ]\n";
+    out += "}\n";
+    const bool ok = std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (ok) std::printf("wrote %s\n", json_path.c_str());
+    return ok;
+  }
 };
+
+/// For the google-benchmark micro benches: rewrite our harness-wide
+/// --json=<path> flag into the library's native JSON reporter flags so one
+/// flag spells "machine-readable output" across every bench binary.
+inline std::vector<std::string> translate_json_flag(int argc,
+                                                    const char* const* argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      args.push_back("--benchmark_out=" + arg.substr(7));
+      args.push_back("--benchmark_out_format=json");
+    } else {
+      args.push_back(arg);
+    }
+  }
+  return args;
+}
 
 inline core::GraphConfig graph_config(const datasets::Coo& coo,
                                       double load_factor = 0.7) {

@@ -47,7 +47,7 @@ void run(const bench::BenchContext& ctx) {
                          static_cast<long long>(stats.overflow_slabs))});
     }
   }
-  table.print("Figure 2 (a,b,c): insertion rate / memory utilization / memory "
+  ctx.emit(table, "Figure 2 (a,b,c): insertion rate / memory utilization / memory "
               "usage vs average chain length (RMAT, " +
               std::to_string(vertices) + " vertices)");
   bench::paper_shape_note(
@@ -60,8 +60,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "fig2_load_factor_build");
   ctx.print_header("Figure 2: load factor / chain length sweep (build)");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

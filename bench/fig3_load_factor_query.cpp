@@ -37,7 +37,7 @@ void run(const bench::BenchContext& ctx) {
                      util::Table::fmt_int(static_cast<long long>(triangles))});
     }
   }
-  table.print("Figure 3: static TC time vs average chain length (RMAT, " +
+  ctx.emit(table, "Figure 3: static TC time vs average chain length (RMAT, " +
               std::to_string(vertices) + " vertices, set variant)");
   bench::paper_shape_note(
       "TC time is minimized around chain length ~0.7 and grows once chains "
@@ -49,8 +49,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "fig3_load_factor_query");
   ctx.print_header("Figure 3: load factor / chain length sweep (queries)");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

@@ -1,0 +1,31 @@
+// Shared main() for the google-benchmark micro benches: BENCHMARK_MAIN
+// plus the harness-wide --json=<path> flag mapped onto the library's JSON
+// reporter, so all bench binaries share one flag spelling.
+//
+//   int main(int argc, char** argv) {
+//     return sg::bench::run_google_benchmarks(argc, argv);
+//   }
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+namespace sg::bench {
+
+inline int run_google_benchmarks(int argc, char** argv) {
+  auto args = translate_json_flag(argc, argv);
+  std::vector<char*> cargs;
+  cargs.reserve(args.size());
+  for (auto& arg : args) cargs.push_back(arg.data());
+  int cargc = static_cast<int>(cargs.size());
+  benchmark::Initialize(&cargc, cargs.data());
+  if (benchmark::ReportUnrecognizedArguments(cargc, cargs.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace sg::bench

@@ -1,10 +1,14 @@
 // Google-benchmark micro benchmarks for the SlabArena: bulk contiguous
 // base-slab allocation vs per-table allocation (the §IV-A2 design choice),
-// and dynamic slab alloc/free churn.
+// and dynamic slab alloc/free churn — the latter exercises the per-thread
+// free-slab cache fast path.
+//
+//   ./build/micro_allocator --json=BENCH_allocator.json
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/gbench_main.hpp"
 #include "src/memory/slab_arena.hpp"
 
 namespace {
@@ -77,4 +81,6 @@ BENCHMARK(BM_DynamicAllocSteadyState);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sg::bench::run_google_benchmarks(argc, argv);
+}

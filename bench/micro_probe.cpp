@@ -1,0 +1,227 @@
+// micro_probe: the slab-probe microbenchmark behind the SIMD rewrite.
+//
+// Measures one thing — how fast a single thread can answer "does this
+// 128-byte slab contain key k?" — three ways:
+//
+//   scalar    the seed implementation: up to 30 sequential per-word
+//             atomic loads with early exit on match or EMPTY;
+//   portable  simt::probe_slab with the portable (auto-vectorized) backend;
+//   avx2      simt::probe_slab with the AVX2 backend (when compiled in).
+//
+// A second section runs the same comparison end-to-end through
+// SlabHashSet::contains / SlabHashMap::search, whose hot paths sit on top
+// of probe_slab, by switching the probe backend at runtime.
+//
+//   ./build/micro_probe --json=BENCH_probe.json
+//   flags: --slabs=N --queries=N --reps=N --fill=F --quick
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "src/memory/slab_arena.hpp"
+#include "src/simt/atomics.hpp"
+#include "src/simt/simd.hpp"
+#include "src/slabhash/slab_map.hpp"
+#include "src/slabhash/slab_set.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg {
+namespace {
+
+struct Query {
+  std::uint32_t slab;
+  std::uint32_t key;
+};
+
+struct Workload {
+  std::vector<memory::Slab> slabs;
+  std::vector<Query> queries;
+};
+
+Workload make_workload(std::uint32_t num_slabs, std::uint32_t num_queries,
+                       double fill, std::uint64_t seed) {
+  Workload w;
+  w.slabs.resize(num_slabs);
+  util::Xoshiro256 rng(seed);
+  const int used =
+      std::clamp(static_cast<int>(fill * slabhash::kSetKeysPerSlab), 1,
+                 slabhash::kSetKeysPerSlab);
+  for (auto& slab : w.slabs) {
+    for (int s = 0; s < memory::kWordsPerSlab; ++s) {
+      slab.words[s] = s < used
+                          ? static_cast<std::uint32_t>(rng.below(1u << 28))
+                          : slabhash::kEmptyKey;
+    }
+  }
+  w.queries.resize(num_queries);
+  for (auto& q : w.queries) {
+    q.slab = static_cast<std::uint32_t>(rng.below(num_slabs));
+    // 50/50 guaranteed-hit vs uniform-random (almost surely a miss).
+    q.key = (rng() & 1)
+                ? w.slabs[q.slab].words[rng.below(static_cast<std::uint64_t>(used))]
+                : static_cast<std::uint32_t>(rng.below(1u << 28));
+  }
+  return w;
+}
+
+/// The seed probe: sequential atomic loads with early exit — exactly the
+/// loop the SIMD layer replaced (kept here as the measured baseline).
+std::uint64_t run_scalar(const Workload& w) {
+  std::uint64_t hits = 0;
+  for (const Query& q : w.queries) {
+    const memory::Slab& slab = w.slabs[q.slab];
+    for (int slot = 0; slot < slabhash::kSetKeysPerSlab; ++slot) {
+      const std::uint32_t k = simt::atomic_load(slab.words[slot]);
+      if (k == q.key) {
+        ++hits;
+        break;
+      }
+      if (k == slabhash::kEmptyKey) break;
+    }
+  }
+  return hits;
+}
+
+/// One vectorized compare per slab via whichever backend is active.
+std::uint64_t run_masked(const Workload& w) {
+  std::uint64_t hits = 0;
+  for (const Query& q : w.queries) {
+    const std::uint32_t mask =
+        simt::match_mask(w.slabs[q.slab].words, q.key);
+    hits += (mask & slabhash::kSetKeyWordsMask) != 0;
+  }
+  return hits;
+}
+
+double best_of(int reps, double items, const std::function<std::uint64_t()>& fn,
+               std::uint64_t expected_hits) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    const std::uint64_t hits = fn();
+    const double rate = util::mitems_per_second(items, timer.seconds());
+    if (hits != expected_hits) {
+      std::fprintf(stderr, "hit-count mismatch: %llu vs %llu\n",
+                   static_cast<unsigned long long>(hits),
+                   static_cast<unsigned long long>(expected_hits));
+      std::exit(1);
+    }
+    best = std::max(best, rate);
+  }
+  return best;
+}
+
+void run(const bench::BenchContext& ctx, const util::Cli& cli) {
+  const auto num_slabs = static_cast<std::uint32_t>(
+      cli.get_int("slabs", ctx.quick ? 1 << 12 : 1 << 15));
+  const auto num_queries = static_cast<std::uint32_t>(
+      cli.get_int("queries", ctx.quick ? 1 << 19 : 1 << 21));
+  const int reps = static_cast<int>(cli.get_int("reps", ctx.quick ? 3 : 5));
+  const double fill = cli.get_double("fill", 0.7);
+
+  const Workload w = make_workload(num_slabs, num_queries, fill, ctx.seed);
+  const double items = static_cast<double>(num_queries);
+  const std::uint64_t expected = run_scalar(w);
+
+  util::Table table({"Probe kernel", "Mprobes/s", "vs scalar"});
+  const double scalar = best_of(reps, items, [&] { return run_scalar(w); },
+                                expected);
+  table.add_row({"scalar (seed loop)", util::Table::fmt(scalar), "1.00x"});
+  ctx.record("probe_scalar", scalar, "Mprobes/s");
+
+  simt::set_probe_backend(simt::ProbeBackend::kPortable);
+  const double portable = best_of(reps, items, [&] { return run_masked(w); },
+                                  expected);
+  table.add_row({"portable mask", util::Table::fmt(portable),
+                 util::Table::fmt(portable / scalar) + "x"});
+  ctx.record("probe_portable", portable, "Mprobes/s",
+             {{"speedup_vs_scalar", util::Table::fmt(portable / scalar)}});
+
+  simt::set_probe_backend(simt::ProbeBackend::kSimd);
+  if (simt::probe_uses_simd()) {
+    const double avx2 = best_of(reps, items, [&] { return run_masked(w); },
+                                expected);
+    table.add_row({"avx2 mask", util::Table::fmt(avx2),
+                   util::Table::fmt(avx2 / scalar) + "x"});
+    ctx.record("probe_avx2", avx2, "Mprobes/s",
+               {{"speedup_vs_scalar", util::Table::fmt(avx2 / scalar)}});
+  } else {
+    table.add_row({"avx2 mask", "--", "not compiled in"});
+  }
+  ctx.emit(table, "Raw slab probe (" + std::to_string(num_slabs) + " slabs, " +
+                      std::to_string(num_queries) + " uniform-random queries)");
+  std::printf("\n");
+
+  // End-to-end: the same backends underneath the real SlabHash operations.
+  const auto num_keys = static_cast<std::uint32_t>(ctx.quick ? 1 << 14 : 1 << 16);
+  util::Xoshiro256 rng(ctx.seed + 1);
+  std::vector<std::uint32_t> keys(num_keys);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(1u << 28));
+
+  memory::SlabArena arena;
+  slabhash::SlabHashSet set(
+      arena, slabhash::buckets_for(num_keys, 0.7, slabhash::kSetKeysPerSlab));
+  slabhash::SlabHashMap map(
+      arena, slabhash::buckets_for(num_keys, 0.7, slabhash::kMapPairsPerSlab));
+  for (const std::uint32_t k : keys) {
+    set.insert(k);
+    map.replace(k, k);
+  }
+  std::vector<std::uint32_t> probes = keys;
+  for (std::size_t i = 0; i < probes.size(); i += 2) {
+    probes[i] = static_cast<std::uint32_t>(rng.below(1u << 28));
+  }
+
+  util::Table e2e({"Operation", "portable Mop/s", "avx2 Mop/s", "avx2/portable"});
+  const auto contains_all = [&] {
+    std::uint64_t hits = 0;
+    for (const std::uint32_t k : probes) hits += set.contains(k);
+    return hits;
+  };
+  const auto search_all = [&] {
+    std::uint64_t hits = 0;
+    for (const std::uint32_t k : probes) hits += map.search(k).found;
+    return hits;
+  };
+  const double op_items = static_cast<double>(probes.size());
+  const auto run_e2e = [&](const char* name,
+                           const std::function<std::uint64_t()>& fn) {
+    simt::set_probe_backend(simt::ProbeBackend::kPortable);
+    const std::uint64_t hits = fn();
+    const double p = best_of(reps, op_items, fn, hits);
+    double a = 0.0;
+    simt::set_probe_backend(simt::ProbeBackend::kSimd);
+    if (simt::probe_uses_simd()) a = best_of(reps, op_items, fn, hits);
+    e2e.add_row({name, util::Table::fmt(p),
+                 a > 0 ? util::Table::fmt(a) : "--",
+                 a > 0 ? util::Table::fmt(a / p) + "x" : "--"});
+    ctx.record(std::string(name) + "_portable", p, "Mop/s");
+    if (a > 0) ctx.record(std::string(name) + "_avx2", a, "Mop/s");
+  };
+  run_e2e("set_contains", contains_all);
+  run_e2e("map_search", search_all);
+  ctx.emit(e2e, "End-to-end SlabHash point lookups (" +
+                    std::to_string(num_keys) + " keys, load factor 0.7)");
+
+  bench::paper_shape_note(
+      "the mask kernels beat the sequential-load loop by >=2x on "
+      "uniform-random queries (one wide compare vs ~fill*Bc dependent "
+      "loads), mirroring the paper's warp-parallel slab compare");
+}
+
+}  // namespace
+}  // namespace sg
+
+int main(int argc, char** argv) {
+  const sg::util::Cli cli(argc, argv);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "micro_probe");
+  ctx.print_header("micro: slab probe kernels (scalar vs portable vs AVX2)");
+  sg::run(ctx, cli);
+  const std::string unused = cli.unused_keys();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "warning: unused flags: %s\n", unused.c_str());
+  }
+  ctx.write_json();
+  return 0;
+}

@@ -1,10 +1,13 @@
 // Google-benchmark micro benchmarks for the SlabHash layer and the WCWS
 // ablation: map vs set ops across load factors, and Algorithm 1's
 // warp-grouped insertion vs naive per-item insertion into the same tables.
+//
+//   ./build/micro_slabhash --json=BENCH_slabhash.json
 #include <benchmark/benchmark.h>
 
 #include <vector>
 
+#include "bench/gbench_main.hpp"
 #include "src/core/dyn_graph.hpp"
 #include "src/memory/slab_arena.hpp"
 #include "src/slabhash/slab_map.hpp"
@@ -130,4 +133,6 @@ BENCHMARK(BM_NaivePerItemInsert);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sg::bench::run_google_benchmarks(argc, argv);
+}

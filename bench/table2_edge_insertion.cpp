@@ -70,10 +70,10 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
                        : util::Table::fmt(util::mean_of(per_exp[bi].faim)),
                    util::Table::fmt(util::mean_of(per_exp[bi].ours))});
   }
-  table.print("Table II: mean edge insertion rates (MEdge/s), " +
+  ctx.emit(table, "Table II: mean edge insertion rates (MEdge/s), " +
               std::to_string(names.size()) + "-dataset mean");
   std::printf("\n");
-  split.print("Per-dataset rates at the largest batch (degree-family split)");
+  ctx.emit(split, "Per-dataset rates at the largest batch (degree-family split)");
   bench::paper_shape_note(
       "ours fastest at every batch size (paper: 5.8-14.8x over Hornet, "
       "3.4-5.4x over faimGraph); all three improve with batch size");
@@ -84,7 +84,7 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table2_edge_insertion");
   ctx.print_header("Table II: batched edge insertion");
   std::vector<int> exps = ctx.quick ? std::vector<int>{12, 14}
                                     : std::vector<int>{12, 13, 14, 15, 16};
@@ -93,5 +93,6 @@ int main(int argc, char** argv) {
     for (int e = 12; e <= cli.get_int("max_exp", 16); ++e) exps.push_back(e);
   }
   sg::run(ctx, exps);
+  ctx.write_json();
   return 0;
 }

@@ -68,10 +68,10 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
                        : util::Table::fmt(util::mean_of(per_exp[bi].faim)),
                    util::Table::fmt(util::mean_of(per_exp[bi].ours))});
   }
-  table.print("Table III: mean edge deletion rates (MEdge/s), " +
+  ctx.emit(table, "Table III: mean edge deletion rates (MEdge/s), " +
               std::to_string(names.size()) + "-dataset mean");
   std::printf("\n");
-  split.print("Per-dataset rates at the largest batch (degree-family split)");
+  ctx.emit(split, "Per-dataset rates at the largest batch (degree-family split)");
   bench::paper_shape_note(
       "ours far ahead at small batches (~7x over Hornet at 2^16), Hornet "
       "converges to parity at the largest batch; ours 3.6-7.8x over faim");
@@ -82,7 +82,7 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table3_edge_deletion");
   ctx.print_header("Table III: batched edge deletion");
   std::vector<int> exps = ctx.quick ? std::vector<int>{12, 14}
                                     : std::vector<int>{12, 13, 14, 15, 16};
@@ -91,5 +91,6 @@ int main(int argc, char** argv) {
     for (int e = 12; e <= cli.get_int("max_exp", 16); ++e) exps.push_back(e);
   }
   sg::run(ctx, exps);
+  ctx.write_json();
   return 0;
 }

@@ -57,10 +57,10 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
                    util::Table::fmt(util::mean_of(per_exp[bi].faim), 3),
                    util::Table::fmt(util::mean_of(per_exp[bi].ours), 3)});
   }
-  table.print(
+  ctx.emit(table, 
       "Table IV: mean vertex deletion throughput (MVertex/s), 4-dataset mean");
   std::printf("\n");
-  split.print("Per-dataset throughput at the largest batch");
+  ctx.emit(split, "Per-dataset throughput at the largest batch");
   bench::paper_shape_note(
       "ours 8.9-12.2x faster than faimGraph at every batch size (hash lookup "
       "of the deleted vertex in neighbours' lists beats list scanning); "
@@ -72,10 +72,11 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table4_vertex_deletion");
   ctx.print_header("Table IV: batched vertex deletion (undirected)");
   const std::vector<int> exps =
       ctx.quick ? std::vector<int>{8, 10} : std::vector<int>{10, 11, 12, 13, 14};
   sg::run(ctx, exps);
+  ctx.write_json();
   return 0;
 }

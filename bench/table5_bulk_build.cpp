@@ -34,7 +34,7 @@ void run(const bench::BenchContext& ctx) {
                    util::Table::fmt(hornet_ms, 3), util::Table::fmt(ours_ms, 3),
                    util::Table::fmt(hornet_ms / ours_ms, 1) + "x"});
   }
-  table.print("Table V: bulk build elapsed time (ms)");
+  ctx.emit(table, "Table V: bulk build elapsed time (ms)");
   bench::paper_shape_note(
       "ours 2-30x faster across the suite; Hornet's gap comes from global "
       "sorting + duplicate checking (45% of its time on hollywood-2009)");
@@ -45,8 +45,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table5_bulk_build");
   ctx.print_header("Table V: bulk build");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

@@ -57,10 +57,10 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
     table.add_row({"2^" + std::to_string(batch_exps[bi]), util::Table::fmt(h),
                    util::Table::fmt(o), util::Table::fmt(o / h, 2) + "x"});
   }
-  table.print(
+  ctx.emit(table, 
       "Table VI: incremental build mean edge insertion rates (MEdge/s)");
   std::printf("\n");
-  split.print("Per-dataset split at the largest batch (variance effect)");
+  ctx.emit(split, "Per-dataset split at the largest batch (variance effect)");
   bench::paper_shape_note(
       "ours ~5x faster on average; the gap is largest on low-variance "
       "graphs (delaunay/road: paper 15-25x) where Hornet keeps copying "
@@ -73,10 +73,11 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table6_incremental_build");
   ctx.print_header("Table VI: incremental build (unknown degrees, 1 bucket)");
   const std::vector<int> exps =
       ctx.quick ? std::vector<int>{14} : std::vector<int>{15, 16, 17};
   sg::run(ctx, exps);
+  ctx.write_json();
   return 0;
 }

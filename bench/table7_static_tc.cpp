@@ -49,7 +49,7 @@ void run(const bench::BenchContext& ctx) {
                    util::Table::fmt(faim_ms, 2), util::Table::fmt(ours_ms, 2),
                    util::Table::fmt_int(static_cast<long long>(triangles))});
   }
-  table.print("Table VII: static triangle counting time (ms)");
+  ctx.emit(table, "Table VII: static triangle counting time (ms)");
   bench::paper_shape_note(
       "on most datasets ours is SLOWER than the sorted-intersect baselines "
       "(serial two-pointer walks beat per-wedge hash probes); the paper "
@@ -61,8 +61,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25, "table7_static_tc");
   ctx.print_header("Table VII: static triangle counting (set variant)");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

@@ -60,7 +60,7 @@ void run(const bench::BenchContext& ctx) {
     table.add_row({name, util::Table::fmt_int(stats.max_degree),
                    util::Table::fmt(csr_ms, 2), util::Table::fmt(faim_ms, 2)});
   }
-  table.print("Table VIII: adjacency sort cost (ms)");
+  ctx.emit(table, "Table VIII: adjacency sort cost (ms)");
   bench::paper_shape_note(
       "faimGraph's sort beats the CSR/CUB-style sort when max degree is "
       "small (road/mesh/delaunay) and is far slower on scale-free graphs "
@@ -73,8 +73,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 1.0, "table8_sort_cost");
   ctx.print_header("Table VIII: sort cost for list-based structures");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

@@ -32,7 +32,7 @@ void run(const bench::BenchContext& ctx) {
                      util::Table::fmt(h.cumulative_ms / o.cumulative_ms, 2) +
                          "x"});
     }
-    table.print("Table IX: cumulative dynamic TC on " + name +
+    ctx.emit(table, "Table IX: cumulative dynamic TC on " + name +
                 " (batch cap 2^18, times in ms)");
     std::printf("\n");
   }
@@ -47,8 +47,9 @@ void run(const bench::BenchContext& ctx) {
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25);
+  const auto ctx = sg::bench::BenchContext::from_cli(cli, 0.25, "table9_dynamic_tc");
   ctx.print_header("Table IX: dynamic triangle counting");
   sg::run(ctx);
+  ctx.write_json();
   return 0;
 }

@@ -11,6 +11,16 @@ namespace {
 constexpr std::uint32_t kOffsetBits = 13;
 constexpr std::uint32_t kOffsetMask = SlabArena::kChunkSlabs - 1;
 constexpr std::uint32_t kBitmapWords = SlabArena::kChunkSlabs / 64;
+
+/// Per-thread index used to pick a free-slab cache slot; assigned once per
+/// thread, process-wide, so a thread maps to the same slot in every arena.
+std::atomic<unsigned> g_thread_counter{0};
+
+unsigned thread_cache_index() noexcept {
+  thread_local const unsigned index =
+      g_thread_counter.fetch_add(1, std::memory_order_relaxed);
+  return index % SlabArena::kNumFreeCaches;
+}
 }  // namespace
 
 struct SlabArena::Chunk {
@@ -33,10 +43,34 @@ struct SlabArena::Chunk {
 };
 
 SlabArena::SlabArena()
-    : chunks_(new std::atomic<Chunk*>[kMaxChunks]) {
+    : chunks_(new std::atomic<Chunk*>[kMaxChunks]),
+      free_caches_(new FreeCache[kNumFreeCaches]) {
   for (std::uint32_t i = 0; i < kMaxChunks; ++i) {
     chunks_[i].store(nullptr, std::memory_order_relaxed);
   }
+}
+
+bool SlabArena::cache_push(SlabHandle handle) noexcept {
+  FreeCache& cache = free_caches_[thread_cache_index()];
+  if (!cache.try_lock()) return false;
+#ifndef NDEBUG
+  for (std::uint32_t i = 0; i < cache.count; ++i) {
+    assert(cache.slots[i] != handle && "double free (handle already cached)");
+  }
+#endif
+  const bool pushed = cache.count < kFreeCacheSlots;
+  if (pushed) cache.slots[cache.count++] = handle;
+  cache.unlock();
+  return pushed;
+}
+
+SlabHandle SlabArena::cache_pop() noexcept {
+  FreeCache& cache = free_caches_[thread_cache_index()];
+  if (!cache.try_lock()) return kNullSlab;
+  const SlabHandle handle =
+      cache.count > 0 ? cache.slots[--cache.count] : kNullSlab;
+  cache.unlock();
+  return handle;
 }
 
 SlabArena::~SlabArena() {
@@ -86,6 +120,15 @@ SlabHandle SlabArena::allocate_contiguous(std::uint32_t count,
 }
 
 SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
+  // Fast path: a slab this thread recently freed. Its bitmap bit is still
+  // set, so no other thread can hand it out; no shared state is touched.
+  const SlabHandle cached = cache_pop();
+  if (cached != kNullSlab) {
+    Slab& slab = resolve(cached);
+    for (int word = 0; word < kWordsPerSlab; ++word) slab.words[word] = fill_word;
+    dynamic_slabs_.fetch_add(1, std::memory_order_relaxed);
+    return cached;
+  }
   for (int attempt = 0;; ++attempt) {
     const std::uint32_t n = num_chunks_.load(std::memory_order_acquire);
     // Visit dynamic chunks starting from a seed-dependent position, the
@@ -122,7 +165,10 @@ SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
       }
     }
     // No dynamic chunk had space: grow. Only one grower at a time; others
-    // retry and find the fresh chunk.
+    // retry and find the fresh chunk. Slabs parked in other threads' free
+    // caches are invisible here (their bitmap bits stay set), so growth
+    // can over-provision by at most kNumFreeCaches * kFreeCacheSlots slabs
+    // (2048 slabs = 256 KiB) — the price of the lock-free fast path.
     {
       std::lock_guard<std::mutex> grow(grow_mutex_);
       bool has_space = false;
@@ -147,6 +193,21 @@ void SlabArena::free(SlabHandle handle) {
   assert(chunk != nullptr && chunk->dynamic && "free of a non-dynamic slab");
   if (chunk == nullptr || !chunk->dynamic) return;
   const std::uint64_t mask = std::uint64_t{1} << (slot % 64);
+  // A clear bitmap bit means the slab is already free (double free of a
+  // bitmap-freed handle): reject it before it can enter a cache and be
+  // handed out twice. Cached double frees are caught by the debug scan in
+  // cache_push (same thread) but not across threads.
+  const std::uint64_t live =
+      chunk->bitmap[slot / 64].load(std::memory_order_acquire);
+  assert((live & mask) != 0 && "double free");
+  if ((live & mask) == 0) return;
+  // Fast path: park the handle in this thread's cache (bitmap bit stays
+  // set, so the slab stays invisible to other allocators). Spill to the
+  // shared bitmap when the cache is full or contended.
+  if (cache_push(handle)) {
+    dynamic_slabs_.fetch_sub(1, std::memory_order_relaxed);
+    return;
+  }
   const std::uint64_t prev =
       chunk->bitmap[slot / 64].fetch_and(~mask, std::memory_order_acq_rel);
   assert((prev & mask) != 0 && "double free");

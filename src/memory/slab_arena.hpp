@@ -71,10 +71,14 @@ class SlabArena {
   /// Allocates one dynamic slab (collision slab), words filled with
   /// `fill_word`. `seed` spreads concurrent allocators over super blocks,
   /// mirroring SlabAlloc's per-warp super-block hashing. Thread-safe.
+  /// Fast path: a handle recycled through the calling thread's free-slab
+  /// cache — no bitmap scan, no shared-state contention.
   SlabHandle allocate(std::uint32_t fill_word, std::uint32_t seed = 0);
 
   /// Returns a dynamic slab to the arena. Freeing a bulk slab is invalid
   /// (asserts in debug builds); the paper never reclaims base slabs.
+  /// Fast path: the handle parks in the calling thread's free-slab cache
+  /// for the next allocate(); the cache spills to the shared bitmap.
   void free(SlabHandle handle);
 
   /// Handle -> storage. Valid for any live handle; lock-free.
@@ -85,14 +89,38 @@ class SlabArena {
   /// True if `handle` addresses a dynamic (freeable) slab.
   bool is_dynamic(SlabHandle handle) const;
 
+  /// Capacity of one per-thread free-slab cache (handles, not bytes).
+  static constexpr std::uint32_t kFreeCacheSlots = 32;
+  /// Cache slots in the arena; threads map onto them by a per-thread index,
+  /// the CPU analog of SlabAlloc's per-warp super-block residence.
+  static constexpr std::uint32_t kNumFreeCaches = 64;
+
  private:
   struct Chunk;
 
+  /// A small LIFO of recycled dynamic-slab handles. One per thread slot;
+  /// the try-lock keeps index collisions (more threads than slots) safe
+  /// without ever blocking — on contention callers fall through to the
+  /// shared bitmap path.
+  struct alignas(64) FreeCache {
+    std::atomic<bool> locked{false};
+    std::uint32_t count = 0;
+    SlabHandle slots[kFreeCacheSlots];
+
+    bool try_lock() noexcept {
+      return !locked.exchange(true, std::memory_order_acquire);
+    }
+    void unlock() noexcept { locked.store(false, std::memory_order_release); }
+  };
+
   Chunk* chunk_at(std::uint32_t index) const;
   std::uint32_t add_chunk(bool dynamic);  // returns chunk index
+  bool cache_push(SlabHandle handle) noexcept;
+  SlabHandle cache_pop() noexcept;  // kNullSlab when empty/contended
 
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
   std::atomic<std::uint32_t> num_chunks_{0};
+  std::unique_ptr<FreeCache[]> free_caches_;
 
   // Bulk (base-slab) bump state.
   std::mutex bulk_mutex_;

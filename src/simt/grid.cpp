@@ -25,7 +25,19 @@ void launch(std::uint64_t num_items, const WarpKernel& kernel,
     for (std::uint32_t w = 0; w < num_warps; ++w) kernel(make_warp_id(w, num_items));
     return;
   }
-  const std::uint32_t per_chunk = config.warps_per_chunk ? config.warps_per_chunk : 1;
+  std::uint32_t per_chunk = config.warps_per_chunk;
+  if (per_chunk == 0) {
+    // Auto: ~4 chunks per worker caps scheduling overhead at a handful of
+    // pool hand-offs per launch yet leaves slack for uneven warps; the cap
+    // keeps huge launches from degenerating into one chunk per worker with
+    // no rebalancing at the tail.
+    // A 1-thread pool reports size 0 (it runs jobs inline).
+    const std::uint32_t workers =
+        ThreadPool::instance().size() > 0 ? ThreadPool::instance().size() : 1u;
+    per_chunk = num_warps / (workers * 4u);
+    if (per_chunk == 0) per_chunk = 1;
+    if (per_chunk > 256u) per_chunk = 256u;
+  }
   const std::uint64_t num_chunks = (num_warps + per_chunk - 1) / per_chunk;
   ThreadPool::instance().parallel_for(num_chunks, [&](std::uint64_t chunk) {
     const std::uint32_t first = static_cast<std::uint32_t>(chunk) * per_chunk;

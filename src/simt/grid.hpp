@@ -18,9 +18,13 @@ namespace sg::simt {
 using WarpKernel = std::function<void(const WarpId&)>;
 
 struct LaunchConfig {
-  /// Warps per scheduling chunk. Larger values lower scheduling overhead;
-  /// smaller values improve balance for irregular kernels (Algorithm 2).
-  std::uint32_t warps_per_chunk = 16;
+  /// Warps per scheduling chunk. 0 (the default) derives a chunk size from
+  /// the launch width and the pool size — a few chunks per worker — so
+  /// small launches are not drowned in per-task scheduling overhead while
+  /// large irregular launches still balance. Set explicitly to trade
+  /// overhead (larger) against balance for irregular kernels (smaller,
+  /// Algorithm 2).
+  std::uint32_t warps_per_chunk = 0;
   /// Run serially on the calling thread (deterministic debugging).
   bool serial = false;
 };

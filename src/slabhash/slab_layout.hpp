@@ -32,6 +32,13 @@ inline constexpr int kReservedWord = 30;
 inline constexpr int kMapPairsPerSlab = 15;  ///< Bc for the concurrent map
 inline constexpr int kSetKeysPerSlab = 30;   ///< Bc for the concurrent set
 
+/// Lane masks (bit w = slab word w) selecting the words that hold keys,
+/// consumed against the ballot-style masks simt::probe_slab() produces:
+/// even words 0..28 for the map's 15 <key,value> pairs, words 0..29 for the
+/// set's 30 keys. Word 30 (reserved) and word 31 (next pointer) never match.
+inline constexpr std::uint32_t kMapKeyWordsMask = 0x15555555u;
+inline constexpr std::uint32_t kSetKeyWordsMask = 0x3FFFFFFFu;
+
 /// A hash table as the graph sees it: `num_buckets` base slabs starting at
 /// contiguous handle `base`. Collision slabs are chained off word 31.
 struct TableRef {

@@ -1,9 +1,17 @@
 #include "src/slabhash/slab_map.hpp"
 
-#include <cstring>
+#include <bit>
 #include <vector>
 
 #include "src/simt/atomics.hpp"
+#include "src/simt/simd.hpp"
+
+// Hot paths (replace / erase / search / for_each) execute the paper's
+// warp-parallel slab operation as one vectorized compare per slab
+// (simt::probe_slab -> ballot-style masks -> ffs), not a per-word loop of
+// atomic loads. CAS is kept only for the slot being claimed or tombstoned;
+// every read before that is a plain vector load, which the
+// phase-concurrent model permits (a stale word is re-checked by the CAS).
 
 namespace sg::slabhash {
 
@@ -40,27 +48,29 @@ bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   SlabHandle handle = table.bucket_head(bucket);
   for (;;) {
     Slab& slab = arena.resolve(handle);
-    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-      const int key_word = pair * 2;
-      std::uint32_t k = atomic_load(slab.words[key_word]);
-      if (k == key) {
+    const simt::SlabProbe probe =
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+    const std::uint32_t match = probe.match & kMapKeyWordsMask;
+    if (match != 0) {  // key already stored: overwrite the value
+      atomic_store(slab.words[std::countr_zero(match) + 1], value);
+      return false;
+    }
+    // Claim the first EMPTY key slot; on a lost race fall through to the
+    // next candidate (tombstones are never reused by insertion).
+    std::uint32_t empties = probe.empty & kMapKeyWordsMask;
+    while (empties != 0) {
+      const int key_word = std::countr_zero(empties);
+      const std::uint32_t observed =
+          atomic_cas(slab.words[key_word], kEmptyKey, key);
+      if (observed == kEmptyKey) {
+        atomic_store(slab.words[key_word + 1], value);
+        return true;
+      }
+      if (observed == key) {  // lost the race to an identical key
         atomic_store(slab.words[key_word + 1], value);
         return false;
       }
-      if (k == kTombstoneKey) continue;  // never reused by insertion
-      if (k == kEmptyKey) {
-        const std::uint32_t observed =
-            atomic_cas(slab.words[key_word], kEmptyKey, key);
-        if (observed == kEmptyKey) {
-          atomic_store(slab.words[key_word + 1], value);
-          return true;
-        }
-        if (observed == key) {  // lost the race to an identical key
-          atomic_store(slab.words[key_word + 1], value);
-          return false;
-        }
-        // A different key claimed the slot; fall through to the next slot.
-      }
+      empties &= empties - 1;  // a different key claimed the slot
     }
     SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
     if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
@@ -74,15 +84,17 @@ bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     Slab& slab = arena.resolve(handle);
-    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-      const int key_word = pair * 2;
-      const std::uint32_t k = atomic_load(slab.words[key_word]);
-      if (k == key) {
-        // CAS (not a plain store) so two warps deleting the same key only
-        // decrement the edge counter once.
-        return atomic_cas(slab.words[key_word], key, kTombstoneKey) == key;
-      }
-      if (k == kEmptyKey) return false;  // empties only at the tail
+    const simt::SlabProbe probe =
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+    const std::uint32_t match = probe.match & kMapKeyWordsMask;
+    if (match != 0) {
+      // CAS (not a plain store) so two warps deleting the same key only
+      // decrement the edge counter once.
+      return atomic_cas(slab.words[std::countr_zero(match)], key,
+                        kTombstoneKey) == key;
+    }
+    if ((probe.empty & kMapKeyWordsMask) != 0) {
+      return false;  // empties only at the tail
     }
     handle = atomic_load(slab.words[kNextPtrWord]);
   }
@@ -91,22 +103,26 @@ bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
 
 MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
                          std::uint32_t key, std::uint64_t seed) {
-  // Query-phase scan; see set_contains for the warp-parallel-compare
-  // rationale behind the snapshot + plain loop.
   const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
-    std::uint32_t words[memory::kWordsPerSlab];
-    std::memcpy(words, arena.resolve(handle).words, sizeof(words));
-    int hit_pair = -1;
-    bool open = false;
-    for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-      if (words[pair * 2] == key) hit_pair = pair;
-      open |= words[pair * 2] == kEmptyKey;
+    const Slab& slab = arena.resolve(handle);
+    const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+    const std::uint32_t* words = slab.words;
+    std::uint32_t snap[memory::kWordsPerSlab];
+    if (next != kNullSlab) {
+      // Overflow chain: snapshot so key and value come from one read of
+      // the slab. Single-slab buckets (the common case at the paper's load
+      // factors) probe the shared words directly and skip the copy.
+      simt::snapshot_slab(slab, snap);
+      words = snap;
     }
-    if (hit_pair >= 0) return {true, words[hit_pair * 2 + 1]};
-    if (open) return {};
-    handle = words[kNextPtrWord];
+    const simt::SlabProbe probe =
+        simt::probe_slab(words, key, kEmptyKey, kTombstoneKey);
+    const std::uint32_t match = probe.match & kMapKeyWordsMask;
+    if (match != 0) return {true, words[std::countr_zero(match) + 1]};
+    if ((probe.empty & kMapKeyWordsMask) != 0) return {};
+    handle = next;
   }
   return {};
 }
@@ -116,14 +132,22 @@ void map_for_each(const memory::SlabArena& arena, TableRef table,
   for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
     SlabHandle handle = table.bucket_head(b);
     while (handle != kNullSlab) {
-      const Slab& slab = arena.resolve(handle);
-      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-        const std::uint32_t k = atomic_load(slab.words[pair * 2]);
-        if (k == kEmptyKey) break;  // empties only at the slab tail
-        if (k == kTombstoneKey) continue;
-        fn(k, atomic_load(slab.words[pair * 2 + 1]));
+      std::uint32_t snap[memory::kWordsPerSlab];
+      simt::snapshot_slab(arena.resolve(handle), snap);
+      const std::uint32_t empties =
+          simt::empty_mask(snap, kEmptyKey) & kMapKeyWordsMask;
+      const std::uint32_t tombs =
+          simt::tombstone_mask(snap, kTombstoneKey) & kMapKeyWordsMask;
+      // Live pairs sit below the first EMPTY slot (empties only at the
+      // slab tail); tombstoned slots are skipped.
+      std::uint32_t live = kMapKeyWordsMask & ~tombs &
+                           simt::bits_below(std::countr_zero(empties));
+      while (live != 0) {
+        const int key_word = std::countr_zero(live);
+        fn(snap[key_word], snap[key_word + 1]);
+        live &= live - 1;
       }
-      handle = atomic_load(slab.words[kNextPtrWord]);
+      handle = snap[kNextPtrWord];
     }
   }
 }

@@ -1,9 +1,14 @@
 #include "src/slabhash/slab_set.hpp"
 
-#include <cstring>
+#include <bit>
 #include <vector>
 
 #include "src/simt/atomics.hpp"
+#include "src/simt/simd.hpp"
+
+// Hot paths mirror slab_map.cpp: one vectorized compare per slab
+// (simt::probe_slab) replaces the per-word atomic-load loop, with CAS kept
+// only for the slot being claimed or tombstoned.
 
 namespace sg::slabhash {
 
@@ -33,16 +38,17 @@ bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   SlabHandle handle = table.bucket_head(bucket);
   for (;;) {
     Slab& slab = arena.resolve(handle);
-    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-      const std::uint32_t k = atomic_load(slab.words[slot]);
-      if (k == key) return false;  // already present
-      if (k == kTombstoneKey) continue;
-      if (k == kEmptyKey) {
-        const std::uint32_t observed = atomic_cas(slab.words[slot], kEmptyKey, key);
-        if (observed == kEmptyKey) return true;
-        if (observed == key) return false;
-        // A different key won the slot; keep scanning.
-      }
+    const simt::SlabProbe probe =
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+    if ((probe.match & kSetKeyWordsMask) != 0) return false;  // already present
+    std::uint32_t empties = probe.empty & kSetKeyWordsMask;
+    while (empties != 0) {
+      const int slot = std::countr_zero(empties);
+      const std::uint32_t observed =
+          atomic_cas(slab.words[slot], kEmptyKey, key);
+      if (observed == kEmptyKey) return true;
+      if (observed == key) return false;  // lost the race to an identical key
+      empties &= empties - 1;  // a different key won the slot; keep going
     }
     SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
     if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
@@ -56,11 +62,14 @@ bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     Slab& slab = arena.resolve(handle);
-    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-      const std::uint32_t k = atomic_load(slab.words[slot]);
-      if (k == key) return atomic_cas(slab.words[slot], key, kTombstoneKey) == key;
-      if (k == kEmptyKey) return false;
+    const simt::SlabProbe probe =
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+    const std::uint32_t match = probe.match & kSetKeyWordsMask;
+    if (match != 0) {
+      return atomic_cas(slab.words[std::countr_zero(match)], key,
+                        kTombstoneKey) == key;
     }
+    if ((probe.empty & kSetKeyWordsMask) != 0) return false;
     handle = atomic_load(slab.words[kNextPtrWord]);
   }
   return false;
@@ -68,23 +77,17 @@ bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
 
 bool set_contains(const memory::SlabArena& arena, TableRef table,
                   std::uint32_t key, std::uint64_t seed) {
-  // Query-phase scan: a GPU warp compares all 32 slab words in one step, so
-  // the host analog snapshots the slab (plain, vectorizable loads — safe
-  // under the phase-concurrent model) and compares without per-word atomics.
+  // The edgeExist primitive: a GPU warp compares all 32 slab words in one
+  // step; here that is literally one vector compare per slab.
   const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
-    std::uint32_t words[memory::kWordsPerSlab];
-    std::memcpy(words, arena.resolve(handle).words, sizeof(words));
-    bool hit = false;
-    bool open = false;  // an EMPTY slot => the key cannot be further along
-    for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-      hit |= words[slot] == key;
-      open |= words[slot] == kEmptyKey;
-    }
-    if (hit) return true;
-    if (open) return false;
-    handle = words[kNextPtrWord];
+    const Slab& slab = arena.resolve(handle);
+    const simt::SlabProbe probe =
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+    if ((probe.match & kSetKeyWordsMask) != 0) return true;
+    if ((probe.empty & kSetKeyWordsMask) != 0) return false;
+    handle = atomic_load(slab.words[kNextPtrWord]);
   }
   return false;
 }
@@ -94,13 +97,19 @@ void set_for_each(const memory::SlabArena& arena, TableRef table,
   for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
     SlabHandle handle = table.bucket_head(b);
     while (handle != kNullSlab) {
-      const Slab& slab = arena.resolve(handle);
-      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-        const std::uint32_t k = atomic_load(slab.words[slot]);
-        if (k == kEmptyKey) break;  // empties only at the slab tail
-        if (k != kTombstoneKey) fn(k);
+      std::uint32_t snap[memory::kWordsPerSlab];
+      simt::snapshot_slab(arena.resolve(handle), snap);
+      const std::uint32_t empties =
+          simt::empty_mask(snap, kEmptyKey) & kSetKeyWordsMask;
+      const std::uint32_t tombs =
+          simt::tombstone_mask(snap, kTombstoneKey) & kSetKeyWordsMask;
+      std::uint32_t live = kSetKeyWordsMask & ~tombs &
+                           simt::bits_below(std::countr_zero(empties));
+      while (live != 0) {
+        fn(snap[std::countr_zero(live)]);
+        live &= live - 1;
       }
-      handle = atomic_load(slab.words[kNextPtrWord]);
+      handle = snap[kNextPtrWord];
     }
   }
 }

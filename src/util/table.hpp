@@ -24,6 +24,12 @@ class Table {
   static std::string fmt(double value, int precision = 2);
   static std::string fmt_int(long long value);
 
+  /// Structured access for machine-readable emitters (BENCH_*.json).
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const noexcept {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;
