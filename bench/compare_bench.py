@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: diff consecutive BENCH_pr*.json points.
+
+Each PR checks in a BENCH_pr<N>.json trajectory point (schema in
+docs/PERF.md: {"pr": N, "benches": {<bench>: {"metrics": [...],
+"tables": [...]}}}). This script lines the points up by PR number and fails
+(exit 1) when any NAMED metric drops by more than the threshold between two
+consecutive points. All tracked metrics are higher-is-better rates.
+
+Usage:
+    python3 bench/compare_bench.py [--threshold=0.10] [--metric=NAME ...] \
+        BENCH_pr1.json BENCH_pr2.json ...
+
+With no --metric flags the default set below is used. A metric absent from
+either point of a pair is reported and skipped (older points predate newer
+series), so adding metrics never breaks the gate retroactively.
+
+Values are compared per series: a metric name plus its label map (e.g.
+ours_insert_rate{batch=2^14}) must match on both sides. For points that
+predate the ours_insert_rate metric series, the same series is derived from
+the "Ours" column of the Table II table.
+"""
+
+import json
+import sys
+
+DEFAULT_METRICS = [
+    "probe_portable",
+    "probe_avx2",
+    "ours_insert_rate",
+]
+DEFAULT_THRESHOLD = 0.10
+
+# Labels that identify a series (a parameter the bench swept). Anything else
+# (e.g. the informational speedup_vs_scalar annotation) is measurement
+# output and would make series keys unmatchable across points.
+SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor"}
+
+
+def parse_number(cell):
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def series_of(point):
+    """(bench, metric name, frozen labels) -> value for one trajectory point."""
+    series = {}
+    for bench_name, bench in point.get("benches", {}).items():
+        for metric in bench.get("metrics", []):
+            labels = tuple(sorted((k, v)
+                                  for k, v in metric.get("labels", {}).items()
+                                  if k in SERIES_LABEL_KEYS))
+            series[(bench_name, metric["name"], labels)] = metric["value"]
+    derive_table2_ours(point, series)
+    return series
+
+
+def derive_table2_ours(point, series):
+    """Backfill ours_insert_rate{batch=...} from the Table II "Ours" column
+    for points older than the metric series."""
+    bench = point.get("benches", {}).get("table2_edge_insertion")
+    if bench is None:
+        return
+    for table in bench.get("tables", []):
+        headers = table.get("headers", [])
+        if "Ours" not in headers or "Batch size" not in headers:
+            continue
+        ours_col = headers.index("Ours")
+        batch_col = headers.index("Batch size")
+        for row in table.get("rows", []):
+            value = parse_number(row[ours_col])
+            if value is None:
+                continue
+            key = ("table2_edge_insertion", "ours_insert_rate",
+                   (("batch", row[batch_col]),))
+            series.setdefault(key, value)
+        return
+
+
+def format_series(key):
+    bench, name, labels = key
+    label_text = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{bench}:{name}" + (f"{{{label_text}}}" if label_text else "")
+
+
+def main(argv):
+    threshold = DEFAULT_THRESHOLD
+    metrics = []
+    paths = []
+    for arg in argv:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--metric="):
+            metrics.append(arg.split("=", 1)[1])
+        elif arg.startswith("--"):
+            print(f"unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if not metrics:
+        metrics = DEFAULT_METRICS
+    if len(paths) < 2:
+        print(f"{len(paths)} trajectory point(s): nothing to compare")
+        return 0
+
+    points = []
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        if "pr" not in data:
+            print(f"warning: {path} has no \"pr\" field; skipping",
+                  file=sys.stderr)
+            continue
+        points.append((data["pr"], path, series_of(data)))
+    points.sort(key=lambda p: p[0])
+
+    regressions = []
+    for (old_pr, old_path, old), (new_pr, new_path, new) in zip(
+            points, points[1:]):
+        for key in sorted(set(old) & set(new)):
+            if key[1] not in metrics:
+                continue
+            old_value, new_value = old[key], new[key]
+            delta = (new_value - old_value) / old_value if old_value else 0.0
+            status = "OK"
+            if old_value > 0 and new_value < old_value * (1.0 - threshold):
+                status = "REGRESSION"
+                regressions.append(
+                    f"pr{old_pr} -> pr{new_pr}: {format_series(key)} "
+                    f"{old_value:.2f} -> {new_value:.2f} ({delta:+.1%})")
+            print(f"  [{status:10s}] pr{old_pr} -> pr{new_pr} "
+                  f"{format_series(key)}: {old_value:.2f} -> {new_value:.2f} "
+                  f"({delta:+.1%})")
+        for key in sorted((set(old) ^ set(new))):
+            if key[1] in metrics:
+                where = "only in" if key in new else "missing from"
+                print(f"  [skip      ] {format_series(key)} "
+                      f"{where} pr{new_pr if key in new else old_pr}")
+
+    if regressions:
+        print(f"\n{len(regressions)} regression(s) beyond "
+              f"{threshold:.0%}:", file=sys.stderr)
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nno tracked metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

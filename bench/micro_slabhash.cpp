@@ -10,6 +10,7 @@
 #include "bench/gbench_main.hpp"
 #include "src/core/dyn_graph.hpp"
 #include "src/memory/slab_arena.hpp"
+#include "src/simt/thread_pool.hpp"
 #include "src/slabhash/slab_map.hpp"
 #include "src/slabhash/slab_set.hpp"
 #include "src/util/prng.hpp"
@@ -88,15 +89,50 @@ void BM_SetContains(benchmark::State& state) {
 }
 BENCHMARK(BM_SetContains)->Arg(70)->Arg(300);
 
-/// Ablation: Algorithm 1 (WCWS warp-grouped batched insertion) vs inserting
-/// each edge independently through the hash-table API.
-void BM_Alg1WarpGroupedInsert(benchmark::State& state) {
+/// Ablation: scalar Algorithm 1 (WCWS warp-grouped insertion) vs the staged
+/// batch engine (stage -> run grouping -> bulk slab ops) vs inserting each
+/// edge independently through the hash-table API.
+std::vector<sg::core::WeightedEdge> insert_ablation_batch() {
   sg::util::Xoshiro256 rng(5);
   std::vector<sg::core::WeightedEdge> batch(1u << 14);
   for (auto& e : batch) {
     e = {static_cast<std::uint32_t>(rng.below(256)),
          static_cast<std::uint32_t>(rng.below(4096)), 1};
   }
+  return batch;
+}
+
+void insert_bench_body(benchmark::State& state, bool batch_engine) {
+  const auto batch = insert_ablation_batch();
+  for (auto _ : state) {
+    state.PauseTiming();
+    sg::core::GraphConfig cfg;
+    cfg.vertex_capacity = 4096;
+    cfg.batch_engine = batch_engine;
+    sg::core::DynGraphMap graph(cfg);
+    state.ResumeTiming();
+    graph.insert_edges(batch);
+  }
+  state.SetItemsProcessed(state.iterations() * batch.size());
+}
+
+void BM_Alg1WarpGroupedInsert(benchmark::State& state) {
+  insert_bench_body(state, /*batch_engine=*/false);
+}
+BENCHMARK(BM_Alg1WarpGroupedInsert);
+
+void BM_BatchEngineInsert(benchmark::State& state) {
+  insert_bench_body(state, /*batch_engine=*/true);
+}
+BENCHMARK(BM_BatchEngineInsert);
+
+/// SG_THREADS sweep: the same batched insertion measured across pool
+/// widths (the env default is restored afterwards). Arg(0) = one JSON
+/// series per thread count via google-benchmark's per-arg records.
+void BM_BatchEngineInsertThreads(benchmark::State& state) {
+  sg::simt::ThreadPool::instance().resize(
+      static_cast<unsigned>(state.range(0)));
+  const auto batch = insert_ablation_batch();
   for (auto _ : state) {
     state.PauseTiming();
     sg::core::GraphConfig cfg;
@@ -106,8 +142,9 @@ void BM_Alg1WarpGroupedInsert(benchmark::State& state) {
     graph.insert_edges(batch);
   }
   state.SetItemsProcessed(state.iterations() * batch.size());
+  sg::simt::ThreadPool::instance().resize(0);  // back to the env default
 }
-BENCHMARK(BM_Alg1WarpGroupedInsert);
+BENCHMARK(BM_BatchEngineInsertThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_NaivePerItemInsert(benchmark::State& state) {
   sg::util::Xoshiro256 rng(5);

@@ -5,12 +5,69 @@
 // as in the paper ("faimGraph only supports batch updates of sizes < 1M").
 #include "bench/bench_common.hpp"
 
+#include <cstdlib>
+
 #include "src/baselines/faim/faim_graph.hpp"
 #include "src/baselines/hornet/hornet_graph.hpp"
 #include "src/datasets/coo.hpp"
+#include "src/simt/thread_pool.hpp"
 
 namespace sg {
 namespace {
+
+/// Comma-separated --threads=1,2,4 list; empty when the flag is absent.
+std::vector<unsigned> parse_thread_list(const util::Cli& cli) {
+  std::vector<unsigned> threads;
+  const std::string raw = cli.get("threads", "");
+  std::size_t pos = 0;
+  while (pos < raw.size()) {
+    const std::size_t comma = raw.find(',', pos);
+    const std::string tok =
+        raw.substr(pos, comma == std::string::npos ? raw.size() - pos
+                                                   : comma - pos);
+    if (!tok.empty()) {
+      const long n = std::strtol(tok.c_str(), nullptr, 10);
+      if (n > 0) threads.push_back(static_cast<unsigned>(n));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return threads;
+}
+
+/// SG_THREADS sweep (ROADMAP "Multi-threaded bench coverage"): re-run our
+/// batched insertion across pool widths, one JSON metric series per thread
+/// count, then restore the environment default.
+void run_thread_sweep(const bench::BenchContext& ctx,
+                      const std::vector<unsigned>& threads, int batch_exp) {
+  const auto names = ctx.quick ? datasets::small_suite_names()
+                               : datasets::suite_names();
+  util::Table table({"Threads", "Ours (MEdge/s)"});
+  const std::size_t batch_size = 1ull << batch_exp;
+  for (const unsigned t : threads) {
+    simt::ThreadPool::instance().resize(t);
+    std::vector<double> rates;
+    for (const auto& name : names) {
+      const datasets::Coo coo = datasets::make_dataset(name, ctx.scale, ctx.seed);
+      const auto batch = datasets::random_edge_batch(coo, batch_size, ctx.seed);
+      core::DynGraphMap ours(bench::graph_config(coo));
+      ours.bulk_build(coo.edges);
+      util::Timer timer;
+      ours.insert_edges(batch);
+      rates.push_back(
+          util::mitems_per_second(double(batch_size), timer.seconds()));
+    }
+    const double mean = util::mean_of(rates);
+    table.add_row({std::to_string(t), util::Table::fmt(mean)});
+    ctx.record("ours_insert_rate_threads", mean, "MEdge/s",
+               {{"threads", std::to_string(t)},
+                {"batch", "2^" + std::to_string(batch_exp)}});
+  }
+  simt::ThreadPool::instance().resize(0);  // restore the SG_THREADS default
+  ctx.emit(table, "SG_THREADS sweep: ours, batch 2^" +
+                      std::to_string(batch_exp) + ", " +
+                      std::to_string(names.size()) + "-dataset mean");
+}
 
 struct Rates {
   std::vector<double> hornet, faim, ours;
@@ -63,12 +120,16 @@ void run(const bench::BenchContext& ctx, const std::vector<int>& batch_exps) {
     }
   }
   for (std::size_t bi = 0; bi < batch_exps.size(); ++bi) {
+    const double ours_mean = util::mean_of(per_exp[bi].ours);
     table.add_row({"2^" + std::to_string(batch_exps[bi]),
                    util::Table::fmt(util::mean_of(per_exp[bi].hornet)),
                    per_exp[bi].faim.empty()
                        ? "--"
                        : util::Table::fmt(util::mean_of(per_exp[bi].faim)),
-                   util::Table::fmt(util::mean_of(per_exp[bi].ours))});
+                   util::Table::fmt(ours_mean)});
+    // Scalar series for the trajectory tooling (bench/compare_bench.py).
+    ctx.record("ours_insert_rate", ours_mean, "MEdge/s",
+               {{"batch", "2^" + std::to_string(batch_exps[bi])}});
   }
   ctx.emit(table, "Table II: mean edge insertion rates (MEdge/s), " +
               std::to_string(names.size()) + "-dataset mean");
@@ -93,6 +154,8 @@ int main(int argc, char** argv) {
     for (int e = 12; e <= cli.get_int("max_exp", 16); ++e) exps.push_back(e);
   }
   sg::run(ctx, exps);
+  const auto threads = sg::parse_thread_list(cli);
+  if (!threads.empty()) sg::run_thread_sweep(ctx, threads, exps.back());
   ctx.write_json();
   return 0;
 }

@@ -41,9 +41,14 @@ int main(int argc, char** argv) {
   // Leave headroom for joiners: ids [base, base + rounds*join) are new.
   const std::uint32_t joiners_per_round = base_vertices / 20;
 
-  sg::core::GraphConfig config;
+  sg::core::SlabGraphConfig config;
   config.vertex_capacity = base_vertices + rounds * joiners_per_round;
   config.undirected = true;
+  // Churn rounds are exactly the staged batch engine's workload: every
+  // follow/unfollow batch is staged, grouped into per-(vertex, bucket)
+  // runs, and applied through the bulk slab path (default; spelled out
+  // here because this example exists to demonstrate it).
+  config.batch_engine = true;
   sg::core::DynGraphSet graph(config);
   graph.insert_edges(seed_graph.unique_undirected_edges());
   std::printf("seeded social graph: %u members, %llu directed edges\n",
@@ -83,6 +88,17 @@ int main(int argc, char** argv) {
     }
     const auto unfollowed = graph.delete_edges(unfollows);
 
+    // Batched survival audit (edgeExist through the engine's bulk search):
+    // how many of this round's new follows survived the leavers and the
+    // unfollow traffic?
+    std::vector<sg::core::Edge> audit;
+    audit.reserve(follows.size());
+    for (const auto& f : follows) audit.push_back({f.src, f.dst});
+    std::vector<std::uint8_t> alive(audit.size(), 0);
+    graph.edges_exist(audit, alive.data());
+    std::uint64_t survived = 0;
+    for (const std::uint8_t a : alive) survived += a;
+
     // --- analytics on the live graph -------------------------------------
     // Hub = highest-degree live member.
     sg::core::VertexId hub = 0;
@@ -97,10 +113,12 @@ int main(int argc, char** argv) {
         sg::analytics::connected_components(next_member, neighbors_of(graph));
 
     std::printf(
-        "round %d: +%zu members, -%zu leavers, %llu unfollows | %llu edges, "
-        "hub %u reaches %llu members, %u components\n",
+        "round %d: +%zu members, -%zu leavers, %llu unfollows, %llu/%zu new "
+        "follows survived | %llu edges, hub %u reaches %llu members, %u "
+        "components\n",
         round, joiners.size(), leavers.size(),
         static_cast<unsigned long long>(unfollowed),
+        static_cast<unsigned long long>(survived), audit.size(),
         static_cast<unsigned long long>(graph.num_edges()), hub,
         static_cast<unsigned long long>(reachable),
         sg::analytics::count_components(labels));

@@ -1,0 +1,52 @@
+#include "src/core/batch_engine.hpp"
+
+#include <algorithm>
+
+namespace sg::core {
+
+void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
+  // Stage 2a: stable radix sort by the packed (vertex, bucket) word. The
+  // low word (key, sequence) is untouched, so within a group the staged
+  // order — and with it most-recent-wins — survives.
+  sort::radix_sort_hi(std::span<sort::U128>(order_), scratch_);
+  const std::size_t n = order_.size();
+  keys.reserve(n);
+  if (gather_seqs) seqs.reserve(n);
+  if (gather_values) values.reserve(n);
+  // Stage 2b: cut groups, sort each group's low word — almost every group
+  // is a single query, so this costs a compare, not a sort — and emit with
+  // duplicates dropped (the highest sequence of equal keys wins: "only the
+  // most recent edge and its weight will be stored").
+  for (std::size_t begin = 0; begin < n;) {
+    const std::uint64_t hi = order_[begin].hi;
+    std::size_t end = begin + 1;
+    while (end < n && order_[end].hi == hi) ++end;
+    if (end - begin > 1) {
+      std::sort(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                order_.begin() + static_cast<std::ptrdiff_t>(end),
+                [](const sort::U128& a, const sort::U128& b) {
+                  return a.lo < b.lo;  // (key, sequence) ascending
+                });
+    }
+    runs.push_back(
+        {static_cast<VertexId>(hi >> kBucketBits),
+         static_cast<std::uint32_t>(hi & ((1u << kBucketBits) - 1u))});
+    run_offsets.push_back(keys.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t key = static_cast<std::uint32_t>(order_[i].lo >> 32);
+      if (dedup && i + 1 < end &&
+          static_cast<std::uint32_t>(order_[i + 1].lo >> 32) == key) {
+        ++duplicates;  // a later occurrence follows: it wins
+        continue;
+      }
+      const std::uint32_t seq = static_cast<std::uint32_t>(order_[i].lo);
+      keys.push_back(key);
+      if (gather_seqs) seqs.push_back(seq);
+      if (gather_values) values.push_back(weights_[seq]);
+    }
+    begin = end;
+  }
+  run_offsets.push_back(keys.size());
+}
+
+}  // namespace sg::core

@@ -1,0 +1,201 @@
+// Staged batch-update engine (docs/PERF.md "Batch engine").
+//
+// The paper's Algorithm 1 earns its GPU throughput from warp-cooperative,
+// coalesced batch insertion; the scalar CPU port still dispatched one query
+// at a time, so every key paid a full hash + cold chain walk. The engine
+// restructures every batched mutation/query into three stages, the same
+// pre-staging discipline the dynamic-graph baselines (Hornet, faimGraph)
+// apply before touching their stores:
+//
+//   1. STAGE (serial)  — walk the input batch once, emitting each direction
+//      of an undirected edge directly into the staged SoA arrays (no 2x
+//      mirrored temp vector), dropping self-loops, creating missing vertex
+//      tables, and pre-hashing each key ONCE into its destination bucket.
+//   2. GROUP (sort + scan) — stable-radix-sort the staged queries by the
+//      packed (vertex, bucket) segment id (sort::radix_sort_hi — the same
+//      pack-the-segment-into-the-high-bits strategy segmented_sort uses),
+//      then scan once to cut the batch into per-(vertex, bucket) runs,
+//      ordering each multi-query run by (key, sequence) and dropping
+//      duplicates — the highest sequence number, i.e. the most recent
+//      occurrence, wins, preserving the "most recent edge and its weight"
+//      semantics deterministically.
+//   3. APPLY (parallel) — simt::launch_runs schedules contiguous run ranges
+//      balanced by query count; each warp walks a run's bucket chain once
+//      through the slabhash bulk entry points, software-pipelining the next
+//      run's head slab (simt::pipeline + prefetch) while the current slab's
+//      SIMD compares resolve.
+//
+// The engine owns the run partition: a (table, bucket) pair appears in at
+// most one run per batch, which is the exclusivity contract the bulk slab
+// operations rely on to share one EMPTY scan per slab.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/memory/slab_arena.hpp"
+#include "src/slabhash/slab_layout.hpp"
+#include "src/sort/segmented_sort.hpp"
+
+namespace sg::core {
+
+/// Runs this many positions ahead of the probe loop when prefetching head
+/// slabs (stage 3's software-pipeline depth).
+inline constexpr std::uint64_t kRunPrefetchDepth = 4;
+
+/// One staged run: queries keys[run_offsets[r] .. run_offsets[r+1]) of a
+/// BatchStaging all hash to `bucket` of vertex `src`'s table.
+struct QueryRun {
+  VertexId src = 0;
+  std::uint32_t bucket = 0;
+};
+
+/// Staging area of one batched operation. The staged key of a query packs
+///   hi = src << 13 | bucket     (num_buckets <= SlabArena::kChunkSlabs)
+///   lo = key << 32 | sequence   (sequence = staged order, for last-wins)
+/// so one global sort yields the (vertex, bucket) grouping, key adjacency
+/// for dedup, and deterministic most-recent-wins ordering at once.
+class BatchStaging {
+ public:
+  static constexpr std::uint32_t kBucketBits = 13;
+  static_assert(memory::SlabArena::kChunkSlabs <= (1u << kBucketBits),
+                "bucket ids must fit the packed staging key");
+
+  // ---- staged queries, grouped into runs (stage 2 outputs) --------------
+  std::vector<std::uint32_t> keys;         ///< query keys, run-contiguous
+  std::vector<std::uint32_t> values;       ///< parallel values (map inserts)
+  std::vector<std::uint32_t> seqs;         ///< parallel input positions
+  std::vector<QueryRun> runs;
+  std::vector<std::uint64_t> run_offsets;  ///< runs.size() + 1 entries
+
+  std::uint64_t staged = 0;   ///< queries emitted by stage 1
+  std::uint64_t dropped = 0;  ///< self-loops / unknown-source queries
+  std::uint64_t duplicates = 0;  ///< queries removed by dedup
+
+  void clear() {
+    keys.clear();
+    values.clear();
+    seqs.clear();
+    runs.clear();
+    run_offsets.clear();
+    order_.clear();
+    weights_.clear();
+    staged = dropped = duplicates = 0;
+  }
+
+  /// Stage one directed query (stage 1). `table` must be the source's
+  /// table; the key is hashed here — once, never again.
+  void push(VertexId src, std::uint32_t key, slabhash::TableRef table,
+            std::uint64_t seed) {
+    const std::uint32_t bucket =
+        slabhash::bucket_of(key, table.num_buckets, seed);
+    const std::uint64_t hi = (static_cast<std::uint64_t>(src) << kBucketBits) |
+                             bucket;
+    const std::uint64_t lo = (static_cast<std::uint64_t>(key) << 32) |
+                             static_cast<std::uint32_t>(staged);
+    order_.push_back({hi, lo});
+    ++staged;
+  }
+  void push_weighted(VertexId src, std::uint32_t key, Weight weight,
+                     slabhash::TableRef table, std::uint64_t seed,
+                     bool keep_weight) {
+    if (keep_weight) weights_.push_back(weight);
+    push(src, key, table, seed);
+  }
+
+  void reserve(std::size_t queries, bool weighted) {
+    order_.reserve(queries);
+    if (weighted) weights_.reserve(queries);
+  }
+
+  /// Stage 2: sort, optionally dedup (mutations dedup, searches keep every
+  /// query so results can scatter back per input position), and cut runs.
+  /// `gather_values` copies the staged weights into `values` run-order;
+  /// `gather_seqs` keeps the input positions (searches scatter results
+  /// through them; mutations don't need them).
+  void group(bool dedup, bool gather_values, bool gather_seqs);
+
+ private:
+  std::vector<sort::U128> order_;       ///< staged (hi, lo) sort records
+  std::vector<sort::U128> scratch_;     ///< radix ping-pong buffer
+  std::vector<std::uint32_t> weights_;  ///< sequence -> weight (stage 1)
+};
+
+/// Stage-1 helpers shared by DynGraph's batched paths. `table_of(src)`
+/// returns the source's table — creating it for insertions, returning an
+/// invalid ref to drop the query for erase/search on unknown sources. It
+/// runs serially, so it may grow/mutate the dictionary freely.
+
+template <typename TableFn>
+void stage_weighted_edges(std::span<const WeightedEdge> edges, bool undirected,
+                          bool keep_weights, std::uint64_t seed,
+                          TableFn&& table_of, BatchStaging& st) {
+  st.clear();
+  st.reserve(edges.size() * (undirected ? 2 : 1), keep_weights);
+  for (const WeightedEdge& e : edges) {
+    if (e.src == e.dst) {  // self-loops drop (Algorithm 1 line 3)
+      ++st.dropped;
+      continue;
+    }
+    const slabhash::TableRef fwd = table_of(e.src);
+    if (fwd.valid()) {
+      st.push_weighted(e.src, e.dst, e.weight, fwd, seed, keep_weights);
+    } else {
+      ++st.dropped;
+    }
+    if (undirected) {  // mirror staged in place: no doubled temp batch
+      const slabhash::TableRef rev = table_of(e.dst);
+      if (rev.valid()) {
+        st.push_weighted(e.dst, e.src, e.weight, rev, seed, keep_weights);
+      } else {
+        ++st.dropped;
+      }
+    }
+  }
+}
+
+template <typename TableFn>
+void stage_edges(std::span<const Edge> edges, bool undirected,
+                 std::uint64_t seed, TableFn&& table_of, BatchStaging& st) {
+  st.clear();
+  st.reserve(edges.size() * (undirected ? 2 : 1), false);
+  for (const Edge& e : edges) {
+    const slabhash::TableRef fwd = table_of(e.src);
+    if (fwd.valid()) {
+      st.push(e.src, e.dst, fwd, seed);
+    } else {
+      ++st.dropped;
+    }
+    if (undirected) {
+      const slabhash::TableRef rev = table_of(e.dst);
+      if (rev.valid()) {
+        st.push(e.dst, e.src, rev, seed);
+      } else {
+        ++st.dropped;
+      }
+    }
+  }
+}
+
+/// Stage queries that must scatter results back to their input position:
+/// seqs[i] is the ORIGINAL index of staged query i (one staged query per
+/// input at most; dropped inputs simply have no staged query).
+template <typename TableFn>
+void stage_queries(std::span<const Edge> queries, std::uint64_t seed,
+                   TableFn&& table_of, BatchStaging& st) {
+  st.clear();
+  st.reserve(queries.size(), false);
+  for (const Edge& q : queries) {
+    const slabhash::TableRef table = table_of(q.src);
+    if (table.valid()) {
+      st.push(q.src, q.dst, table, seed);
+    } else {
+      ++st.dropped;  // unknown source: the caller's output stays 0
+      ++st.staged;   // keep sequence == input position
+    }
+  }
+}
+
+}  // namespace sg::core

@@ -23,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "src/core/batch_engine.hpp"
 #include "src/core/types.hpp"
 #include "src/core/vertex_dictionary.hpp"
 #include "src/memory/slab_arena.hpp"
@@ -67,6 +68,29 @@ struct MapPolicy {
   static std::uint32_t slot_key(const memory::Slab& slab, int i) {
     return slab.words[i * 2];
   }
+
+  // ---- staged-run hooks (batch engine) --------------------------------
+  static std::uint32_t bulk_insert(memory::SlabArena& arena,
+                                   slabhash::TableRef t, std::uint32_t bucket,
+                                   const std::uint32_t* keys,
+                                   const std::uint32_t* values,
+                                   std::uint32_t count,
+                                   std::uint32_t alloc_seed) {
+    return slabhash::map_bulk_replace(arena, t, bucket, keys, values, count,
+                                      alloc_seed);
+  }
+  static std::uint32_t bulk_erase(memory::SlabArena& arena,
+                                  slabhash::TableRef t, std::uint32_t bucket,
+                                  const std::uint32_t* keys,
+                                  std::uint32_t count) {
+    return slabhash::map_bulk_erase(arena, t, bucket, keys, count);
+  }
+  static void bulk_contains(const memory::SlabArena& arena,
+                            slabhash::TableRef t, std::uint32_t bucket,
+                            const std::uint32_t* keys, std::uint32_t count,
+                            std::uint8_t* found) {
+    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, nullptr);
+  }
 };
 
 /// Adjacency policy: concurrent-set tables (no values; Bc = 30).
@@ -104,6 +128,28 @@ struct SetPolicy {
   }
   static std::uint32_t slot_key(const memory::Slab& slab, int i) {
     return slab.words[i];
+  }
+
+  // ---- staged-run hooks (batch engine) --------------------------------
+  static std::uint32_t bulk_insert(memory::SlabArena& arena,
+                                   slabhash::TableRef t, std::uint32_t bucket,
+                                   const std::uint32_t* keys,
+                                   const std::uint32_t* /*values*/,
+                                   std::uint32_t count,
+                                   std::uint32_t alloc_seed) {
+    return slabhash::set_bulk_insert(arena, t, bucket, keys, count, alloc_seed);
+  }
+  static std::uint32_t bulk_erase(memory::SlabArena& arena,
+                                  slabhash::TableRef t, std::uint32_t bucket,
+                                  const std::uint32_t* keys,
+                                  std::uint32_t count) {
+    return slabhash::set_bulk_erase(arena, t, bucket, keys, count);
+  }
+  static void bulk_contains(const memory::SlabArena& arena,
+                            slabhash::TableRef t, std::uint32_t bucket,
+                            const std::uint32_t* keys, std::uint32_t count,
+                            std::uint8_t* found) {
+    slabhash::set_bulk_contains(arena, t, bucket, keys, count, found);
   }
 };
 
@@ -245,10 +291,28 @@ class DynGraph {
   std::uint64_t insert_directed(std::span<const WeightedEdge> edges);
   std::uint64_t delete_directed(std::span<const Edge> edges);
 
+  // Batch-engine paths (selected by SlabGraphConfig::batch_engine): stage,
+  // group into per-(vertex, bucket) runs, apply through the bulk slab ops.
+  std::uint64_t insert_batched(std::span<const WeightedEdge> edges);
+  std::uint64_t delete_batched(std::span<const Edge> edges);
+  void exist_batched(std::span<const Edge> queries, std::uint8_t* out) const;
+  /// Shared stage-3 driver: runs scheduled by query count, head slabs
+  /// software-pipelined, per-source counter deltas aggregated before the
+  /// atomic. `erase` flips between bulk_insert/counter-add and
+  /// bulk_erase/counter-subtract.
+  std::uint64_t apply_mutation_runs(const BatchStaging& staged, bool erase);
+
   GraphConfig config_;
   mutable memory::SlabArena arena_;
   VertexDictionary dict_;
   std::mutex lazy_table_mutex_;  ///< serializes first-touch table creation
+  /// Reusable staging area of the batch engine. Mutation batches are
+  /// phases (the phase-concurrent model forbids overlapping them), so one
+  /// buffer serves every insert/erase batch; `batch_mutex_` enforces the
+  /// contract instead of trusting it. Query batches (edges_exist) stage
+  /// into a local buffer and stay concurrent with each other.
+  BatchStaging staging_;
+  std::mutex batch_mutex_;
 };
 
 using DynGraphMap = DynGraph<MapPolicy>;

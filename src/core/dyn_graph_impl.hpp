@@ -2,10 +2,12 @@
 // dyn_graph_set.cpp which explicitly instantiate the two variants.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <stdexcept>
 #include <vector>
 
+#include "src/core/batch_engine.hpp"
 #include "src/core/batch_utils.hpp"
 #include "src/core/dyn_graph.hpp"
 #include "src/simt/atomics.hpp"
@@ -124,27 +126,34 @@ void DynGraph<Policy>::insert_vertices(
 template <class Policy>
 void DynGraph<Policy>::bulk_build(std::span<const WeightedEdge> edges) {
   validate_batch(edges);
-  std::vector<WeightedEdge> mirrored;
-  std::span<const WeightedEdge> directed = edges;
-  if (config_.undirected) {
-    mirrored = mirror_edges(edges);
-    directed = mirrored;
-  }
   // Degrees are known a priori in the bulk-build workload: size each table
-  // for its true degree and the configured load factor (§V-B1).
-  const VertexId max_id = directed.empty() ? 0 : max_vertex_id(directed);
+  // for its true degree and the configured load factor (§V-B1). Undirected
+  // edges count toward both endpoints — no mirrored temp batch is built.
+  const VertexId max_id = edges.empty() ? 0 : max_vertex_id(edges);
   if (max_id >= dict_.capacity()) dict_.grow(max_id + 1);
   std::vector<std::uint32_t> degrees(dict_.capacity(), 0);
   std::vector<std::uint8_t> referenced(dict_.capacity(), 0);
-  for (const auto& e : directed) {
-    if (e.src != e.dst) ++degrees[e.src];
+  for (const auto& e : edges) {
+    if (e.src != e.dst) {
+      ++degrees[e.src];
+      if (config_.undirected) ++degrees[e.dst];
+    }
     referenced[e.src] = 1;
     referenced[e.dst] = 1;
   }
   for (VertexId u = 0; u < dict_.capacity(); ++u) {
     if (referenced[u]) ensure_vertex(u, degrees[u]);
   }
-  insert_directed(directed);
+  if (config_.batch_engine) {
+    insert_batched(edges);  // stages the mirror direction in place
+    return;
+  }
+  if (config_.undirected) {
+    const std::vector<WeightedEdge> mirrored = mirror_edges(edges);
+    insert_directed(mirrored);
+  } else {
+    insert_directed(edges);
+  }
 }
 
 // --------------------------------------------------------------------------
@@ -209,13 +218,162 @@ std::uint64_t DynGraph<Policy>::insert_directed(
 template <class Policy>
 std::uint64_t DynGraph<Policy>::insert_edges(std::span<const WeightedEdge> edges) {
   if (edges.empty()) return 0;
+  prepare_batch(edges);
+  if (config_.batch_engine) return insert_batched(edges);
   if (config_.undirected) {
     const std::vector<WeightedEdge> mirrored = mirror_edges(edges);
-    prepare_batch(mirrored);
     return insert_directed(mirrored);
   }
-  prepare_batch(edges);
   return insert_directed(edges);
+}
+
+// --------------------------------------------------------------------------
+// Batch engine (src/core/batch_engine.hpp): stage once, group into
+// per-(vertex, bucket) runs, walk each run's chain once with the bulk slab
+// operations, pipelining the next run's head slab against the current
+// run's SIMD compares.
+// --------------------------------------------------------------------------
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::insert_batched(
+    std::span<const WeightedEdge> edges) {
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  BatchStaging& staged = staging_;
+  // Stage 1 runs serially (it is the pre-pass of the phase), so first-touch
+  // table creation can skip the lazy-creation mutex the parallel scalar
+  // path needs.
+  stage_weighted_edges(
+      edges, config_.undirected, Policy::kHasValues, config_.hash_seed,
+      [this](VertexId u) {
+        if (!dict_.has_table(u)) {
+          const memory::SlabHandle base =
+              arena_.allocate_contiguous(1, slabhash::kEmptyKey);
+          dict_.set_table(u, {base, 1});
+          dict_.set_edge_count(u, 0);
+        }
+        if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
+        return dict_.table(u);
+      },
+      staged);
+  staged.group(/*dedup=*/true, /*gather_values=*/Policy::kHasValues,
+               /*gather_seqs=*/false);
+  return apply_mutation_runs(staged, /*erase=*/false);
+}
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
+  std::lock_guard<std::mutex> batch_lock(batch_mutex_);
+  BatchStaging& staged = staging_;
+  const std::uint32_t capacity = dict_.capacity();
+  stage_edges(
+      edges, config_.undirected, config_.hash_seed,
+      [this, capacity](VertexId u) {
+        return u < capacity && dict_.has_table(u) ? dict_.table(u)
+                                                  : slabhash::TableRef{};
+      },
+      staged);
+  staged.group(/*dedup=*/true, /*gather_values=*/false, /*gather_seqs=*/false);
+  return apply_mutation_runs(staged, /*erase=*/true);
+}
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
+                                                    bool erase) {
+  if (staged.runs.empty()) return 0;
+  std::atomic<std::uint64_t> total{0};
+  simt::launch_runs(staged.run_offsets, [&](std::uint64_t first,
+                                            std::uint64_t last) {
+    std::uint64_t chunk_total = 0;
+    VertexId counter_src = 0;
+    std::uint32_t counter_delta = 0;
+    bool counting = false;
+    // Runs are sorted by source, so one atomic counter update covers every
+    // consecutive run of the same vertex.
+    const auto flush_counter = [&] {
+      if (counting && counter_delta != 0) {
+        if (erase) {
+          simt::atomic_sub(dict_.edge_count_word(counter_src), counter_delta);
+        } else {
+          simt::atomic_add(dict_.edge_count_word(counter_src), counter_delta);
+        }
+        chunk_total += counter_delta;
+      }
+      counter_delta = 0;
+    };
+    simt::pipeline(
+        last - first, kRunPrefetchDepth,
+        [&](std::uint64_t i) {
+          const QueryRun& run = staged.runs[first + i];
+          simt::prefetch(
+              &arena_.resolve(dict_.table(run.src).bucket_head(run.bucket)));
+        },
+        [&](std::uint64_t i) {
+          const QueryRun& run = staged.runs[first + i];
+          if (!counting || run.src != counter_src) {
+            flush_counter();
+            counter_src = run.src;
+            counting = true;
+          }
+          const std::uint64_t begin = staged.run_offsets[first + i];
+          const std::uint64_t end = staged.run_offsets[first + i + 1];
+          const auto count = static_cast<std::uint32_t>(end - begin);
+          const slabhash::TableRef table = dict_.table(run.src);
+          counter_delta +=
+              erase ? Policy::bulk_erase(arena_, table, run.bucket,
+                                         staged.keys.data() + begin, count)
+                    : Policy::bulk_insert(
+                          arena_, table, run.bucket,
+                          staged.keys.data() + begin,
+                          staged.values.empty() ? nullptr
+                                                : staged.values.data() + begin,
+                          count, run.src);
+        });
+    flush_counter();
+    if (chunk_total != 0) {
+      total.fetch_add(chunk_total, std::memory_order_relaxed);
+    }
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+template <class Policy>
+void DynGraph<Policy>::exist_batched(std::span<const Edge> queries,
+                                     std::uint8_t* out) const {
+  std::fill(out, out + queries.size(), std::uint8_t{0});
+  BatchStaging staged;
+  const std::uint32_t capacity = dict_.capacity();
+  stage_queries(
+      queries, config_.hash_seed,
+      [this, capacity](VertexId u) {
+        return u < capacity && dict_.has_table(u) ? dict_.table(u)
+                                                  : slabhash::TableRef{};
+      },
+      staged);
+  staged.group(/*dedup=*/false, /*gather_values=*/false, /*gather_seqs=*/true);
+  if (staged.runs.empty()) return;
+  std::vector<std::uint8_t> found(staged.keys.size());
+  simt::launch_runs(staged.run_offsets, [&](std::uint64_t first,
+                                            std::uint64_t last) {
+    simt::pipeline(
+        last - first, kRunPrefetchDepth,
+        [&](std::uint64_t i) {
+          const QueryRun& run = staged.runs[first + i];
+          simt::prefetch(
+              &arena_.resolve(dict_.table(run.src).bucket_head(run.bucket)));
+        },
+        [&](std::uint64_t i) {
+          const QueryRun& run = staged.runs[first + i];
+          const std::uint64_t begin = staged.run_offsets[first + i];
+          const std::uint64_t end = staged.run_offsets[first + i + 1];
+          Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
+                                staged.keys.data() + begin,
+                                static_cast<std::uint32_t>(end - begin),
+                                found.data() + begin);
+          for (std::uint64_t q = begin; q < end; ++q) {
+            out[staged.seqs[q]] = found[q];  // scatter to the input position
+          }
+        });
+  });
 }
 
 // --------------------------------------------------------------------------
@@ -274,6 +432,7 @@ template <class Policy>
 std::uint64_t DynGraph<Policy>::delete_edges(std::span<const Edge> edges) {
   if (edges.empty()) return 0;
   validate_batch(edges);
+  if (config_.batch_engine) return delete_batched(edges);
   if (config_.undirected) {
     const std::vector<Edge> mirrored = mirror_edges(edges);
     return delete_directed(mirrored);
@@ -408,6 +567,11 @@ bool DynGraph<Policy>::edge_exists(VertexId u, VertexId v) const {
 template <class Policy>
 void DynGraph<Policy>::edges_exist(std::span<const Edge> queries,
                                    std::uint8_t* out) const {
+  if (queries.empty()) return;
+  if (config_.batch_engine) {
+    exist_batched(queries, out);  // batched map_search through the engine
+    return;
+  }
   simt::launch(queries.size(), [&](const simt::WarpId& warp) {
     for (int lane = 0; lane < simt::kWarpSize; ++lane) {
       if (!warp.lane_active(lane)) continue;

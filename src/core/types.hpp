@@ -46,7 +46,17 @@ struct GraphConfig {
   /// Seed of the universal hash functions (shared by all tables) and of
   /// anything randomized inside the structure. Fixed => reproducible runs.
   std::uint64_t hash_seed = 0x5EEDF00DULL;
+
+  /// Route batched mutations and queries through the staged batch engine
+  /// (stage -> group into per-(vertex, bucket) runs -> bulk slab operations
+  /// with software pipelining; src/core/batch_engine.hpp). `false` keeps
+  /// the scalar Algorithm-1 warp path, retained as the differential-test
+  /// oracle and for latency-sensitive tiny batches.
+  bool batch_engine = true;
 };
+
+/// The graph's construction-time configuration under its public name.
+using SlabGraphConfig = GraphConfig;
 
 /// Aggregated memory accounting for Figure 2 (b) and (c).
 struct GraphMemoryStats {

@@ -29,6 +29,13 @@ struct SlabArena::Chunk {
   // Occupancy bitmap + free counter; only used by dynamic chunks.
   std::unique_ptr<std::atomic<std::uint64_t>[]> bitmap;
   std::atomic<std::uint32_t> free_count{0};
+  /// Bitmap word where the last cold allocation found a free bit. Cold
+  /// scans resume here instead of rescanning from a seed-derived start:
+  /// once the low words fill up, later allocations skip them instead of
+  /// re-walking a prefix of all-ones words every time. Racy-relaxed by
+  /// design — a stale hint only costs extra scanning, never correctness
+  /// (the scan still wraps the whole bitmap).
+  std::atomic<std::uint32_t> scan_hint{0};
 
   explicit Chunk(bool is_dynamic)
       : slabs(new Slab[SlabArena::kChunkSlabs]), dynamic(is_dynamic) {
@@ -139,9 +146,11 @@ SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
       Chunk* chunk = chunk_at(ci);
       if (chunk == nullptr || !chunk->dynamic) continue;
       if (chunk->free_count.load(std::memory_order_relaxed) == 0) continue;
-      // Scan bitmap words from a seed-dependent start.
-      const std::uint32_t w0 = static_cast<std::uint32_t>(
-          util::mix64(seed * 0x9E3779B9u + probe) % kBitmapWords);
+      // Scan bitmap words from the chunk's hint cursor: resume where the
+      // last cold allocation left off rather than rescanning the (likely
+      // full) words before it.
+      const std::uint32_t w0 =
+          chunk->scan_hint.load(std::memory_order_relaxed) % kBitmapWords;
       for (std::uint32_t dw = 0; dw < kBitmapWords; ++dw) {
         const std::uint32_t w = (w0 + dw) % kBitmapWords;
         std::uint64_t bits = chunk->bitmap[w].load(std::memory_order_relaxed);
@@ -152,6 +161,7 @@ SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
               chunk->bitmap[w].fetch_or(mask, std::memory_order_acq_rel);
           if ((prev & mask) == 0) {
             chunk->free_count.fetch_sub(1, std::memory_order_relaxed);
+            chunk->scan_hint.store(w, std::memory_order_relaxed);
             const std::uint32_t slot = w * 64 + static_cast<std::uint32_t>(bit);
             Slab& slab = chunk->slabs[slot];
             for (int word = 0; word < kWordsPerSlab; ++word) {
@@ -214,6 +224,9 @@ void SlabArena::free(SlabHandle handle) {
   if (prev & mask) {
     chunk->free_count.fetch_add(1, std::memory_order_relaxed);
     dynamic_slabs_.fetch_sub(1, std::memory_order_relaxed);
+    // Point the cold-scan cursor at the word that just gained a free bit so
+    // the next allocation finds it without walking the filled prefix.
+    chunk->scan_hint.store(slot / 64, std::memory_order_relaxed);
   }
 }
 

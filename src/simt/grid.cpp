@@ -1,5 +1,7 @@
 #include "src/simt/grid.hpp"
 
+#include <vector>
+
 namespace sg::simt {
 
 namespace {
@@ -45,6 +47,41 @@ void launch(std::uint64_t num_items, const WarpKernel& kernel,
         first + per_chunk < num_warps ? first + per_chunk : num_warps;
     for (std::uint32_t w = first; w < last; ++w) kernel(make_warp_id(w, num_items));
   });
+}
+
+void launch_runs(std::span<const std::uint64_t> offsets,
+                 const RunRangeKernel& kernel, const LaunchConfig& config) {
+  if (offsets.size() < 2) return;
+  const std::uint64_t num_runs = offsets.size() - 1;
+  if (config.serial) {
+    kernel(0, num_runs);
+    return;
+  }
+  const std::uint64_t total_items = offsets.back() - offsets.front();
+  const std::uint64_t workers =
+      ThreadPool::instance().size() > 0 ? ThreadPool::instance().size() : 1u;
+  // ~4 chunks per worker (as in launch); a chunk closes once it holds its
+  // share of ITEMS, so a single skewed run fills a whole chunk while
+  // singleton runs pack together.
+  const std::uint64_t target_chunks = workers * 4u;
+  const std::uint64_t items_per_chunk =
+      total_items > target_chunks ? (total_items + target_chunks - 1) / target_chunks
+                                  : total_items;
+  std::vector<std::uint64_t> chunk_first;  // first run of each chunk
+  chunk_first.reserve(target_chunks + 1);
+  chunk_first.push_back(0);
+  std::uint64_t chunk_start_item = offsets[0];
+  for (std::uint64_t r = 1; r < num_runs; ++r) {
+    if (offsets[r] - chunk_start_item >= items_per_chunk) {
+      chunk_first.push_back(r);
+      chunk_start_item = offsets[r];
+    }
+  }
+  chunk_first.push_back(num_runs);
+  ThreadPool::instance().parallel_for(
+      chunk_first.size() - 1, [&](std::uint64_t c) {
+        kernel(chunk_first[c], chunk_first[c + 1]);
+      });
 }
 
 void launch_warps(std::uint32_t num_warps, const WarpKernel& kernel,

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 
 #include "src/simt/thread_pool.hpp"
 #include "src/simt/warp.hpp"
@@ -38,6 +39,20 @@ void launch(std::uint64_t num_items, const WarpKernel& kernel,
 /// shared queue rather than being preassigned items.
 void launch_warps(std::uint32_t num_warps, const WarpKernel& kernel,
                   const LaunchConfig& config = {});
+
+/// Kernel over a contiguous range of runs [first, last) — see launch_runs.
+using RunRangeKernel = std::function<void(std::uint64_t first, std::uint64_t last)>;
+
+/// Launch over irregular segments ("runs"): run r owns items
+/// [offsets[r], offsets[r+1]) of some staged array (offsets has
+/// num_runs + 1 entries, ascending). Scheduling chunks are contiguous run
+/// ranges balanced by total ITEM count, not run count, so one worker ends
+/// up with a few giant runs while another takes thousands of singletons —
+/// load balance follows bucket skew instead of fighting it. Runs are never
+/// split: a run is the unit of exclusive bucket ownership in the batch
+/// engine.
+void launch_runs(std::span<const std::uint64_t> offsets,
+                 const RunRangeKernel& kernel, const LaunchConfig& config = {});
 
 /// Number of warps needed for `num_items` items.
 constexpr std::uint32_t warps_for(std::uint64_t num_items) noexcept {

@@ -58,6 +58,24 @@ ThreadPool::~ThreadPool() {
   for (auto& worker : workers_) worker.join();
 }
 
+void ThreadPool::resize(unsigned num_threads) {
+  if (num_threads == 0) num_threads = default_thread_count();
+  if (num_threads == size() || (num_threads <= 1 && workers_.empty())) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+  shutdown_ = false;
+  if (num_threads <= 1) return;  // inline mode, as in the constructor
+  workers_.reserve(num_threads);
+  for (unsigned i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     Job* job = nullptr;

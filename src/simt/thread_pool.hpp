@@ -26,6 +26,12 @@ class ThreadPool {
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
+  /// Rebuilds the pool with `num_threads` workers (0 = the SG_THREADS /
+  /// hardware default). Must not be called while a parallel_for is in
+  /// flight; exists for the SG_THREADS sweep benches, which measure the
+  /// same workload across pool widths in one process.
+  void resize(unsigned num_threads);
+
   /// Runs fn(chunk_index) for chunk_index in [0, num_chunks), distributing
   /// chunks over the pool with a shared atomic cursor; blocks until all
   /// chunks complete. Exceptions from fn propagate (first one wins).

@@ -61,6 +61,29 @@ constexpr int ffs(std::uint32_t mask) noexcept {
   return mask == 0 ? 0 : std::countr_zero(mask) + 1;
 }
 
+/// Software-prefetch hint (read intent, moderate temporal locality) — the
+/// CPU stand-in for the GPU hiding a warp's global-memory latency by
+/// switching to another resident warp.
+inline void prefetch(const void* address) noexcept {
+  __builtin_prefetch(address, /*rw=*/0, /*locality=*/2);
+}
+
+/// Software pipeline over `n` items: issue prefetch(i + depth) before
+/// process(i), so the memory latency of item i+depth overlaps the compute
+/// of item i. This is the warp-level pipelining of the batch engine: while
+/// the SIMD compare on the current run's slab resolves, the next run's head
+/// slab is already on its way up the cache hierarchy (docs/PERF.md).
+template <typename PrefetchFn, typename ProcessFn>
+inline void pipeline(std::uint64_t n, std::uint64_t depth, PrefetchFn&& prefetch_item,
+                     ProcessFn&& process_item) {
+  const std::uint64_t warmup = depth < n ? depth : n;
+  for (std::uint64_t i = 0; i < warmup; ++i) prefetch_item(i);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (i + depth < n) prefetch_item(i + depth);
+    process_item(i);
+  }
+}
+
 /// Identity of one warp inside a grid launch; `active` has a bit set for
 /// every lane that carries a real work item (the last warp of a launch may
 /// be partially populated).

@@ -1,10 +1,12 @@
 #include "src/slabhash/slab_map.hpp"
 
 #include <bit>
+#include <cstring>
 #include <vector>
 
 #include "src/simt/atomics.hpp"
 #include "src/simt/simd.hpp"
+#include "src/simt/warp.hpp"
 
 // Hot paths (replace / erase / search / for_each) execute the paper's
 // warp-parallel slab operation as one vectorized compare per slab
@@ -39,12 +41,48 @@ SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
   return observed;
 }
 
+struct PairClaim {
+  bool success = false;
+  std::uint32_t observed_key = kEmptyKey;
+};
+
+/// Claims the <key, value> pair at the (even, odd) word pair starting at
+/// `pair_words` with ONE 64-bit CAS, so no reader can ever observe a claimed
+/// key without its value — this closes the read-your-write window between
+/// the old key CAS and the follow-up value store. The expected state is
+/// (EMPTY, EMPTY): insertion only claims EMPTY slots, and a slot's value
+/// word is EMPTY whenever its key word is (allocation fills both,
+/// clear/flush reset both, and this CAS writes both).
+inline PairClaim claim_pair(std::uint32_t* pair_words, std::uint32_t key,
+                            std::uint32_t value) noexcept {
+  // The pair is 8-byte aligned (slabs are 128-byte aligned, key words are
+  // even), so the two words form one naturally-aligned 64-bit lane and the
+  // CAS publishes them together on either byte order — the key simply
+  // occupies whichever half aliases pair_words[0]. (The uint64 view of the
+  // uint32 array is formally type punning; the atomic op makes it safe in
+  // practice on every supported toolchain.)
+  constexpr bool kKeyInLowHalf = std::endian::native == std::endian::little;
+  auto* pair = reinterpret_cast<std::uint64_t*>(pair_words);
+  constexpr std::uint64_t kExpected =
+      (std::uint64_t{kEmptyKey} << 32) | kEmptyKey;  // all-ones either way
+  const std::uint64_t desired = kKeyInLowHalf
+                                    ? (std::uint64_t{value} << 32) | key
+                                    : (std::uint64_t{key} << 32) | value;
+  const std::uint64_t observed = atomic_cas(*pair, kExpected, desired);
+  if (observed == kExpected) return {true, kEmptyKey};
+  return {false, static_cast<std::uint32_t>(
+                     kKeyInLowHalf ? observed : observed >> 32)};
+}
+
 }  // namespace
 
-bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
-                 std::uint32_t value, std::uint64_t seed,
-                 std::uint32_t alloc_seed) {
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+namespace {
+
+/// map_replace after hashing: shared by the scalar entry point and the bulk
+/// path's singleton runs (which arrive pre-hashed).
+bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
+                       std::uint32_t bucket, std::uint32_t key,
+                       std::uint32_t value, std::uint32_t alloc_seed) {
   SlabHandle handle = table.bucket_head(bucket);
   for (;;) {
     Slab& slab = arena.resolve(handle);
@@ -55,18 +93,15 @@ bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
       atomic_store(slab.words[std::countr_zero(match) + 1], value);
       return false;
     }
-    // Claim the first EMPTY key slot; on a lost race fall through to the
-    // next candidate (tombstones are never reused by insertion).
+    // Claim the first EMPTY key slot with a single 64-bit key+value CAS;
+    // on a lost race fall through to the next candidate (tombstones are
+    // never reused by insertion).
     std::uint32_t empties = probe.empty & kMapKeyWordsMask;
     while (empties != 0) {
       const int key_word = std::countr_zero(empties);
-      const std::uint32_t observed =
-          atomic_cas(slab.words[key_word], kEmptyKey, key);
-      if (observed == kEmptyKey) {
-        atomic_store(slab.words[key_word + 1], value);
-        return true;
-      }
-      if (observed == key) {  // lost the race to an identical key
+      const PairClaim claim = claim_pair(&slab.words[key_word], key, value);
+      if (claim.success) return true;
+      if (claim.observed_key == key) {  // lost the race to an identical key
         atomic_store(slab.words[key_word + 1], value);
         return false;
       }
@@ -78,9 +113,9 @@ bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   }
 }
 
-bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
-               std::uint64_t seed) {
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+/// map_erase after hashing (scalar entry point + singleton bulk runs).
+bool erase_in_bucket(memory::SlabArena& arena, TableRef table,
+                     std::uint32_t bucket, std::uint32_t key) {
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     Slab& slab = arena.resolve(handle);
@@ -101,30 +136,237 @@ bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   return false;
 }
 
-MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
-                         std::uint32_t key, std::uint64_t seed) {
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+/// map_search after hashing (scalar entry point + singleton bulk runs).
+/// No snapshot copy: keys publish together with their values in one 64-bit
+/// CAS (claim_pair), so a matched key's value word is always valid — even
+/// mid-insert-phase a reader can never catch the pair half-written.
+MapFindResult search_in_bucket(const memory::SlabArena& arena, TableRef table,
+                               std::uint32_t bucket, std::uint32_t key) {
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     const Slab& slab = arena.resolve(handle);
-    const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
-    const std::uint32_t* words = slab.words;
-    std::uint32_t snap[memory::kWordsPerSlab];
-    if (next != kNullSlab) {
-      // Overflow chain: snapshot so key and value come from one read of
-      // the slab. Single-slab buckets (the common case at the paper's load
-      // factors) probe the shared words directly and skip the copy.
-      simt::snapshot_slab(slab, snap);
-      words = snap;
-    }
     const simt::SlabProbe probe =
-        simt::probe_slab(words, key, kEmptyKey, kTombstoneKey);
+        simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
     const std::uint32_t match = probe.match & kMapKeyWordsMask;
-    if (match != 0) return {true, words[std::countr_zero(match) + 1]};
+    if (match != 0) {
+      return {true, atomic_load(slab.words[std::countr_zero(match) + 1])};
+    }
     if ((probe.empty & kMapKeyWordsMask) != 0) return {};
-    handle = next;
+    handle = atomic_load(slab.words[kNextPtrWord]);
   }
   return {};
+}
+
+}  // namespace
+
+bool map_replace(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                 std::uint32_t value, std::uint64_t seed,
+                 std::uint32_t alloc_seed) {
+  return replace_in_bucket(arena, table,
+                           bucket_of(key, table.num_buckets, seed), key, value,
+                           alloc_seed);
+}
+
+bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed) {
+  return erase_in_bucket(arena, table, bucket_of(key, table.num_buckets, seed),
+                         key);
+}
+
+MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
+                         std::uint32_t key, std::uint64_t seed) {
+  return search_in_bucket(arena, table,
+                          bucket_of(key, table.num_buckets, seed), key);
+}
+
+// ---------------------------------------------------------------------------
+// Staged bulk entry points. One wave of <= 32 keys (a warp's worth) walks
+// the bucket chain once: per slab, one vector compare per still-pending key
+// against cache-hot words, ONE EMPTY-mask scan shared by every claim, and
+// the successor slab prefetched while the compares resolve.
+// ---------------------------------------------------------------------------
+
+std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
+                               std::uint32_t bucket, const std::uint32_t* keys,
+                               const std::uint32_t* values, std::uint32_t count,
+                               std::uint32_t alloc_seed) {
+  if (count == 1) {  // singleton run: sparse batches are mostly these
+    return replace_in_bucket(arena, table, bucket, keys[0], values[0],
+                             alloc_seed)
+               ? 1u
+               : 0u;
+  }
+  std::uint32_t added = 0;
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0) {
+      Slab& slab = arena.resolve(handle);
+      // Load the successor early: its slab climbs the cache hierarchy
+      // while this slab's compares and claims resolve.
+      SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      // The first lane's probe yields the slab's EMPTY mask for free (one
+      // pass computes all three masks); later lanes only need the match.
+      // The run owns this bucket for the phase, so that one EMPTY scan
+      // serves every claim below: claimed slots vanish from the local mask.
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe = simt::probe_slab(
+              slab.words, keys[base + lane], kEmptyKey, kTombstoneKey);
+          match = probe.match & kMapKeyWordsMask;
+          empties = probe.empty & kMapKeyWordsMask;
+          probed = true;
+        } else {
+          match = simt::match_mask(slab.words, keys[base + lane]) &
+                  kMapKeyWordsMask;
+        }
+        if (match != 0) {  // already stored: overwrite the value, not new
+          atomic_store(slab.words[std::countr_zero(match) + 1],
+                       values[base + lane]);
+          pending &= ~(1u << lane);
+        }
+      }
+      for (std::uint32_t m = pending; m != 0 && empties != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const std::uint32_t key = keys[base + lane];
+        while (empties != 0) {
+          const int key_word = std::countr_zero(empties);
+          const PairClaim claim =
+              claim_pair(&slab.words[key_word], key, values[base + lane]);
+          if (claim.success) {
+            ++added;
+            pending &= ~(1u << lane);
+            empties &= ~(1u << key_word);
+            break;
+          }
+          if (claim.observed_key == key) {  // racing identical key
+            atomic_store(slab.words[key_word + 1], values[base + lane]);
+            pending &= ~(1u << lane);
+            break;
+          }
+          empties &= ~(1u << key_word);  // slot taken by a different key
+        }
+      }
+      if (pending == 0) break;
+      if (next == kNullSlab) {
+        next = extend_chain(arena, slab,
+                            alloc_seed + keys[base + std::countr_zero(pending)]);
+      }
+      handle = next;
+    }
+  }
+  return added;
+}
+
+std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
+                             std::uint32_t bucket, const std::uint32_t* keys,
+                             std::uint32_t count) {
+  if (count == 1) {
+    return erase_in_bucket(arena, table, bucket, keys[0]) ? 1u : 0u;
+  }
+  std::uint32_t removed = 0;
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0 && handle != kNullSlab) {
+      Slab& slab = arena.resolve(handle);
+      const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      // First lane probes all three masks in one pass; erase never creates
+      // EMPTY slots, so the mask stays valid across the wave.
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const std::uint32_t key = keys[base + lane];
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe =
+              simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+          match = probe.match & kMapKeyWordsMask;
+          empties = probe.empty & kMapKeyWordsMask;
+          probed = true;
+        } else {
+          match = simt::match_mask(slab.words, key) & kMapKeyWordsMask;
+        }
+        if (match != 0) {
+          // CAS so a concurrent erase of the same key counts only once.
+          if (atomic_cas(slab.words[std::countr_zero(match)], key,
+                         kTombstoneKey) == key) {
+            ++removed;
+          }
+          pending &= ~(1u << lane);
+        }
+      }
+      // Empties only at the tail: an EMPTY slot here means every key still
+      // pending is absent from the chain.
+      if (empties != 0) break;
+      handle = next;
+    }
+  }
+  return removed;
+}
+
+void map_bulk_search(const memory::SlabArena& arena, TableRef table,
+                     std::uint32_t bucket, const std::uint32_t* keys,
+                     std::uint32_t count, std::uint8_t* found,
+                     std::uint32_t* values) {
+  if (count == 1) {
+    const MapFindResult r = search_in_bucket(arena, table, bucket, keys[0]);
+    found[0] = r.found ? 1 : 0;
+    if (values != nullptr && r.found) values[0] = r.value;
+    return;
+  }
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    for (std::uint32_t lane = 0; lane < wave; ++lane) found[base + lane] = 0;
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0 && handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe = simt::probe_slab(
+              slab.words, keys[base + lane], kEmptyKey, kTombstoneKey);
+          match = probe.match & kMapKeyWordsMask;
+          empties = probe.empty & kMapKeyWordsMask;
+          probed = true;
+        } else {
+          match = simt::match_mask(slab.words, keys[base + lane]) &
+                  kMapKeyWordsMask;
+        }
+        if (match != 0) {
+          found[base + lane] = 1;
+          if (values != nullptr) {
+            values[base + lane] =
+                atomic_load(slab.words[std::countr_zero(match) + 1]);
+          }
+          pending &= ~(1u << lane);
+        }
+      }
+      if (empties != 0) break;  // empties only at the tail: the rest miss
+      handle = next;
+    }
+  }
 }
 
 void map_for_each(const memory::SlabArena& arena, TableRef table,
@@ -153,6 +395,7 @@ void map_for_each(const memory::SlabArena& arena, TableRef table,
 }
 
 TableOccupancy map_occupancy(const memory::SlabArena& arena, TableRef table) {
+  // One probe per slab + three popcounts, instead of a per-pair word loop.
   TableOccupancy occ;
   occ.base_slabs = table.num_buckets;
   for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
@@ -162,14 +405,12 @@ TableOccupancy map_occupancy(const memory::SlabArena& arena, TableRef table) {
       const Slab& slab = arena.resolve(handle);
       if (!base) ++occ.overflow_slabs;
       occ.slots += kMapPairsPerSlab;
-      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-        const std::uint32_t k = slab.words[pair * 2];
-        if (k == kTombstoneKey) {
-          ++occ.tombstones;
-        } else if (k != kEmptyKey) {
-          ++occ.live_keys;
-        }
-      }
+      const simt::SlabProbe probe =
+          simt::probe_slab(slab.words, kEmptyKey, kEmptyKey, kTombstoneKey);
+      const std::uint32_t empties = probe.empty & kMapKeyWordsMask;
+      const std::uint32_t tombs = probe.tombstone & kMapKeyWordsMask;
+      occ.tombstones += simt::popc(tombs);
+      occ.live_keys += simt::popc(kMapKeyWordsMask & ~empties & ~tombs);
       handle = slab.words[kNextPtrWord];
       base = false;
     }
@@ -187,11 +428,14 @@ void map_flush_tombstones(memory::SlabArena& arena, TableRef table) {
     while (handle != kNullSlab) {
       chain.push_back(handle);
       const Slab& slab = arena.resolve(handle);
-      for (int pair = 0; pair < kMapPairsPerSlab; ++pair) {
-        const std::uint32_t k = slab.words[pair * 2];
-        if (k != kEmptyKey && k != kTombstoneKey) {
-          live.emplace_back(k, slab.words[pair * 2 + 1]);
-        }
+      const simt::SlabProbe probe =
+          simt::probe_slab(slab.words, kEmptyKey, kEmptyKey, kTombstoneKey);
+      std::uint32_t live_mask =
+          kMapKeyWordsMask & ~probe.empty & ~probe.tombstone;
+      while (live_mask != 0) {
+        const int key_word = std::countr_zero(live_mask);
+        live.emplace_back(slab.words[key_word], slab.words[key_word + 1]);
+        live_mask &= live_mask - 1;
       }
       handle = slab.words[kNextPtrWord];
     }
@@ -225,6 +469,9 @@ void map_flush_tombstones(memory::SlabArena& arena, TableRef table) {
 }
 
 void map_clear(memory::SlabArena& arena, TableRef table) {
+  // kEmptyKey (== kNullSlab) is all-ones, so one 128-byte memset resets
+  // keys, values, the reserved word, and the next pointer at once.
+  static_assert(kEmptyKey == 0xFFFFFFFFu && memory::kNullSlab == 0xFFFFFFFFu);
   for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
     Slab& head = arena.resolve(table.bucket_head(b));
     SlabHandle overflow = head.words[kNextPtrWord];
@@ -233,7 +480,7 @@ void map_clear(memory::SlabArena& arena, TableRef table) {
       arena.free(overflow);
       overflow = next;
     }
-    for (int w = 0; w < memory::kWordsPerSlab; ++w) head.words[w] = kEmptyKey;
+    std::memset(head.words, 0xFF, sizeof(head.words));
   }
 }
 

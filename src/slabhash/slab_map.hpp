@@ -48,6 +48,40 @@ bool map_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
 MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
                          std::uint32_t key, std::uint64_t seed);
 
+// ---- staged bulk entry points (batch engine, docs/PERF.md) ---------------
+//
+// A "run" is a staged group of queries that all hash to `bucket` of `table`:
+// the batch engine pre-hashes each key once, sorts the batch by
+// (vertex, bucket, key), and hands each run to one warp. The run's
+// (table, bucket) chain is owned exclusively by that warp for the phase —
+// the engine's run partition guarantees no other warp mutates the same
+// bucket — which is what lets these walk the chain ONCE per wave of up to
+// 32 keys, compute the slab's EMPTY mask once per slab, and claim
+// successive slots from it, instead of one full hash + chain walk per key.
+// Concurrent mutation of OTHER buckets (and of other tables) remains safe:
+// slot claiming still goes through CAS.
+
+/// Bulk replace of a run: inserts keys[i] -> values[i] (unique keys,
+/// sorted); a key already present has its value overwritten. Returns the
+/// number of NEW keys.
+std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
+                               std::uint32_t bucket, const std::uint32_t* keys,
+                               const std::uint32_t* values, std::uint32_t count,
+                               std::uint32_t alloc_seed = 0);
+
+/// Bulk erase of a run; returns the number of keys that were present.
+std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
+                             std::uint32_t bucket, const std::uint32_t* keys,
+                             std::uint32_t count);
+
+/// Bulk lookup of a run: found[i] = 1 iff keys[i] is live; when `values` is
+/// non-null, values[i] receives the stored value on a hit. Duplicate keys
+/// in the run are fine (lookups are independent).
+void map_bulk_search(const memory::SlabArena& arena, TableRef table,
+                     std::uint32_t bucket, const std::uint32_t* keys,
+                     std::uint32_t count, std::uint8_t* found,
+                     std::uint32_t* values);
+
 /// Calls fn(key, value) for every live pair. Phase-concurrent with queries.
 void map_for_each(const memory::SlabArena& arena, TableRef table,
                   const std::function<void(std::uint32_t, std::uint32_t)>& fn);

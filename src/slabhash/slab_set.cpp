@@ -1,10 +1,12 @@
 #include "src/slabhash/slab_set.hpp"
 
 #include <bit>
+#include <cstring>
 #include <vector>
 
 #include "src/simt/atomics.hpp"
 #include "src/simt/simd.hpp"
+#include "src/simt/warp.hpp"
 
 // Hot paths mirror slab_map.cpp: one vectorized compare per slab
 // (simt::probe_slab) replaces the per-word atomic-load loop, with CAS kept
@@ -32,9 +34,13 @@ SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
 
 }  // namespace
 
-bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
-                std::uint64_t seed, std::uint32_t alloc_seed) {
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+namespace {
+
+/// set_insert after hashing: shared by the scalar entry point and the bulk
+/// path's singleton runs (which arrive pre-hashed).
+bool insert_in_bucket(memory::SlabArena& arena, TableRef table,
+                      std::uint32_t bucket, std::uint32_t key,
+                      std::uint32_t alloc_seed) {
   SlabHandle handle = table.bucket_head(bucket);
   for (;;) {
     Slab& slab = arena.resolve(handle);
@@ -56,9 +62,9 @@ bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   }
 }
 
-bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
-               std::uint64_t seed) {
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+/// set_erase after hashing (scalar entry point + singleton bulk runs).
+bool erase_in_bucket(memory::SlabArena& arena, TableRef table,
+                     std::uint32_t bucket, std::uint32_t key) {
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     Slab& slab = arena.resolve(handle);
@@ -75,11 +81,11 @@ bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
   return false;
 }
 
-bool set_contains(const memory::SlabArena& arena, TableRef table,
-                  std::uint32_t key, std::uint64_t seed) {
-  // The edgeExist primitive: a GPU warp compares all 32 slab words in one
-  // step; here that is literally one vector compare per slab.
-  const std::uint32_t bucket = bucket_of(key, table.num_buckets, seed);
+/// set_contains after hashing (scalar entry point + singleton bulk runs).
+/// The edgeExist primitive: a GPU warp compares all 32 slab words in one
+/// step; here that is literally one vector compare per slab.
+bool contains_in_bucket(const memory::SlabArena& arena, TableRef table,
+                        std::uint32_t bucket, std::uint32_t key) {
   SlabHandle handle = table.bucket_head(bucket);
   while (handle != kNullSlab) {
     const Slab& slab = arena.resolve(handle);
@@ -90,6 +96,191 @@ bool set_contains(const memory::SlabArena& arena, TableRef table,
     handle = atomic_load(slab.words[kNextPtrWord]);
   }
   return false;
+}
+
+}  // namespace
+
+bool set_insert(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+                std::uint64_t seed, std::uint32_t alloc_seed) {
+  return insert_in_bucket(arena, table,
+                          bucket_of(key, table.num_buckets, seed), key,
+                          alloc_seed);
+}
+
+bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
+               std::uint64_t seed) {
+  return erase_in_bucket(arena, table, bucket_of(key, table.num_buckets, seed),
+                         key);
+}
+
+bool set_contains(const memory::SlabArena& arena, TableRef table,
+                  std::uint32_t key, std::uint64_t seed) {
+  return contains_in_bucket(arena, table,
+                            bucket_of(key, table.num_buckets, seed), key);
+}
+
+std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
+                              std::uint32_t bucket, const std::uint32_t* keys,
+                              std::uint32_t count, std::uint32_t alloc_seed) {
+  if (count == 1) {  // singleton run: sparse batches are mostly these
+    return insert_in_bucket(arena, table, bucket, keys[0], alloc_seed) ? 1u
+                                                                       : 0u;
+  }
+  std::uint32_t added = 0;
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0) {
+      Slab& slab = arena.resolve(handle);
+      SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      // First lane probes all three masks in one pass; the shared EMPTY
+      // scan serves every claim below (the run owns this bucket for the
+      // phase), claimed slots vanishing from the local mask only.
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe = simt::probe_slab(
+              slab.words, keys[base + lane], kEmptyKey, kTombstoneKey);
+          match = probe.match & kSetKeyWordsMask;
+          empties = probe.empty & kSetKeyWordsMask;
+          probed = true;
+        } else {
+          match =
+              simt::match_mask(slab.words, keys[base + lane]) & kSetKeyWordsMask;
+        }
+        if (match != 0) {
+          pending &= ~(1u << lane);  // already present: not new
+        }
+      }
+      for (std::uint32_t m = pending; m != 0 && empties != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const std::uint32_t key = keys[base + lane];
+        while (empties != 0) {
+          const int slot = std::countr_zero(empties);
+          const std::uint32_t observed =
+              atomic_cas(slab.words[slot], kEmptyKey, key);
+          if (observed == kEmptyKey) {
+            ++added;
+            pending &= ~(1u << lane);
+            empties &= ~(1u << slot);
+            break;
+          }
+          if (observed == key) {  // racing identical key
+            pending &= ~(1u << lane);
+            break;
+          }
+          empties &= ~(1u << slot);  // slot taken by a different key
+        }
+      }
+      if (pending == 0) break;
+      if (next == kNullSlab) {
+        next = extend_chain(arena, slab,
+                            alloc_seed + keys[base + std::countr_zero(pending)]);
+      }
+      handle = next;
+    }
+  }
+  return added;
+}
+
+std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
+                             std::uint32_t bucket, const std::uint32_t* keys,
+                             std::uint32_t count) {
+  if (count == 1) {
+    return erase_in_bucket(arena, table, bucket, keys[0]) ? 1u : 0u;
+  }
+  std::uint32_t removed = 0;
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0 && handle != kNullSlab) {
+      Slab& slab = arena.resolve(handle);
+      const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      // First lane probes all three masks at once; erase never creates
+      // EMPTY slots, so the mask stays valid across the wave.
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        const std::uint32_t key = keys[base + lane];
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe =
+              simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
+          match = probe.match & kSetKeyWordsMask;
+          empties = probe.empty & kSetKeyWordsMask;
+          probed = true;
+        } else {
+          match = simt::match_mask(slab.words, key) & kSetKeyWordsMask;
+        }
+        if (match != 0) {
+          if (atomic_cas(slab.words[std::countr_zero(match)], key,
+                         kTombstoneKey) == key) {
+            ++removed;
+          }
+          pending &= ~(1u << lane);
+        }
+      }
+      if (empties != 0) break;  // empties only at the tail: rest are absent
+      handle = next;
+    }
+  }
+  return removed;
+}
+
+void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
+                       std::uint32_t bucket, const std::uint32_t* keys,
+                       std::uint32_t count, std::uint8_t* found) {
+  if (count == 1) {
+    found[0] = contains_in_bucket(arena, table, bucket, keys[0]) ? 1 : 0;
+    return;
+  }
+  for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
+    const std::uint32_t wave = count - base < simt::kWarpSize
+                                   ? count - base
+                                   : static_cast<std::uint32_t>(simt::kWarpSize);
+    std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
+    for (std::uint32_t lane = 0; lane < wave; ++lane) found[base + lane] = 0;
+    SlabHandle handle = table.bucket_head(bucket);
+    while (pending != 0 && handle != kNullSlab) {
+      const Slab& slab = arena.resolve(handle);
+      const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      std::uint32_t empties = 0;
+      bool probed = false;
+      for (std::uint32_t m = pending; m != 0; m &= m - 1) {
+        const int lane = std::countr_zero(m);
+        std::uint32_t match;
+        if (!probed) {
+          const simt::SlabProbe probe = simt::probe_slab(
+              slab.words, keys[base + lane], kEmptyKey, kTombstoneKey);
+          match = probe.match & kSetKeyWordsMask;
+          empties = probe.empty & kSetKeyWordsMask;
+          probed = true;
+        } else {
+          match =
+              simt::match_mask(slab.words, keys[base + lane]) & kSetKeyWordsMask;
+        }
+        if (match != 0) {
+          found[base + lane] = 1;
+          pending &= ~(1u << lane);
+        }
+      }
+      if (empties != 0) break;  // empties only at the tail: rest miss
+      handle = next;
+    }
+  }
 }
 
 void set_for_each(const memory::SlabArena& arena, TableRef table,
@@ -124,14 +315,13 @@ TableOccupancy set_occupancy(const memory::SlabArena& arena, TableRef table) {
       const Slab& slab = arena.resolve(handle);
       if (!base) ++occ.overflow_slabs;
       occ.slots += kSetKeysPerSlab;
-      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-        const std::uint32_t k = slab.words[slot];
-        if (k == kTombstoneKey) {
-          ++occ.tombstones;
-        } else if (k != kEmptyKey) {
-          ++occ.live_keys;
-        }
-      }
+      // One probe + popcounts per slab instead of a per-slot word loop.
+      const simt::SlabProbe probe =
+          simt::probe_slab(slab.words, kEmptyKey, kEmptyKey, kTombstoneKey);
+      const std::uint32_t empties = probe.empty & kSetKeyWordsMask;
+      const std::uint32_t tombs = probe.tombstone & kSetKeyWordsMask;
+      occ.tombstones += simt::popc(tombs);
+      occ.live_keys += simt::popc(kSetKeyWordsMask & ~empties & ~tombs);
       handle = slab.words[kNextPtrWord];
       base = false;
     }
@@ -147,9 +337,13 @@ void set_flush_tombstones(memory::SlabArena& arena, TableRef table) {
     while (handle != kNullSlab) {
       chain.push_back(handle);
       const Slab& slab = arena.resolve(handle);
-      for (int slot = 0; slot < kSetKeysPerSlab; ++slot) {
-        const std::uint32_t k = slab.words[slot];
-        if (k != kEmptyKey && k != kTombstoneKey) live.push_back(k);
+      const simt::SlabProbe probe =
+          simt::probe_slab(slab.words, kEmptyKey, kEmptyKey, kTombstoneKey);
+      std::uint32_t live_mask =
+          kSetKeyWordsMask & ~probe.empty & ~probe.tombstone;
+      while (live_mask != 0) {
+        live.push_back(slab.words[std::countr_zero(live_mask)]);
+        live_mask &= live_mask - 1;
       }
       handle = slab.words[kNextPtrWord];
     }
@@ -177,6 +371,8 @@ void set_flush_tombstones(memory::SlabArena& arena, TableRef table) {
 }
 
 void set_clear(memory::SlabArena& arena, TableRef table) {
+  // kEmptyKey (== kNullSlab) is all-ones: one memset resets the whole slab.
+  static_assert(kEmptyKey == 0xFFFFFFFFu && memory::kNullSlab == 0xFFFFFFFFu);
   for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
     Slab& head = arena.resolve(table.bucket_head(b));
     SlabHandle overflow = head.words[kNextPtrWord];
@@ -185,7 +381,7 @@ void set_clear(memory::SlabArena& arena, TableRef table) {
       arena.free(overflow);
       overflow = next;
     }
-    for (int w = 0; w < memory::kWordsPerSlab; ++w) head.words[w] = kEmptyKey;
+    std::memset(head.words, 0xFF, sizeof(head.words));
   }
 }
 

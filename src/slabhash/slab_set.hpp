@@ -23,6 +23,28 @@ bool set_erase(memory::SlabArena& arena, TableRef table, std::uint32_t key,
 bool set_contains(const memory::SlabArena& arena, TableRef table,
                   std::uint32_t key, std::uint64_t seed);
 
+// ---- staged bulk entry points (batch engine) -----------------------------
+// Same contract as the map's bulk operations (slab_map.hpp): the run's keys
+// are pre-hashed to `bucket`, and for mutation the engine guarantees no
+// other warp touches this bucket during the phase. The chain is walked once
+// per wave of up to 32 keys with one shared EMPTY scan per slab.
+
+/// Bulk unique insert of a run (unique, sorted keys); returns the number of
+/// NEW keys.
+std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
+                              std::uint32_t bucket, const std::uint32_t* keys,
+                              std::uint32_t count, std::uint32_t alloc_seed = 0);
+
+/// Bulk erase of a run; returns the number of keys that were present.
+std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
+                             std::uint32_t bucket, const std::uint32_t* keys,
+                             std::uint32_t count);
+
+/// Bulk membership of a run: found[i] = 1 iff keys[i] is live.
+void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
+                       std::uint32_t bucket, const std::uint32_t* keys,
+                       std::uint32_t count, std::uint8_t* found);
+
 /// Calls fn(key) for every live key.
 void set_for_each(const memory::SlabArena& arena, TableRef table,
                   const std::function<void(std::uint32_t)>& fn);

@@ -1,11 +1,65 @@
 #include "src/sort/segmented_sort.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "src/simt/thread_pool.hpp"
 
 namespace sg::sort {
+
+namespace {
+
+/// Parallel sort core of segmented_sort: sort contiguous
+/// chunks on the pool, then bottom-up pairwise merges (also parallel, one
+/// task per pair) ping-ponging between the input and one scratch buffer.
+/// Falls back to one std::sort when the pool is a single worker or the
+/// input is too small to amortize the merges.
+template <typename T>
+void parallel_sort(std::span<T> data) {
+  const std::size_t n = data.size();
+  auto& pool = simt::ThreadPool::instance();
+  const std::size_t workers = pool.size() > 0 ? pool.size() : 1;
+  if (workers <= 1 || n < (std::size_t{1} << 15)) {
+    std::sort(data.begin(), data.end());
+    return;
+  }
+  const std::size_t num_chunks = workers < 16 ? workers : 16;
+  std::vector<std::size_t> bounds(num_chunks + 1);
+  for (std::size_t c = 0; c <= num_chunks; ++c) {
+    bounds[c] = n * c / num_chunks;
+  }
+  pool.parallel_for(num_chunks, [&](std::uint64_t c) {
+    std::sort(data.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+              data.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]));
+  });
+  std::vector<T> scratch(n);
+  T* src = data.data();
+  T* dst = scratch.data();
+  while (bounds.size() > 2) {
+    const std::size_t pairs = (bounds.size() - 1) / 2;
+    pool.parallel_for(pairs, [&](std::uint64_t p) {
+      std::merge(src + bounds[2 * p], src + bounds[2 * p + 1],
+                 src + bounds[2 * p + 1], src + bounds[2 * p + 2],
+                 dst + bounds[2 * p]);
+    });
+    if ((bounds.size() - 1) % 2 != 0) {  // odd trailing chunk: carry over
+      std::copy(src + bounds[bounds.size() - 2], src + bounds.back(),
+                dst + bounds[bounds.size() - 2]);
+    }
+    std::vector<std::size_t> merged;
+    merged.reserve(pairs + 2);
+    for (std::size_t b = 0; b < bounds.size(); b += 2) merged.push_back(bounds[b]);
+    if (merged.back() != n) merged.push_back(n);
+    bounds = std::move(merged);
+    std::swap(src, dst);
+  }
+  if (src != data.data()) {
+    std::copy(src, src + n, data.data());
+  }
+}
+
+}  // namespace
 
 void segmented_sort(std::span<std::uint32_t> values,
                     std::span<const std::uint64_t> offsets) {
@@ -20,9 +74,52 @@ void segmented_sort(std::span<std::uint32_t> values,
       keyed[i] = (static_cast<std::uint64_t>(s) << 32) | values[i];
     }
   }
-  std::sort(keyed.begin(), keyed.end());
+  parallel_sort(std::span<std::uint64_t>(keyed));
   for (std::size_t i = 0; i < keyed.size(); ++i) {
     values[i] = static_cast<std::uint32_t>(keyed[i]);
+  }
+}
+
+void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch) {
+  const std::size_t n = records.size();
+  if (n < 2) return;
+  constexpr int kDigitBits = 11;
+  constexpr std::uint32_t kBins = 1u << kDigitBits;  // 8 KiB histogram: L1
+  std::uint64_t or_mask = 0;
+  std::uint64_t and_mask = ~std::uint64_t{0};
+  for (const U128& r : records) {
+    or_mask |= r.hi;
+    and_mask &= r.hi;
+  }
+  const int significant_bits =
+      64 - static_cast<int>(std::countl_zero(or_mask | 1));
+  const int passes = (significant_bits + kDigitBits - 1) / kDigitBits;
+  scratch.resize(n);
+  U128* src = records.data();
+  U128* dst = scratch.data();
+  for (int pass = 0; pass < passes; ++pass) {
+    const int shift = pass * kDigitBits;
+    // A digit whose every bit agrees across all records contributes no
+    // ordering: skip the pass. With single-bucket tables (the common case)
+    // the whole bucket digit is constant zero, so only the vertex bits pay.
+    if (((or_mask ^ and_mask) >> shift & (kBins - 1)) == 0) continue;
+    std::uint32_t offsets[kBins] = {};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++offsets[(src[i].hi >> shift) & (kBins - 1)];
+    }
+    std::uint32_t running = 0;
+    for (std::uint32_t bin = 0; bin < kBins; ++bin) {
+      const std::uint32_t count = offsets[bin];
+      offsets[bin] = running;
+      running += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[offsets[(src[i].hi >> shift) & (kBins - 1)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  if (src != records.data()) {
+    std::copy(src, src + n, records.data());
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 namespace sg::sort {
 
@@ -18,6 +19,27 @@ namespace sg::sort {
 /// mirroring CUB's device-wide segmented sort behaviour.
 void segmented_sort(std::span<std::uint32_t> values,
                     std::span<const std::uint64_t> offsets);
+
+/// 16-byte sort record of radix_sort_hi. This is the staged-query key of
+/// the batch engine (src/core/batch_engine.hpp): the segment id — a packed
+/// (vertex, bucket) pair — rides in `hi` and the query key + sequence number
+/// in `lo`, the same pack-segment-into-the-high-bits strategy
+/// segmented_sort uses for its (segment, value) pairs.
+struct U128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const U128&, const U128&) = default;
+};
+
+/// STABLE ascending sort of `records` by `hi` only (records with equal hi
+/// keep their input order — how the batch engine preserves
+/// most-recent-wins sequence order without spending sort passes on the low
+/// word). LSD radix with 11-bit digits; passes covering only zero bits of
+/// every hi are skipped, so the cost tracks the actual id range, not the
+/// 64-bit width. `scratch` is resized as needed and may be reused across
+/// calls.
+void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch);
 
 /// Per-segment comparison sort (parallel over segments): the "sort each
 /// adjacency list independently" alternative. Exposed for the ablation in

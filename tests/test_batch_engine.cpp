@@ -1,0 +1,344 @@
+// Differential tests of the staged batch engine (src/core/batch_engine.hpp):
+// the bulk path (config.batch_engine = true, the default) must produce a
+// graph identical to the scalar Algorithm-1 path on the same inputs —
+// random and skewed batches, inserts, erases, bulk build, and batched
+// existence queries — plus unit tests of the staging/grouping pass and the
+// slabhash bulk entry points it drives.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/core/batch_engine.hpp"
+#include "src/core/dyn_graph.hpp"
+#include "src/slabhash/slab_map.hpp"
+#include "src/slabhash/slab_set.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::core {
+namespace {
+
+GraphConfig engine_config(bool batch_engine, bool undirected = false,
+                          std::uint32_t capacity = 256) {
+  GraphConfig cfg;
+  cfg.vertex_capacity = capacity;
+  cfg.undirected = undirected;
+  cfg.batch_engine = batch_engine;
+  return cfg;
+}
+
+std::vector<WeightedEdge> random_batch(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t num_vertices) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> batch(count);
+  for (auto& e : batch) {
+    e = {static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<Weight>(rng.below(1u << 16))};
+  }
+  return batch;
+}
+
+/// Skewed batch: a handful of hub sources own most of the edges (the
+/// bucket-skew case run scheduling must balance), plus duplicates.
+std::vector<WeightedEdge> skewed_batch(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t num_vertices) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> batch(count);
+  for (auto& e : batch) {
+    const bool hub = rng.below(100) < 70;
+    e = {hub ? static_cast<VertexId>(rng.below(4))
+             : static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<VertexId>(rng.below(hub ? num_vertices : 16)),
+         static_cast<Weight>(rng.below(1u << 16))};
+  }
+  return batch;
+}
+
+template <class Policy>
+std::multiset<std::tuple<VertexId, VertexId, Weight>> graph_edges(
+    const DynGraph<Policy>& g) {
+  std::multiset<std::tuple<VertexId, VertexId, Weight>> edges;
+  for (VertexId u = 0; u < g.vertex_capacity(); ++u) {
+    g.for_each_neighbor(u, [&](VertexId v, Weight w) {
+      edges.insert({u, v, Policy::kHasValues ? w : Weight{0}});
+    });
+  }
+  return edges;
+}
+
+template <class Policy>
+void expect_identical(const DynGraph<Policy>& bulk,
+                      const DynGraph<Policy>& scalar) {
+  EXPECT_EQ(bulk.num_edges(), scalar.num_edges());
+  for (VertexId u = 0; u < std::max(bulk.vertex_capacity(),
+                                    scalar.vertex_capacity());
+       ++u) {
+    const std::uint32_t bulk_degree =
+        u < bulk.vertex_capacity() ? bulk.degree(u) : 0;
+    const std::uint32_t scalar_degree =
+        u < scalar.vertex_capacity() ? scalar.degree(u) : 0;
+    ASSERT_EQ(bulk_degree, scalar_degree) << "degree mismatch at vertex " << u;
+  }
+  EXPECT_EQ(graph_edges(bulk), graph_edges(scalar));
+}
+
+template <class Policy>
+void run_differential(bool undirected, std::uint64_t seed) {
+  DynGraph<Policy> bulk(engine_config(true, undirected));
+  DynGraph<Policy> scalar(engine_config(false, undirected));
+  ASSERT_TRUE(bulk.config().batch_engine);
+  ASSERT_FALSE(scalar.config().batch_engine);
+
+  // Interleave random and skewed insert batches with erase batches drawn
+  // from the same distributions, checking equality after every phase.
+  for (int round = 0; round < 4; ++round) {
+    const auto inserts = round % 2 == 0
+                             ? random_batch(seed + round, 600, 180)
+                             : skewed_batch(seed + round, 600, 180);
+    EXPECT_EQ(bulk.insert_edges(inserts), scalar.insert_edges(inserts));
+    expect_identical(bulk, scalar);
+
+    std::vector<Edge> erases;
+    for (const auto& e : round % 2 == 0
+                             ? skewed_batch(seed + 100 + round, 250, 180)
+                             : random_batch(seed + 100 + round, 250, 180)) {
+      erases.push_back({e.src, e.dst});
+    }
+    EXPECT_EQ(bulk.delete_edges(erases), scalar.delete_edges(erases));
+    expect_identical(bulk, scalar);
+
+    // Batched existence must agree with scalar point queries on hits,
+    // misses, unknown sources, and self-loops.
+    const auto probes = random_batch(seed + 200 + round, 300, 220);
+    std::vector<Edge> queries;
+    for (const auto& e : probes) queries.push_back({e.src, e.dst});
+    std::vector<std::uint8_t> bulk_out(queries.size(), 2);
+    std::vector<std::uint8_t> scalar_out(queries.size(), 2);
+    bulk.edges_exist(queries, bulk_out.data());
+    scalar.edges_exist(queries, scalar_out.data());
+    EXPECT_EQ(bulk_out, scalar_out);
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      EXPECT_EQ(bulk_out[q] != 0,
+                scalar.edge_exists(queries[q].src, queries[q].dst));
+    }
+  }
+}
+
+TEST(BatchEngineDifferential, MapDirected) {
+  run_differential<MapPolicy>(false, 1);
+}
+TEST(BatchEngineDifferential, MapUndirected) {
+  run_differential<MapPolicy>(true, 2);
+}
+TEST(BatchEngineDifferential, SetDirected) {
+  run_differential<SetPolicy>(false, 3);
+}
+TEST(BatchEngineDifferential, SetUndirected) {
+  run_differential<SetPolicy>(true, 4);
+}
+
+TEST(BatchEngineDifferential, BulkBuildMatchesScalar) {
+  const auto edges = random_batch(7, 4000, 500);
+  for (const bool undirected : {false, true}) {
+    DynGraphMap bulk(engine_config(true, undirected, 500));
+    DynGraphMap scalar(engine_config(false, undirected, 500));
+    bulk.bulk_build(edges);
+    scalar.bulk_build(edges);
+    expect_identical(bulk, scalar);
+  }
+}
+
+TEST(BatchEngineDifferential, MostRecentDuplicateWinsDeterministically) {
+  // Duplicates inside a batch must resolve to the LAST occurrence even
+  // though the engine reorders the batch internally.
+  DynGraphMap g(engine_config(true));
+  std::vector<WeightedEdge> batch;
+  for (Weight w = 1; w <= 64; ++w) batch.push_back({5, 9, w});
+  batch.push_back({5, 10, 1});
+  for (Weight w = 100; w <= 140; ++w) batch.push_back({5, 9, w});
+  EXPECT_EQ(g.insert_edges(batch), 2u);
+  EXPECT_EQ(g.edge_weight(5, 9).value, 140u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Staging / grouping unit tests
+// ---------------------------------------------------------------------------
+
+TEST(BatchStaging, GroupsDedupsAndPreservesRunOrder) {
+  BatchStaging st;
+  const slabhash::TableRef table{0, 8};  // hashing only needs num_buckets
+  const std::uint64_t seed = 42;
+  std::vector<WeightedEdge> edges = {
+      {3, 7, 10}, {1, 7, 11}, {3, 7, 12}, {3, 3, 99},  // self-loop drops
+      {1, 9, 13}, {3, 7, 14},
+  };
+  stage_weighted_edges(edges, /*undirected=*/false, /*keep_weights=*/true,
+                       seed, [&](VertexId) { return table; }, st);
+  EXPECT_EQ(st.staged, 5u);
+  EXPECT_EQ(st.dropped, 1u);
+  st.group(/*dedup=*/true, /*gather_values=*/true, /*gather_seqs=*/false);
+  EXPECT_EQ(st.duplicates, 2u);  // two earlier (3, 7) occurrences dropped
+  EXPECT_EQ(st.keys.size(), 3u);
+  ASSERT_EQ(st.run_offsets.size(), st.runs.size() + 1);
+  // Runs are sorted by source; every key lands in its staged bucket, and
+  // the surviving (3, 7) carries the LAST weight.
+  std::map<std::pair<VertexId, std::uint32_t>, Weight> kept;
+  for (std::size_t r = 0; r < st.runs.size(); ++r) {
+    if (r > 0) EXPECT_LE(st.runs[r - 1].src, st.runs[r].src);
+    for (std::uint64_t i = st.run_offsets[r]; i < st.run_offsets[r + 1]; ++i) {
+      EXPECT_EQ(st.runs[r].bucket,
+                slabhash::bucket_of(st.keys[i], table.num_buckets, seed));
+      kept[{st.runs[r].src, st.keys[i]}] = st.values[i];
+    }
+  }
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ((kept[{3, 7}]), 14u);
+  EXPECT_EQ((kept[{1, 7}]), 11u);
+  EXPECT_EQ((kept[{1, 9}]), 13u);
+}
+
+TEST(BatchStaging, UndirectedStagesBothDirectionsInPlace) {
+  BatchStaging st;
+  const slabhash::TableRef table{0, 1};
+  std::vector<WeightedEdge> edges = {{1, 2, 5}, {2, 1, 6}};
+  stage_weighted_edges(edges, /*undirected=*/true, /*keep_weights=*/true, 1,
+                       [&](VertexId) { return table; }, st);
+  EXPECT_EQ(st.staged, 4u);
+  st.group(true, true, false);
+  // (1,2) and (2,1) both appear twice across the mirror; each dedups to
+  // the most recent weight.
+  EXPECT_EQ(st.duplicates, 2u);
+  EXPECT_EQ(st.keys.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// slabhash bulk entry points
+// ---------------------------------------------------------------------------
+
+TEST(SlabBulkOps, MapBulkMatchesScalarOps) {
+  memory::SlabArena arena_bulk, arena_scalar;
+  const std::uint64_t seed = 0x5EED;
+  slabhash::SlabHashMap scalar(arena_scalar, 4, seed);
+  const slabhash::TableRef table{
+      arena_bulk.allocate_contiguous(4, slabhash::kEmptyKey), 4};
+
+  // Group 200 keys by bucket (as the engine would), then bulk-insert runs.
+  util::Xoshiro256 rng(9);
+  std::map<std::uint32_t, std::vector<std::uint32_t>> by_bucket;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (int i = 0; i < 200; ++i) {
+    const auto key = static_cast<std::uint32_t>(rng.below(1u << 20));
+    if (std::find_if(pairs.begin(), pairs.end(), [&](auto& p) {
+          return p.first == key;
+        }) != pairs.end()) {
+      continue;  // engine runs are deduped
+    }
+    pairs.push_back({key, key * 3});
+    by_bucket[slabhash::bucket_of(key, 4, seed)].push_back(key);
+  }
+  std::uint32_t added = 0;
+  for (auto& [bucket, keys] : by_bucket) {
+    std::vector<std::uint32_t> values;
+    for (auto k : keys) values.push_back(k * 3);
+    added += slabhash::map_bulk_replace(arena_bulk, table, bucket,
+                                        keys.data(), values.data(),
+                                        static_cast<std::uint32_t>(keys.size()));
+  }
+  for (auto& [k, v] : pairs) scalar.replace(k, v);
+  EXPECT_EQ(added, pairs.size());
+
+  // Every key searchable through both bulk and scalar paths.
+  for (auto& [bucket, keys] : by_bucket) {
+    std::vector<std::uint8_t> found(keys.size(), 0);
+    std::vector<std::uint32_t> values(keys.size(), 0);
+    slabhash::map_bulk_search(arena_bulk, table, bucket, keys.data(),
+                              static_cast<std::uint32_t>(keys.size()),
+                              found.data(), values.data());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      EXPECT_EQ(found[i], 1);
+      EXPECT_EQ(values[i], keys[i] * 3);
+      const auto r = slabhash::map_search(arena_bulk, table, keys[i], seed);
+      EXPECT_TRUE(r.found);
+      EXPECT_EQ(r.value, keys[i] * 3);
+    }
+  }
+
+  // Bulk-erase half of each run; occupancy must match the scalar table's.
+  std::uint32_t removed = 0, scalar_removed = 0;
+  for (auto& [bucket, keys] : by_bucket) {
+    const auto half =
+        std::vector<std::uint32_t>(keys.begin(),
+                                   keys.begin() + (keys.size() + 1) / 2);
+    removed += slabhash::map_bulk_erase(arena_bulk, table, bucket, half.data(),
+                                        static_cast<std::uint32_t>(half.size()));
+    for (auto k : half) scalar_removed += scalar.erase(k) ? 1 : 0;
+  }
+  EXPECT_EQ(removed, scalar_removed);
+  const auto bulk_occ = slabhash::map_occupancy(arena_bulk, table);
+  const auto scalar_occ = scalar.occupancy();
+  EXPECT_EQ(bulk_occ.live_keys, scalar_occ.live_keys);
+  EXPECT_EQ(bulk_occ.tombstones, scalar_occ.tombstones);
+}
+
+TEST(SlabBulkOps, RunsLongerThanOneWaveSpillAcrossSlabs) {
+  memory::SlabArena arena;
+  const slabhash::TableRef table{
+      arena.allocate_contiguous(1, slabhash::kEmptyKey), 1};
+  // 100 unique keys into one bucket: > 3 waves, > 6 map slabs of chain.
+  std::vector<std::uint32_t> keys, values;
+  for (std::uint32_t k = 0; k < 100; ++k) {
+    keys.push_back(k * 7 + 1);
+    values.push_back(k);
+  }
+  EXPECT_EQ(slabhash::map_bulk_replace(arena, table, 0, keys.data(),
+                                       values.data(), 100),
+            100u);
+  // Re-inserting the same run adds nothing but refreshes values.
+  for (auto& v : values) v += 1000;
+  EXPECT_EQ(slabhash::map_bulk_replace(arena, table, 0, keys.data(),
+                                       values.data(), 100),
+            0u);
+  std::vector<std::uint8_t> found(100, 0);
+  std::vector<std::uint32_t> got(100, 0);
+  slabhash::map_bulk_search(arena, table, 0, keys.data(), 100, found.data(),
+                            got.data());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(found[i], 1);
+    EXPECT_EQ(got[i], values[i]);
+  }
+  EXPECT_EQ(slabhash::map_bulk_erase(arena, table, 0, keys.data(), 100), 100u);
+  slabhash::map_bulk_search(arena, table, 0, keys.data(), 100, found.data(),
+                            nullptr);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(found[i], 0);
+}
+
+TEST(SlabBulkOps, SetBulkInsertEraseContains) {
+  memory::SlabArena arena;
+  const slabhash::TableRef table{
+      arena.allocate_contiguous(2, slabhash::kEmptyKey), 2};
+  std::vector<std::uint32_t> bucket0, bucket1;
+  for (std::uint32_t k = 1; k <= 150; ++k) {
+    (slabhash::bucket_of(k, 2, 0x5EED) == 0 ? bucket0 : bucket1).push_back(k);
+  }
+  const auto n0 = static_cast<std::uint32_t>(bucket0.size());
+  const auto n1 = static_cast<std::uint32_t>(bucket1.size());
+  EXPECT_EQ(slabhash::set_bulk_insert(arena, table, 0, bucket0.data(), n0), n0);
+  EXPECT_EQ(slabhash::set_bulk_insert(arena, table, 1, bucket1.data(), n1), n1);
+  EXPECT_EQ(slabhash::set_bulk_insert(arena, table, 0, bucket0.data(), n0), 0u);
+  std::vector<std::uint8_t> found(n0, 0);
+  slabhash::set_bulk_contains(arena, table, 0, bucket0.data(), n0,
+                              found.data());
+  for (std::uint32_t i = 0; i < n0; ++i) EXPECT_EQ(found[i], 1);
+  EXPECT_EQ(slabhash::set_bulk_erase(arena, table, 0, bucket0.data(), n0), n0);
+  EXPECT_EQ(slabhash::set_bulk_erase(arena, table, 0, bucket0.data(), n0), 0u);
+  for (std::uint32_t k : bucket1) {
+    EXPECT_TRUE(slabhash::set_contains(arena, table, k, 0x5EED));
+  }
+}
+
+}  // namespace
+}  // namespace sg::core

@@ -235,6 +235,37 @@ TEST(SlabArena, ConcurrentCachedChurnNoLeaksOrDoubleHandout) {
   EXPECT_EQ(arena.stats().dynamic_slabs, 0u);
 }
 
+TEST(SlabArena, ColdScanResumesAfterHeavyChurn) {
+  // Exercise the per-chunk hint cursor: fill far past the per-thread cache
+  // so allocations hit the bitmap scan, free a scattered subset (spilling
+  // the cache), then reallocate. The cursor only changes where the scan
+  // STARTS, so every handle must still come back exactly once.
+  SlabArena arena;
+  constexpr int kSlabs = 3000;  // > kNumFreeCaches * kFreeCacheSlots
+  std::vector<SlabHandle> handles;
+  for (int i = 0; i < kSlabs; ++i) handles.push_back(arena.allocate(i, i));
+  std::set<SlabHandle> freed;
+  for (int i = 0; i < kSlabs; i += 3) {
+    freed.insert(handles[i]);
+    arena.free(handles[i]);
+  }
+  EXPECT_EQ(arena.stats().dynamic_slabs,
+            static_cast<std::uint64_t>(kSlabs) - freed.size());
+  const std::uint64_t reserved_before = arena.stats().reserved_slabs;
+  std::set<SlabHandle> recycled;
+  std::set<SlabHandle> still_live(handles.begin(), handles.end());
+  for (SlabHandle h : freed) still_live.erase(h);
+  for (std::size_t i = 0; i < freed.size(); ++i) {
+    const SlabHandle h = arena.allocate(0xC0FFEEu, static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(recycled.insert(h).second) << "handle handed out twice";
+    ASSERT_FALSE(still_live.count(h)) << "live slab handed out again";
+    ASSERT_EQ(arena.resolve(h).words[0], 0xC0FFEEu);
+  }
+  // Free capacity was reused rather than growing the arena.
+  EXPECT_EQ(arena.stats().reserved_slabs, reserved_before);
+  EXPECT_EQ(arena.stats().dynamic_slabs, static_cast<std::uint64_t>(kSlabs));
+}
+
 TEST(SlabArena, MixedBulkAndDynamicCoexist) {
   SlabArena arena;
   const SlabHandle bulk = arena.allocate_contiguous(100, 0xB0B0B0B0u);

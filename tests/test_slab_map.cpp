@@ -326,6 +326,37 @@ TEST(SlabMapConcurrent, RacingDuplicateInsertsKeepUniqueness) {
   });
 }
 
+TEST(SlabMapConcurrent, SearchNeverObservesKeyWithoutValue) {
+  // map_replace publishes <key, value> with ONE 64-bit CAS on the adjacent
+  // word pair, so a reader that finds a key must also see its value — the
+  // read-your-write window the old key-CAS + value-store pair left open.
+  // Writers insert fresh keys whose value encodes the key; any search hit
+  // returning a mismatched value means the pair tore.
+  memory::SlabArena arena;
+  SlabHashMap map(arena, 2);  // small table: long chains, heavy collisions
+  constexpr std::uint32_t kKeys = 4000;
+  std::atomic<std::uint32_t> next{0};
+  std::atomic<std::uint32_t> torn{0};
+  simt::ThreadPool pool(8);
+  pool.parallel_for(16, [&](std::uint64_t task) {
+    if (task % 2 == 0) {  // writer: claim a range of fresh keys
+      for (;;) {
+        const std::uint32_t k = next.fetch_add(1);
+        if (k >= kKeys) return;
+        map.replace(k, k ^ 0xA5A5A5A5u);
+      }
+    }
+    util::Xoshiro256 rng(task);
+    for (int probes = 0; probes < 200000; ++probes) {
+      const auto k = static_cast<std::uint32_t>(rng.below(kKeys));
+      const MapFindResult hit = map.search(k);
+      if (hit.found && hit.value != (k ^ 0xA5A5A5A5u)) torn.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(torn.load(), 0u);
+  EXPECT_EQ(map.occupancy().live_keys, kKeys);
+}
+
 TEST(SlabMapConcurrent, RacingDeletesCountEachKeyOnce) {
   memory::SlabArena arena;
   SlabHashMap map(arena, 4);

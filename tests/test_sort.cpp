@@ -101,5 +101,34 @@ TEST(SegmentsSorted, DetectsUnsorted) {
   EXPECT_FALSE(segments_sorted(values, one_seg));
 }
 
+TEST(RadixSortHi, MatchesStableSortReference) {
+  // radix_sort_hi orders by hi ONLY and must keep input order for equal hi
+  // — the property the batch engine's most-recent-wins dedup rests on.
+  sg::util::Xoshiro256 rng(11);
+  std::vector<U128> records(5000);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // Skewed hi values with many collisions; lo carries the input index.
+    records[i] = {rng.below(64) == 0 ? rng.below(1u << 20)
+                                     : rng.below(1u << 6),
+                  static_cast<std::uint64_t>(i)};
+  }
+  std::vector<U128> reference = records;
+  std::stable_sort(reference.begin(), reference.end(),
+                   [](const U128& a, const U128& b) { return a.hi < b.hi; });
+  std::vector<U128> scratch;
+  radix_sort_hi(records, scratch);
+  EXPECT_EQ(records, reference);
+}
+
+TEST(RadixSortHi, TrivialAndSingleElementInputs) {
+  std::vector<U128> scratch;
+  std::vector<U128> empty;
+  radix_sort_hi(empty, scratch);
+  EXPECT_TRUE(empty.empty());
+  std::vector<U128> one = {{42, 7}};
+  radix_sort_hi(one, scratch);
+  EXPECT_EQ(one[0], (U128{42, 7}));
+}
+
 }  // namespace
 }  // namespace sg::sort
