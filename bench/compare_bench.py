@@ -28,6 +28,9 @@ DEFAULT_METRICS = [
     "probe_portable",
     "probe_avx2",
     "ours_insert_rate",
+    "pipeline_insert_rate",
+    "pipeline_overlap",
+    "rehash_targeted_vs_full",
 ]
 DEFAULT_THRESHOLD = 0.10
 

@@ -1,14 +1,17 @@
 #include "src/core/batch_engine.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sg::core {
 
 void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
-  // Stage 2a: stable radix sort by the packed (vertex, bucket) word. The
-  // low word (key, sequence) is untouched, so within a group the staged
-  // order — and with it most-recent-wins — survives.
-  sort::radix_sort_hi(std::span<sort::U128>(order_), scratch_);
+  // Stage 2a: stable radix sort by the packed (vertex, bucket) word, with
+  // the digit-skip masks accumulated during staging (sharded stagings have
+  // shard-constant low vertex bits, which vanish from the passes). The low
+  // word (key, sequence) is untouched, so within a group the staged order
+  // — and with it most-recent-wins — survives.
+  sort::radix_sort_hi(std::span<sort::U128>(order_), scratch_, hi_or_, hi_and_);
   const std::size_t n = order_.size();
   keys.reserve(n);
   if (gather_seqs) seqs.reserve(n);
@@ -47,6 +50,78 @@ void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
     begin = end;
   }
   run_offsets.push_back(keys.size());
+}
+
+std::uint64_t ShardedStaging::total_staged() const {
+  std::uint64_t total = 0;
+  for (const BatchStaging& st : shards_) total += st.staged;
+  return total;
+}
+
+std::uint64_t ShardedStaging::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const BatchStaging& st : shards_) total += st.dropped;
+  return total;
+}
+
+std::uint64_t ShardedStaging::total_duplicates() const {
+  std::uint64_t total = 0;
+  for (const BatchStaging& st : shards_) total += st.duplicates;
+  return total;
+}
+
+void ShardedStaging::merge(bool gather_values, bool gather_seqs) {
+  const std::uint32_t num_shards = shard_count();
+  if (num_shards <= 1) return;  // front() aliases the lone shard
+  std::uint64_t total_keys = 0;
+  std::uint64_t total_runs = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    // The dedup-determinism guard: shard s may only emit runs for vertices
+    // it owns. A violation means two shards could each hold occurrences of
+    // the same (vertex, key) and per-shard dedup would no longer be
+    // most-recent-wins across the whole batch — impossible by construction
+    // of the staging filters, and checked here so it stays impossible.
+    for (const QueryRun& run : shards_[s].runs) {
+      if (shard_of_vertex(run.src, num_shards) != s) {
+        throw std::logic_error(
+            "ShardedStaging: run crossed its shard's vertex partition");
+      }
+    }
+    total_keys += shards_[s].keys.size();
+    total_runs += shards_[s].runs.size();
+  }
+  merged_.clear();
+  merged_.keys.resize(total_keys);
+  if (gather_values) merged_.values.resize(total_keys);
+  if (gather_seqs) merged_.seqs.resize(total_keys);
+  merged_.runs.resize(total_runs);
+  merged_.run_offsets.resize(total_runs + 1);
+  std::uint64_t key_base = 0;
+  std::uint64_t run_base = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const BatchStaging& st = shards_[s];
+    std::copy(st.keys.begin(), st.keys.end(),
+              merged_.keys.begin() + static_cast<std::ptrdiff_t>(key_base));
+    if (gather_values) {
+      std::copy(st.values.begin(), st.values.end(),
+                merged_.values.begin() + static_cast<std::ptrdiff_t>(key_base));
+    }
+    if (gather_seqs) {
+      std::copy(st.seqs.begin(), st.seqs.end(),
+                merged_.seqs.begin() + static_cast<std::ptrdiff_t>(key_base));
+    }
+    std::copy(st.runs.begin(), st.runs.end(),
+              merged_.runs.begin() + static_cast<std::ptrdiff_t>(run_base));
+    for (std::size_t r = 0; r < st.runs.size(); ++r) {
+      merged_.run_offsets[run_base + r] = key_base + st.run_offsets[r];
+    }
+    key_base += st.keys.size();
+    run_base += st.runs.size();
+    merged_.staged += st.staged;
+    merged_.dropped += st.dropped;
+    merged_.duplicates += st.duplicates;
+  }
+  merged_.run_offsets[total_runs] = total_keys;
 }
 
 }  // namespace sg::core

@@ -7,29 +7,46 @@
 // pre-staging discipline the dynamic-graph baselines (Hornet, faimGraph)
 // apply before touching their stores:
 //
-//   1. STAGE (serial)  — walk the input batch once, emitting each direction
-//      of an undirected edge directly into the staged SoA arrays (no 2x
+//   1. STAGE (sharded, parallel) — shard s owns every vertex u with
+//      u % shards == s. Each shard walks the input batch once, emitting
+//      the directions it owns straight into its staged SoA arrays (no 2x
 //      mirrored temp vector), dropping self-loops, creating missing vertex
-//      tables, and pre-hashing each key ONCE into its destination bucket.
-//   2. GROUP (sort + scan) — stable-radix-sort the staged queries by the
-//      packed (vertex, bucket) segment id (sort::radix_sort_hi — the same
-//      pack-the-segment-into-the-high-bits strategy segmented_sort uses),
-//      then scan once to cut the batch into per-(vertex, bucket) runs,
-//      ordering each multi-query run by (key, sequence) and dropping
-//      duplicates — the highest sequence number, i.e. the most recent
-//      occurrence, wins, preserving the "most recent edge and its weight"
-//      semantics deterministically.
-//   3. APPLY (parallel) — simt::launch_runs schedules contiguous run ranges
-//      balanced by query count; each warp walks a run's bucket chain once
-//      through the slabhash bulk entry points, software-pipelining the next
-//      run's head slab (simt::pipeline + prefetch) while the current slab's
-//      SIMD compares resolve.
+//      tables (exclusive per shard: no lazy-creation mutex), and
+//      pre-hashing each key ONCE into its destination bucket.
+//   2. GROUP (per-shard sort + scan) — stable-radix-sort the shard's
+//      queries by the packed (vertex, bucket) segment id
+//      (sort::radix_sort_hi with the hi OR/AND masks accumulated for free
+//      during staging), then scan once to cut the shard into
+//      per-(vertex, bucket) runs, ordering each multi-query run by
+//      (key, sequence) and dropping duplicates — the highest sequence
+//      number, i.e. the most recent occurrence, wins. Ownership makes the
+//      dedup exhaustive: every occurrence of a (vertex, key) pair lands in
+//      the one shard that owns the vertex, so "most recent edge and its
+//      weight" stays deterministic across shard boundaries. A guarded
+//      merge then concatenates the shards into one global run list.
+//   3. APPLY (parallel) — simt::launch_runs schedules contiguous run
+//      ranges balanced by query count; each warp walks a run's bucket
+//      chain once through the slabhash bulk entry points, software-
+//      pipelining the next run's head slab (simt::pipeline + prefetch)
+//      while the current slab's SIMD compares resolve. The bulk operations
+//      report each run's observed chain length, which apply folds into a
+//      ChainFeedback histogram — the §III chain-length metric — so
+//      rehash_long_chains can target offenders instead of scanning every
+//      vertex.
+//
+// Large batches additionally split into EPOCHS and double-buffer: epoch
+// e+1 runs stages 1-2 as a background ThreadPool job while epoch e runs
+// stage 3 on the same pool (round-robin chunk interleaving). Epochs apply
+// in input order — the pipeline fence — so counter deltas and cross-epoch
+// duplicate resolution commit exactly as the unsplit batch would.
 //
 // The engine owns the run partition: a (table, bucket) pair appears in at
-// most one run per batch, which is the exclusivity contract the bulk slab
+// most one run per epoch, which is the exclusivity contract the bulk slab
 // operations rely on to share one EMPTY scan per slab.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -45,6 +62,18 @@ namespace sg::core {
 /// slabs (stage 3's software-pipeline depth).
 inline constexpr std::uint64_t kRunPrefetchDepth = 4;
 
+/// Upper bound on stage shards (the auto heuristic is one per pool worker;
+/// past this, per-shard sort histograms stop paying for themselves).
+inline constexpr std::uint32_t kMaxStageShards = 32;
+
+/// Owning shard of vertex `u` under `num_shards` (a power of two) shards.
+/// A strided partition: hub vertices with nearby ids land in different
+/// shards, so skewed batches still stage in parallel.
+inline std::uint32_t shard_of_vertex(VertexId u,
+                                     std::uint32_t num_shards) noexcept {
+  return u & (num_shards - 1u);
+}
+
 /// One staged run: queries keys[run_offsets[r] .. run_offsets[r+1]) of a
 /// BatchStaging all hash to `bucket` of vertex `src`'s table.
 struct QueryRun {
@@ -52,11 +81,12 @@ struct QueryRun {
   std::uint32_t bucket = 0;
 };
 
-/// Staging area of one batched operation. The staged key of a query packs
+/// Staging area of one batched operation (one shard's worth when staging
+/// is sharded). The staged key of a query packs
 ///   hi = src << 13 | bucket     (num_buckets <= SlabArena::kChunkSlabs)
 ///   lo = key << 32 | sequence   (sequence = staged order, for last-wins)
-/// so one global sort yields the (vertex, bucket) grouping, key adjacency
-/// for dedup, and deterministic most-recent-wins ordering at once.
+/// so one sort yields the (vertex, bucket) grouping, key adjacency for
+/// dedup, and deterministic most-recent-wins ordering at once.
 class BatchStaging {
  public:
   static constexpr std::uint32_t kBucketBits = 13;
@@ -83,20 +113,32 @@ class BatchStaging {
     order_.clear();
     weights_.clear();
     staged = dropped = duplicates = 0;
+    hi_or_ = 0;
+    hi_and_ = ~std::uint64_t{0};
   }
 
-  /// Stage one directed query (stage 1). `table` must be the source's
-  /// table; the key is hashed here — once, never again.
-  void push(VertexId src, std::uint32_t key, slabhash::TableRef table,
-            std::uint64_t seed) {
+  /// Stage one directed query with an explicit sequence number — the value
+  /// that breaks most-recent-wins ties and, for searches, scatters results
+  /// back to input positions. Must be strictly increasing in input order
+  /// within this staging. `table` must be the source's table; the key is
+  /// hashed here — once, never again.
+  void push_seq(VertexId src, std::uint32_t key, slabhash::TableRef table,
+                std::uint64_t seed, std::uint32_t seq) {
     const std::uint32_t bucket =
         slabhash::bucket_of(key, table.num_buckets, seed);
     const std::uint64_t hi = (static_cast<std::uint64_t>(src) << kBucketBits) |
                              bucket;
-    const std::uint64_t lo = (static_cast<std::uint64_t>(key) << 32) |
-                             static_cast<std::uint32_t>(staged);
-    order_.push_back({hi, lo});
+    order_.push_back({hi, (static_cast<std::uint64_t>(key) << 32) | seq});
+    hi_or_ |= hi;   // digit-skip masks for the radix sort, accumulated free
+    hi_and_ &= hi;
     ++staged;
+  }
+
+  /// Stage with seq = staged order (the mutation paths; weights_ is indexed
+  /// by this dense sequence).
+  void push(VertexId src, std::uint32_t key, slabhash::TableRef table,
+            std::uint64_t seed) {
+    push_seq(src, key, table, seed, static_cast<std::uint32_t>(staged));
   }
   void push_weighted(VertexId src, std::uint32_t key, Weight weight,
                      slabhash::TableRef table, std::uint64_t seed,
@@ -113,7 +155,7 @@ class BatchStaging {
   /// Stage 2: sort, optionally dedup (mutations dedup, searches keep every
   /// query so results can scatter back per input position), and cut runs.
   /// `gather_values` copies the staged weights into `values` run-order;
-  /// `gather_seqs` keeps the input positions (searches scatter results
+  /// `gather_seqs` keeps the sequence numbers (searches scatter results
   /// through them; mutations don't need them).
   void group(bool dedup, bool gather_values, bool gather_seqs);
 
@@ -121,31 +163,193 @@ class BatchStaging {
   std::vector<sort::U128> order_;       ///< staged (hi, lo) sort records
   std::vector<sort::U128> scratch_;     ///< radix ping-pong buffer
   std::vector<std::uint32_t> weights_;  ///< sequence -> weight (stage 1)
+  std::uint64_t hi_or_ = 0;             ///< OR of all staged hi words
+  std::uint64_t hi_and_ = ~std::uint64_t{0};  ///< AND of all staged hi words
+};
+
+/// Per-(vertex, bucket) chain lengths observed by stage 3, in slabs — the
+/// low-cost §III maintenance metric. Runs that stayed in their base slab
+/// (the overwhelming majority at the paper's load factors) cost one
+/// predictable branch: only chains of >= 2 slabs are histogrammed
+/// (`hist[min(len, kHistBuckets + 1) - 2]`) and their vertices listed in
+/// `candidates` — the only tables targeted rehashing must revisit, since
+/// chains never shrink outside rehash/flush/clear. Base-slab-only runs are
+/// `runs_observed - sum(hist)`.
+struct ChainFeedback {
+  static constexpr std::uint32_t kHistBuckets = 8;
+  /// Cap on the candidate list (duplicates included — a hub reappears once
+  /// per long run). A graph mutated forever without ever calling
+  /// rehash_long_chains must not leak: past the cap the list saturates,
+  /// recording stops, and the next rehash falls back to the full sweep.
+  static constexpr std::size_t kMaxCandidates = std::size_t{1} << 20;
+  std::uint64_t runs_observed = 0;
+  std::array<std::uint64_t, kHistBuckets> hist{};
+  std::vector<VertexId> candidates;
+  bool saturated = false;
+
+  /// Records one run whose walk went past the base slab (chain_slabs >= 2).
+  void note_long(VertexId src, std::uint32_t chain_slabs) {
+    const std::uint32_t bin = chain_slabs - 2 < kHistBuckets - 1
+                                  ? chain_slabs - 2
+                                  : kHistBuckets - 1;
+    ++hist[bin];
+    candidates.push_back(src);
+  }
+  bool empty() const noexcept { return candidates.empty(); }
+  void merge_from(ChainFeedback& other) {
+    runs_observed += other.runs_observed;
+    for (std::uint32_t b = 0; b < kHistBuckets; ++b) hist[b] += other.hist[b];
+    saturated = saturated || other.saturated ||
+                candidates.size() + other.candidates.size() > kMaxCandidates;
+    if (saturated) {
+      // Completeness lost: targeted rehash must not run, and there is no
+      // point holding (or re-growing) the list until a full sweep resets.
+      candidates.clear();
+      candidates.shrink_to_fit();
+    } else {
+      candidates.insert(candidates.end(), other.candidates.begin(),
+                        other.candidates.end());
+    }
+    other.runs_observed = 0;
+    other.hist = {};
+    other.candidates.clear();
+    other.saturated = false;
+  }
+  void clear() {
+    runs_observed = 0;
+    hist = {};
+    candidates.clear();
+    saturated = false;
+  }
+};
+
+/// One double-buffer half of the pipelined engine: per-shard staging areas
+/// plus the merged global run list stage 3 consumes. The merge enforces
+/// the ownership partition — every run of shard s must satisfy
+/// shard_of_vertex(run.src, shards) == s — which is the invariant that
+/// makes per-shard dedup exhaustive and runs bucket-exclusive.
+class ShardedStaging {
+ public:
+  void resize(std::uint32_t num_shards) {
+    if (shards_.size() != num_shards) shards_.resize(num_shards);
+  }
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+  BatchStaging& shard(std::uint32_t s) { return shards_[s]; }
+
+  /// Concatenates the grouped shards into one run list (no-op with one
+  /// shard — `front()` aliases it directly). Throws std::logic_error if a
+  /// run violates the shard-ownership partition. Runs keep shard-major,
+  /// source-ascending-within-shard order: deterministic, and consecutive
+  /// runs still share sources for the apply counter batching.
+  void merge(bool gather_values, bool gather_seqs);
+
+  /// The staging stage 3 applies: the lone shard, or the merged view.
+  const BatchStaging& front() const {
+    return shards_.size() == 1 ? shards_[0] : merged_;
+  }
+
+  std::uint64_t total_staged() const;
+  std::uint64_t total_dropped() const;
+  std::uint64_t total_duplicates() const;
+
+  // ---- stage-window bookkeeping (pipeline overlap accounting) ----------
+  /// Shard chunks running as a background job record their execution
+  /// window here; the pipeline driver intersects it with the apply window
+  /// to measure the overlap the double buffer actually achieved.
+  void window_reset() {
+    window_begin_ns_.store(INT64_MAX, std::memory_order_relaxed);
+    window_end_ns_.store(INT64_MIN, std::memory_order_relaxed);
+  }
+  void window_note(std::int64_t begin_ns, std::int64_t end_ns) {
+    std::int64_t seen = window_begin_ns_.load(std::memory_order_relaxed);
+    while (begin_ns < seen && !window_begin_ns_.compare_exchange_weak(
+                                  seen, begin_ns, std::memory_order_relaxed)) {
+    }
+    seen = window_end_ns_.load(std::memory_order_relaxed);
+    while (end_ns > seen && !window_end_ns_.compare_exchange_weak(
+                                seen, end_ns, std::memory_order_relaxed)) {
+    }
+  }
+  std::int64_t window_begin_ns() const {
+    return window_begin_ns_.load(std::memory_order_relaxed);
+  }
+  std::int64_t window_end_ns() const {
+    return window_end_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<BatchStaging> shards_;
+  BatchStaging merged_;
+  std::atomic<std::int64_t> window_begin_ns_{INT64_MAX};
+  std::atomic<std::int64_t> window_end_ns_{INT64_MIN};
+};
+
+/// Wall-clock profile of the last pipelined batch (docs/PERF.md).
+struct BatchPipelineStats {
+  std::uint32_t epochs = 0;
+  std::uint32_t shards = 0;
+  double stage_seconds = 0.0;    ///< summed stage+group+merge windows
+  double apply_seconds = 0.0;    ///< summed apply windows
+  double overlap_seconds = 0.0;  ///< stage(e+1) ∩ apply(e) window overlap
 };
 
 /// Stage-1 helpers shared by DynGraph's batched paths. `table_of(src)`
 /// returns the source's table — creating it for insertions, returning an
-/// invalid ref to drop the query for erase/search on unknown sources. It
-/// runs serially, so it may grow/mutate the dictionary freely.
+/// invalid ref to drop the query for erase/search on unknown sources. The
+/// sharded variants filter by vertex ownership, so `table_of` is only ever
+/// invoked from the one shard owning `src`: dictionary writes stay
+/// exclusive per vertex and need no lock even though shards run in
+/// parallel.
 
 template <typename TableFn>
-void stage_weighted_edges(std::span<const WeightedEdge> edges, bool undirected,
-                          bool keep_weights, std::uint64_t seed,
-                          TableFn&& table_of, BatchStaging& st) {
+void stage_weighted_edges_shard(std::span<const WeightedEdge> edges,
+                                bool undirected, bool keep_weights,
+                                std::uint64_t seed, std::uint32_t shard,
+                                std::uint32_t num_shards, TableFn&& table_of,
+                                BatchStaging& st) {
   st.clear();
-  st.reserve(edges.size() * (undirected ? 2 : 1), keep_weights);
+  st.reserve(edges.size() * (undirected ? 2 : 1) / num_shards + 16,
+             keep_weights);
+  if (num_shards == 1) {  // unsharded: keep the filter off the hot loop
+    for (const WeightedEdge& e : edges) {
+      if (e.src == e.dst) {  // self-loops drop (Algorithm 1 line 3)
+        ++st.dropped;
+        continue;
+      }
+      const slabhash::TableRef fwd = table_of(e.src);
+      if (fwd.valid()) {
+        st.push_weighted(e.src, e.dst, e.weight, fwd, seed, keep_weights);
+      } else {
+        ++st.dropped;
+      }
+      if (undirected) {  // mirror staged in place: no doubled temp batch
+        const slabhash::TableRef rev = table_of(e.dst);
+        if (rev.valid()) {
+          st.push_weighted(e.dst, e.src, e.weight, rev, seed, keep_weights);
+        } else {
+          ++st.dropped;
+        }
+      }
+    }
+    return;
+  }
   for (const WeightedEdge& e : edges) {
     if (e.src == e.dst) {  // self-loops drop (Algorithm 1 line 3)
-      ++st.dropped;
+      if (shard_of_vertex(e.src, num_shards) == shard) ++st.dropped;
       continue;
     }
-    const slabhash::TableRef fwd = table_of(e.src);
-    if (fwd.valid()) {
-      st.push_weighted(e.src, e.dst, e.weight, fwd, seed, keep_weights);
-    } else {
-      ++st.dropped;
+    if (shard_of_vertex(e.src, num_shards) == shard) {
+      const slabhash::TableRef fwd = table_of(e.src);
+      if (fwd.valid()) {
+        st.push_weighted(e.src, e.dst, e.weight, fwd, seed, keep_weights);
+      } else {
+        ++st.dropped;
+      }
     }
-    if (undirected) {  // mirror staged in place: no doubled temp batch
+    if (undirected && shard_of_vertex(e.dst, num_shards) == shard) {
+      // Mirror staged in place by the shard owning the reverse source.
       const slabhash::TableRef rev = table_of(e.dst);
       if (rev.valid()) {
         st.push_weighted(e.dst, e.src, e.weight, rev, seed, keep_weights);
@@ -157,18 +361,49 @@ void stage_weighted_edges(std::span<const WeightedEdge> edges, bool undirected,
 }
 
 template <typename TableFn>
-void stage_edges(std::span<const Edge> edges, bool undirected,
-                 std::uint64_t seed, TableFn&& table_of, BatchStaging& st) {
+void stage_weighted_edges(std::span<const WeightedEdge> edges, bool undirected,
+                          bool keep_weights, std::uint64_t seed,
+                          TableFn&& table_of, BatchStaging& st) {
+  stage_weighted_edges_shard(edges, undirected, keep_weights, seed, 0, 1,
+                             std::forward<TableFn>(table_of), st);
+}
+
+template <typename TableFn>
+void stage_edges_shard(std::span<const Edge> edges, bool undirected,
+                       std::uint64_t seed, std::uint32_t shard,
+                       std::uint32_t num_shards, TableFn&& table_of,
+                       BatchStaging& st) {
   st.clear();
-  st.reserve(edges.size() * (undirected ? 2 : 1), false);
-  for (const Edge& e : edges) {
-    const slabhash::TableRef fwd = table_of(e.src);
-    if (fwd.valid()) {
-      st.push(e.src, e.dst, fwd, seed);
-    } else {
-      ++st.dropped;
+  st.reserve(edges.size() * (undirected ? 2 : 1) / num_shards + 16, false);
+  if (num_shards == 1) {  // unsharded fast path
+    for (const Edge& e : edges) {
+      const slabhash::TableRef fwd = table_of(e.src);
+      if (fwd.valid()) {
+        st.push(e.src, e.dst, fwd, seed);
+      } else {
+        ++st.dropped;
+      }
+      if (undirected) {
+        const slabhash::TableRef rev = table_of(e.dst);
+        if (rev.valid()) {
+          st.push(e.dst, e.src, rev, seed);
+        } else {
+          ++st.dropped;
+        }
+      }
     }
-    if (undirected) {
+    return;
+  }
+  for (const Edge& e : edges) {
+    if (shard_of_vertex(e.src, num_shards) == shard) {
+      const slabhash::TableRef fwd = table_of(e.src);
+      if (fwd.valid()) {
+        st.push(e.src, e.dst, fwd, seed);
+      } else {
+        ++st.dropped;
+      }
+    }
+    if (undirected && shard_of_vertex(e.dst, num_shards) == shard) {
       const slabhash::TableRef rev = table_of(e.dst);
       if (rev.valid()) {
         st.push(e.dst, e.src, rev, seed);
@@ -179,23 +414,43 @@ void stage_edges(std::span<const Edge> edges, bool undirected,
   }
 }
 
+template <typename TableFn>
+void stage_edges(std::span<const Edge> edges, bool undirected,
+                 std::uint64_t seed, TableFn&& table_of, BatchStaging& st) {
+  stage_edges_shard(edges, undirected, seed, 0, 1,
+                    std::forward<TableFn>(table_of), st);
+}
+
 /// Stage queries that must scatter results back to their input position:
-/// seqs[i] is the ORIGINAL index of staged query i (one staged query per
-/// input at most; dropped inputs simply have no staged query).
+/// the staged sequence number IS the original index of the query (one
+/// staged query per input at most; dropped inputs simply have no staged
+/// query, so the caller's output stays 0 there). Sharded: each query is
+/// staged by the shard owning its source.
+template <typename TableFn>
+void stage_queries_shard(std::span<const Edge> queries, std::uint64_t seed,
+                         std::uint32_t shard, std::uint32_t num_shards,
+                         TableFn&& table_of, BatchStaging& st) {
+  st.clear();
+  st.reserve(queries.size() / num_shards + 16, false);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Edge& q = queries[i];
+    if (num_shards != 1 && shard_of_vertex(q.src, num_shards) != shard) {
+      continue;
+    }
+    const slabhash::TableRef table = table_of(q.src);
+    if (table.valid()) {
+      st.push_seq(q.src, q.dst, table, seed, static_cast<std::uint32_t>(i));
+    } else {
+      ++st.dropped;  // unknown source: the caller's output stays 0
+    }
+  }
+}
+
 template <typename TableFn>
 void stage_queries(std::span<const Edge> queries, std::uint64_t seed,
                    TableFn&& table_of, BatchStaging& st) {
-  st.clear();
-  st.reserve(queries.size(), false);
-  for (const Edge& q : queries) {
-    const slabhash::TableRef table = table_of(q.src);
-    if (table.valid()) {
-      st.push(q.src, q.dst, table, seed);
-    } else {
-      ++st.dropped;  // unknown source: the caller's output stays 0
-      ++st.staged;   // keep sequence == input position
-    }
-  }
+  stage_queries_shard(queries, seed, 0, 1, std::forward<TableFn>(table_of),
+                      st);
 }
 
 }  // namespace sg::core

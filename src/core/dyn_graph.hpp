@@ -75,21 +75,31 @@ struct MapPolicy {
                                    const std::uint32_t* keys,
                                    const std::uint32_t* values,
                                    std::uint32_t count,
-                                   std::uint32_t alloc_seed) {
+                                   std::uint32_t alloc_seed,
+                                   std::uint32_t* chain_slabs) {
     return slabhash::map_bulk_replace(arena, t, bucket, keys, values, count,
-                                      alloc_seed);
+                                      alloc_seed, chain_slabs);
   }
   static std::uint32_t bulk_erase(memory::SlabArena& arena,
                                   slabhash::TableRef t, std::uint32_t bucket,
                                   const std::uint32_t* keys,
-                                  std::uint32_t count) {
-    return slabhash::map_bulk_erase(arena, t, bucket, keys, count);
+                                  std::uint32_t count,
+                                  std::uint32_t* chain_slabs) {
+    return slabhash::map_bulk_erase(arena, t, bucket, keys, count, chain_slabs);
   }
   static void bulk_contains(const memory::SlabArena& arena,
                             slabhash::TableRef t, std::uint32_t bucket,
                             const std::uint32_t* keys, std::uint32_t count,
                             std::uint8_t* found) {
     slabhash::map_bulk_search(arena, t, bucket, keys, count, found, nullptr);
+  }
+  /// Like bulk_contains but also gathers the stored values — the batched
+  /// weighted-lookup hook behind DynGraph::edge_weights.
+  static void bulk_search_values(const memory::SlabArena& arena,
+                                 slabhash::TableRef t, std::uint32_t bucket,
+                                 const std::uint32_t* keys, std::uint32_t count,
+                                 std::uint8_t* found, std::uint32_t* values) {
+    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, values);
   }
 };
 
@@ -136,14 +146,17 @@ struct SetPolicy {
                                    const std::uint32_t* keys,
                                    const std::uint32_t* /*values*/,
                                    std::uint32_t count,
-                                   std::uint32_t alloc_seed) {
-    return slabhash::set_bulk_insert(arena, t, bucket, keys, count, alloc_seed);
+                                   std::uint32_t alloc_seed,
+                                   std::uint32_t* chain_slabs) {
+    return slabhash::set_bulk_insert(arena, t, bucket, keys, count, alloc_seed,
+                                     chain_slabs);
   }
   static std::uint32_t bulk_erase(memory::SlabArena& arena,
                                   slabhash::TableRef t, std::uint32_t bucket,
                                   const std::uint32_t* keys,
-                                  std::uint32_t count) {
-    return slabhash::set_bulk_erase(arena, t, bucket, keys, count);
+                                  std::uint32_t count,
+                                  std::uint32_t* chain_slabs) {
+    return slabhash::set_bulk_erase(arena, t, bucket, keys, count, chain_slabs);
   }
   static void bulk_contains(const memory::SlabArena& arena,
                             slabhash::TableRef t, std::uint32_t bucket,
@@ -233,6 +246,15 @@ class DynGraph {
   slabhash::MapFindResult edge_weight(VertexId u, VertexId v) const
       requires Policy::kHasValues;
 
+  /// Batched weight lookup riding the engine's bulk search path: for each
+  /// query i, weights[i] receives the stored weight (0 on a miss) and, when
+  /// `found` is non-null, found[i] = 1 iff the edge is present. One hash
+  /// per key, one chain walk per (vertex, bucket) run — the batched
+  /// analytics entry point dynamic-SSSP-style workloads read weights with.
+  void edge_weights(std::span<const Edge> queries, Weight* weights,
+                    std::uint8_t* found = nullptr) const
+      requires Policy::kHasValues;
+
   /// Visits every live neighbour of `u` (and weight; 0 for the set variant).
   void for_each_neighbor(VertexId u,
                          const std::function<void(VertexId, Weight)>& fn) const;
@@ -268,7 +290,36 @@ class DynGraph {
   /// tables rehashed. Phase-serial (must not run concurrently with other
   /// operations). Old base slabs are abandoned (bulk slabs are never
   /// reclaimed, matching §IV-D2); overflow slabs are freed.
-  std::uint32_t rehash_long_chains(double max_chain_slabs = 1.0);
+  ///
+  /// With the batch engine on, the scan is TARGETED: apply observes every
+  /// run's chain length for free (ChainFeedback), and only vertices seen
+  /// past their base slab are revisited — a chain cannot grow without a
+  /// bulk operation walking it. Falls back to the full sweep when
+  /// `full_scan` is set, when the engine is off (scalar inserts report no
+  /// feedback), or when `max_chain_slabs < 1` (sub-slab thresholds can
+  /// flag tables that never chained). last_rehash_stats() reports which
+  /// path ran and how many tables it examined.
+  std::uint32_t rehash_long_chains(double max_chain_slabs = 1.0,
+                                   bool full_scan = false);
+
+  /// Tables examined / rebuilt by the last rehash_long_chains call.
+  struct RehashStats {
+    std::uint64_t scanned = 0;
+    std::uint32_t rehashed = 0;
+    bool targeted = false;
+  };
+  const RehashStats& last_rehash_stats() const { return last_rehash_stats_; }
+
+  /// Chain-length histogram + candidate list accumulated by apply since
+  /// the last targeted rehash consumed it (introspection for tests and the
+  /// pipeline bench).
+  const ChainFeedback& chain_feedback() const { return feedback_; }
+
+  /// Stage/apply wall-clock profile of the last batched mutation,
+  /// including the overlap the double buffer achieved.
+  const BatchPipelineStats& last_batch_stats() const {
+    return pipeline_stats_;
+  }
 
   GraphMemoryStats memory_stats() const;
   memory::ArenaStats arena_stats() const { return arena_.stats(); }
@@ -291,28 +342,57 @@ class DynGraph {
   std::uint64_t insert_directed(std::span<const WeightedEdge> edges);
   std::uint64_t delete_directed(std::span<const Edge> edges);
 
-  // Batch-engine paths (selected by SlabGraphConfig::batch_engine): stage,
-  // group into per-(vertex, bucket) runs, apply through the bulk slab ops.
+  // Batch-engine paths (selected by SlabGraphConfig::batch_engine): stage
+  // sharded, group into per-(vertex, bucket) runs, apply through the bulk
+  // slab ops — with large batches split into double-buffered epochs whose
+  // staging overlaps the previous epoch's apply.
   std::uint64_t insert_batched(std::span<const WeightedEdge> edges);
   std::uint64_t delete_batched(std::span<const Edge> edges);
   void exist_batched(std::span<const Edge> queries, std::uint8_t* out) const;
+  /// Shared batched-search driver (edges_exist / edge_weights): sharded
+  /// stage of the query batch, one chain walk per run, results scattered to
+  /// input positions through the staged sequence numbers.
+  void search_batched(std::span<const Edge> queries, std::uint8_t* found_out,
+                      Weight* weights_out) const;
   /// Shared stage-3 driver: runs scheduled by query count, head slabs
   /// software-pipelined, per-source counter deltas aggregated before the
   /// atomic. `erase` flips between bulk_insert/counter-add and
-  /// bulk_erase/counter-subtract.
-  std::uint64_t apply_mutation_runs(const BatchStaging& staged, bool erase);
+  /// bulk_erase/counter-subtract. `overlapped` tightens launch chunking so
+  /// apply interleaves with a concurrent staging job. Chain lengths
+  /// observed per run fold into feedback_.
+  std::uint64_t apply_mutation_runs(const BatchStaging& staged, bool erase,
+                                    bool overlapped);
+  /// The double-buffered epoch pipeline shared by insert/delete:
+  /// stage_shard(epoch_span_begin, epoch_span_end, shard, num_shards, out)
+  /// stages one shard of one epoch sub-span of the input batch.
+  template <typename StageShardFn>
+  std::uint64_t run_mutation_pipeline(std::uint64_t num_edges,
+                                      bool gather_values, bool erase,
+                                      StageShardFn&& stage_shard);
+  /// Stage shards resolved from config, pool width, and batch size (power
+  /// of two): auto mode caps shards so each stages a worthwhile slice —
+  /// every shard scans the whole input, so slicing a small batch N ways
+  /// costs more in duplicate scanning than the parallel sort returns.
+  std::uint32_t stage_shard_count(std::uint64_t items) const;
+  /// Rebuilds `u`'s table if its expected chain exceeds the threshold.
+  bool maybe_rehash_table(VertexId u, double max_chain_slabs);
 
   GraphConfig config_;
   mutable memory::SlabArena arena_;
   VertexDictionary dict_;
   std::mutex lazy_table_mutex_;  ///< serializes first-touch table creation
-  /// Reusable staging area of the batch engine. Mutation batches are
-  /// phases (the phase-concurrent model forbids overlapping them), so one
-  /// buffer serves every insert/erase batch; `batch_mutex_` enforces the
-  /// contract instead of trusting it. Query batches (edges_exist) stage
-  /// into a local buffer and stay concurrent with each other.
-  BatchStaging staging_;
+  /// Double-buffered staging areas of the batch engine. Mutation batches
+  /// are phases (the phase-concurrent model forbids overlapping them), so
+  /// two buffers — the applying epoch and the staging epoch — serve every
+  /// insert/erase batch; `batch_mutex_` enforces the contract instead of
+  /// trusting it. Query batches (edges_exist / edge_weights) stage into
+  /// local buffers and stay concurrent with each other.
+  ShardedStaging staging_bufs_[2];
   std::mutex batch_mutex_;
+  BatchPipelineStats pipeline_stats_;
+  ChainFeedback feedback_;      ///< merged run chain lengths (apply output)
+  std::mutex feedback_mutex_;   ///< guards feedback_ during apply
+  RehashStats last_rehash_stats_;
 };
 
 using DynGraphMap = DynGraph<MapPolicy>;

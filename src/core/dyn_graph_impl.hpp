@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
@@ -12,6 +14,7 @@
 #include "src/core/dyn_graph.hpp"
 #include "src/simt/atomics.hpp"
 #include "src/simt/grid.hpp"
+#include "src/simt/thread_pool.hpp"
 
 namespace sg::core {
 
@@ -228,152 +231,359 @@ std::uint64_t DynGraph<Policy>::insert_edges(std::span<const WeightedEdge> edges
 }
 
 // --------------------------------------------------------------------------
-// Batch engine (src/core/batch_engine.hpp): stage once, group into
+// Batch engine (src/core/batch_engine.hpp): stage sharded, group into
 // per-(vertex, bucket) runs, walk each run's chain once with the bulk slab
-// operations, pipelining the next run's head slab against the current
-// run's SIMD compares.
+// operations — large batches split into double-buffered epochs whose
+// staging overlaps the previous epoch's apply on the shared thread pool.
 // --------------------------------------------------------------------------
+
+template <class Policy>
+std::uint32_t DynGraph<Policy>::stage_shard_count(std::uint64_t items) const {
+  std::uint32_t shards = config_.stage_shards;
+  if (shards == 0) {
+    const unsigned workers = simt::ThreadPool::instance().size();
+    shards = workers > 1 ? std::bit_ceil(workers) : 1u;
+    // Auto mode: each shard re-scans the whole input, so don't slice a
+    // batch thinner than ~16K staged queries per shard.
+    constexpr std::uint64_t kMinItemsPerShard = 16384;
+    while (shards > 1 && items / shards < kMinItemsPerShard) shards /= 2;
+  } else {
+    shards = std::bit_ceil(shards);
+  }
+  return shards > kMaxStageShards ? kMaxStageShards : shards;
+}
+
+template <class Policy>
+template <typename StageShardFn>
+std::uint64_t DynGraph<Policy>::run_mutation_pipeline(
+    std::uint64_t num_edges, bool gather_values, bool erase,
+    StageShardFn&& stage_shard) {
+  if (num_edges == 0) {
+    pipeline_stats_ = {};
+    return 0;
+  }
+  const auto now_ns = [] {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  };
+  auto& pool = simt::ThreadPool::instance();
+
+  // Epoch plan: auto mode pipelines only when spare threads exist and the
+  // batch is large enough to amortize the split; an explicit epoch size
+  // always splits (tests drive the degenerate inline pipeline through it).
+  std::uint64_t epoch_edges;
+  bool split;
+  if (config_.pipeline_epoch_edges != 0) {
+    epoch_edges = config_.pipeline_epoch_edges;
+    split = config_.double_buffer && num_edges > epoch_edges;
+  } else {
+    epoch_edges = std::uint64_t{1} << 15;
+    split = config_.double_buffer && pool.size() > 0 &&
+            num_edges > epoch_edges + epoch_edges / 2;
+  }
+  if (!split) epoch_edges = num_edges;
+  const std::uint64_t num_epochs = (num_edges + epoch_edges - 1) / epoch_edges;
+  // Shards sized to one epoch's staged queries (each epoch stages anew).
+  const std::uint32_t shards =
+      stage_shard_count(epoch_edges * (config_.undirected ? 2 : 1));
+
+  pipeline_stats_ = {};
+  pipeline_stats_.epochs = static_cast<std::uint32_t>(num_epochs);
+  pipeline_stats_.shards = shards;
+
+  ShardedStaging* cur = &staging_bufs_[0];
+  ShardedStaging* nxt = &staging_bufs_[1];
+  cur->resize(shards);
+  nxt->resize(shards);
+
+  // Chunk body of one epoch's staging pass: stage + group shard s of the
+  // epoch's input sub-span, recording the execution window for the overlap
+  // accounting. Identical whether run synchronously (epoch 0), as a
+  // background job (overlapped epochs), or inline at submit (no workers:
+  // the degenerate pipeline — staging an epoch early is safe because apply
+  // never changes what staging reads: bucket counts, table handles, and
+  // liveness of vertices the earlier epoch did not create).
+  const auto make_stage_job = [&, shards, gather_values](
+                                  ShardedStaging* buf, std::uint64_t begin,
+                                  std::uint64_t end) {
+    return [this, &stage_shard, buf, begin, end, shards, gather_values,
+            now_ns](std::uint64_t s) {
+      const std::int64_t t0 = now_ns();
+      BatchStaging& st = buf->shard(static_cast<std::uint32_t>(s));
+      stage_shard(begin, end, static_cast<std::uint32_t>(s), shards, st);
+      st.group(/*dedup=*/true, gather_values, /*gather_seqs=*/false);
+      buf->window_note(t0, now_ns());
+    };
+  };
+
+  // Epoch 0 stages synchronously (nothing to overlap with yet).
+  {
+    cur->window_reset();
+    const std::int64_t t0 = now_ns();
+    pool.parallel_for(shards, make_stage_job(
+                                  cur, 0,
+                                  epoch_edges < num_edges ? epoch_edges
+                                                          : num_edges));
+    cur->merge(gather_values, /*gather_seqs=*/false);
+    pipeline_stats_.stage_seconds += static_cast<double>(now_ns() - t0) * 1e-9;
+  }
+
+  std::uint64_t total = 0;
+  for (std::uint64_t e = 0; e < num_epochs; ++e) {
+    simt::ThreadPool::JobHandle job;
+    const std::uint64_t next_begin = (e + 1) * epoch_edges;
+    if (next_begin < num_edges) {
+      const std::uint64_t next_end =
+          next_begin + epoch_edges < num_edges ? next_begin + epoch_edges
+                                               : num_edges;
+      nxt->window_reset();
+      job = pool.submit(shards, make_stage_job(nxt, next_begin, next_end));
+    }
+    const std::int64_t apply_begin = now_ns();
+    try {
+      total += apply_mutation_runs(cur->front(), erase,
+                                   /*overlapped=*/job != nullptr);
+    } catch (...) {
+      if (job) {
+        try {
+          pool.wait(job);  // never unwind past an in-flight staging job
+        } catch (...) {
+        }
+      }
+      throw;
+    }
+    const std::int64_t apply_end = now_ns();
+    pipeline_stats_.apply_seconds +=
+        static_cast<double>(apply_end - apply_begin) * 1e-9;
+    if (job) {
+      pool.wait(job);  // the epoch fence: stage(e+1) committed, apply(e) done
+      const std::int64_t stage_begin = nxt->window_begin_ns();
+      const std::int64_t stage_end = nxt->window_end_ns();
+      if (stage_end > stage_begin) {
+        pipeline_stats_.stage_seconds +=
+            static_cast<double>(stage_end - stage_begin) * 1e-9;
+        const std::int64_t lo =
+            stage_begin > apply_begin ? stage_begin : apply_begin;
+        const std::int64_t hi = stage_end < apply_end ? stage_end : apply_end;
+        if (hi > lo) {
+          pipeline_stats_.overlap_seconds += static_cast<double>(hi - lo) * 1e-9;
+        }
+      }
+      const std::int64_t merge_begin = now_ns();
+      nxt->merge(gather_values, /*gather_seqs=*/false);
+      pipeline_stats_.stage_seconds +=
+          static_cast<double>(now_ns() - merge_begin) * 1e-9;
+      std::swap(cur, nxt);
+    }
+  }
+  return total;
+}
 
 template <class Policy>
 std::uint64_t DynGraph<Policy>::insert_batched(
     std::span<const WeightedEdge> edges) {
   std::lock_guard<std::mutex> batch_lock(batch_mutex_);
-  BatchStaging& staged = staging_;
-  // Stage 1 runs serially (it is the pre-pass of the phase), so first-touch
-  // table creation can skip the lazy-creation mutex the parallel scalar
-  // path needs.
-  stage_weighted_edges(
-      edges, config_.undirected, Policy::kHasValues, config_.hash_seed,
-      [this](VertexId u) {
-        if (!dict_.has_table(u)) {
-          const memory::SlabHandle base =
-              arena_.allocate_contiguous(1, slabhash::kEmptyKey);
-          dict_.set_table(u, {base, 1});
-          dict_.set_edge_count(u, 0);
-        }
-        if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
-        return dict_.table(u);
-      },
-      staged);
-  staged.group(/*dedup=*/true, /*gather_values=*/Policy::kHasValues,
-               /*gather_seqs=*/false);
-  return apply_mutation_runs(staged, /*erase=*/false);
+  // First-touch table creation needs no lazy-creation mutex even though
+  // shards stage in parallel: the shard owning a vertex is the only one
+  // that ever calls table_of for it.
+  const auto table_of = [this](VertexId u) {
+    if (!dict_.has_table(u)) {
+      const memory::SlabHandle base =
+          arena_.allocate_contiguous(1, slabhash::kEmptyKey);
+      dict_.set_table(u, {base, 1});
+      dict_.set_edge_count(u, 0);
+    }
+    if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
+    return dict_.table(u);
+  };
+  return run_mutation_pipeline(
+      edges.size(), /*gather_values=*/Policy::kHasValues, /*erase=*/false,
+      [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
+          std::uint32_t num_shards, BatchStaging& st) {
+        stage_weighted_edges_shard(edges.subspan(begin, end - begin),
+                                   config_.undirected, Policy::kHasValues,
+                                   config_.hash_seed, shard, num_shards,
+                                   table_of, st);
+      });
 }
 
 template <class Policy>
 std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
   std::lock_guard<std::mutex> batch_lock(batch_mutex_);
-  BatchStaging& staged = staging_;
   const std::uint32_t capacity = dict_.capacity();
-  stage_edges(
-      edges, config_.undirected, config_.hash_seed,
-      [this, capacity](VertexId u) {
-        return u < capacity && dict_.has_table(u) ? dict_.table(u)
-                                                  : slabhash::TableRef{};
-      },
-      staged);
-  staged.group(/*dedup=*/true, /*gather_values=*/false, /*gather_seqs=*/false);
-  return apply_mutation_runs(staged, /*erase=*/true);
+  const auto table_of = [this, capacity](VertexId u) {
+    return u < capacity && dict_.has_table(u) ? dict_.table(u)
+                                              : slabhash::TableRef{};
+  };
+  return run_mutation_pipeline(
+      edges.size(), /*gather_values=*/false, /*erase=*/true,
+      [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
+          std::uint32_t num_shards, BatchStaging& st) {
+        stage_edges_shard(edges.subspan(begin, end - begin),
+                          config_.undirected, config_.hash_seed, shard,
+                          num_shards, table_of, st);
+      });
 }
 
 template <class Policy>
 std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
-                                                    bool erase) {
+                                                    bool erase,
+                                                    bool overlapped) {
   if (staged.runs.empty()) return 0;
   std::atomic<std::uint64_t> total{0};
-  simt::launch_runs(staged.run_offsets, [&](std::uint64_t first,
-                                            std::uint64_t last) {
-    std::uint64_t chunk_total = 0;
-    VertexId counter_src = 0;
-    std::uint32_t counter_delta = 0;
-    bool counting = false;
-    // Runs are sorted by source, so one atomic counter update covers every
-    // consecutive run of the same vertex.
-    const auto flush_counter = [&] {
-      if (counting && counter_delta != 0) {
-        if (erase) {
-          simt::atomic_sub(dict_.edge_count_word(counter_src), counter_delta);
-        } else {
-          simt::atomic_add(dict_.edge_count_word(counter_src), counter_delta);
+  simt::LaunchConfig launch_cfg;
+  // While a staging job shares the pool, smaller chunks let the scheduler
+  // interleave the two jobs instead of parking workers on one of them.
+  if (overlapped) launch_cfg.chunks_per_worker = 8;
+  simt::launch_runs(
+      staged.run_offsets,
+      [&](std::uint64_t first, std::uint64_t last) {
+        std::uint64_t chunk_total = 0;
+        VertexId counter_src = 0;
+        std::uint32_t counter_delta = 0;
+        bool counting = false;
+        ChainFeedback chunk_feedback;
+        // Runs are sorted by source (within a shard's range), so one atomic
+        // counter update covers every consecutive run of the same vertex.
+        const auto flush_counter = [&] {
+          if (counting && counter_delta != 0) {
+            if (erase) {
+              simt::atomic_sub(dict_.edge_count_word(counter_src),
+                               counter_delta);
+            } else {
+              simt::atomic_add(dict_.edge_count_word(counter_src),
+                               counter_delta);
+            }
+            chunk_total += counter_delta;
+          }
+          counter_delta = 0;
+        };
+        simt::pipeline(
+            last - first, kRunPrefetchDepth,
+            [&](std::uint64_t i) {
+              const QueryRun& run = staged.runs[first + i];
+              simt::prefetch(&arena_.resolve(
+                  dict_.table(run.src).bucket_head(run.bucket)));
+            },
+            [&](std::uint64_t i) {
+              const QueryRun& run = staged.runs[first + i];
+              if (!counting || run.src != counter_src) {
+                flush_counter();
+                counter_src = run.src;
+                counting = true;
+              }
+              const std::uint64_t begin = staged.run_offsets[first + i];
+              const std::uint64_t end = staged.run_offsets[first + i + 1];
+              const auto count = static_cast<std::uint32_t>(end - begin);
+              const slabhash::TableRef table = dict_.table(run.src);
+              std::uint32_t chain_slabs = 0;
+              counter_delta +=
+                  erase ? Policy::bulk_erase(arena_, table, run.bucket,
+                                             staged.keys.data() + begin, count,
+                                             &chain_slabs)
+                        : Policy::bulk_insert(
+                              arena_, table, run.bucket,
+                              staged.keys.data() + begin,
+                              staged.values.empty()
+                                  ? nullptr
+                                  : staged.values.data() + begin,
+                              count, run.src, &chain_slabs);
+              if (chain_slabs > 1) {
+                chunk_feedback.note_long(run.src, chain_slabs);
+              }
+            });
+        flush_counter();
+        chunk_feedback.runs_observed += last - first;
+        if (chunk_total != 0) {
+          total.fetch_add(chunk_total, std::memory_order_relaxed);
         }
-        chunk_total += counter_delta;
-      }
-      counter_delta = 0;
-    };
+        {
+          std::lock_guard<std::mutex> lock(feedback_mutex_);
+          feedback_.merge_from(chunk_feedback);
+        }
+      },
+      launch_cfg);
+  return total.load(std::memory_order_relaxed);
+}
+
+template <class Policy>
+void DynGraph<Policy>::search_batched(std::span<const Edge> queries,
+                                      std::uint8_t* found_out,
+                                      Weight* weights_out) const {
+  if (found_out != nullptr) {
+    std::fill(found_out, found_out + queries.size(), std::uint8_t{0});
+  }
+  if (weights_out != nullptr) {
+    std::fill(weights_out, weights_out + queries.size(), Weight{0});
+  }
+  auto& pool = simt::ThreadPool::instance();
+  const std::uint32_t shards = stage_shard_count(queries.size());
+  ShardedStaging staged;  // local: query batches stay concurrent
+  staged.resize(shards);
+  const std::uint32_t capacity = dict_.capacity();
+  const auto table_of = [this, capacity](VertexId u) {
+    return u < capacity && dict_.has_table(u) ? dict_.table(u)
+                                              : slabhash::TableRef{};
+  };
+  pool.parallel_for(shards, [&](std::uint64_t s) {
+    BatchStaging& st = staged.shard(static_cast<std::uint32_t>(s));
+    stage_queries_shard(queries, config_.hash_seed,
+                        static_cast<std::uint32_t>(s), shards, table_of, st);
+    st.group(/*dedup=*/false, /*gather_values=*/false, /*gather_seqs=*/true);
+  });
+  staged.merge(/*gather_values=*/false, /*gather_seqs=*/true);
+  const BatchStaging& front = staged.front();
+  if (front.runs.empty()) return;
+  std::vector<std::uint8_t> found(front.keys.size());
+  std::vector<std::uint32_t> values;
+  if (weights_out != nullptr) values.resize(front.keys.size());
+  simt::launch_runs(front.run_offsets, [&](std::uint64_t first,
+                                           std::uint64_t last) {
     simt::pipeline(
         last - first, kRunPrefetchDepth,
         [&](std::uint64_t i) {
-          const QueryRun& run = staged.runs[first + i];
+          const QueryRun& run = front.runs[first + i];
           simt::prefetch(
               &arena_.resolve(dict_.table(run.src).bucket_head(run.bucket)));
         },
         [&](std::uint64_t i) {
-          const QueryRun& run = staged.runs[first + i];
-          if (!counting || run.src != counter_src) {
-            flush_counter();
-            counter_src = run.src;
-            counting = true;
-          }
-          const std::uint64_t begin = staged.run_offsets[first + i];
-          const std::uint64_t end = staged.run_offsets[first + i + 1];
+          const QueryRun& run = front.runs[first + i];
+          const std::uint64_t begin = front.run_offsets[first + i];
+          const std::uint64_t end = front.run_offsets[first + i + 1];
           const auto count = static_cast<std::uint32_t>(end - begin);
-          const slabhash::TableRef table = dict_.table(run.src);
-          counter_delta +=
-              erase ? Policy::bulk_erase(arena_, table, run.bucket,
-                                         staged.keys.data() + begin, count)
-                    : Policy::bulk_insert(
-                          arena_, table, run.bucket,
-                          staged.keys.data() + begin,
-                          staged.values.empty() ? nullptr
-                                                : staged.values.data() + begin,
-                          count, run.src);
+          if constexpr (Policy::kHasValues) {
+            if (weights_out != nullptr) {
+              Policy::bulk_search_values(arena_, dict_.table(run.src),
+                                         run.bucket,
+                                         front.keys.data() + begin, count,
+                                         found.data() + begin,
+                                         values.data() + begin);
+            } else {
+              Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
+                                    front.keys.data() + begin, count,
+                                    found.data() + begin);
+            }
+          } else {
+            Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
+                                  front.keys.data() + begin, count,
+                                  found.data() + begin);
+          }
+          for (std::uint64_t q = begin; q < end; ++q) {
+            // Scatter to the input position through the staged sequence.
+            if (found_out != nullptr) found_out[front.seqs[q]] = found[q];
+            if (weights_out != nullptr && found[q] != 0) {
+              weights_out[front.seqs[q]] = values[q];
+            }
+          }
         });
-    flush_counter();
-    if (chunk_total != 0) {
-      total.fetch_add(chunk_total, std::memory_order_relaxed);
-    }
   });
-  return total.load(std::memory_order_relaxed);
 }
 
 template <class Policy>
 void DynGraph<Policy>::exist_batched(std::span<const Edge> queries,
                                      std::uint8_t* out) const {
-  std::fill(out, out + queries.size(), std::uint8_t{0});
-  BatchStaging staged;
-  const std::uint32_t capacity = dict_.capacity();
-  stage_queries(
-      queries, config_.hash_seed,
-      [this, capacity](VertexId u) {
-        return u < capacity && dict_.has_table(u) ? dict_.table(u)
-                                                  : slabhash::TableRef{};
-      },
-      staged);
-  staged.group(/*dedup=*/false, /*gather_values=*/false, /*gather_seqs=*/true);
-  if (staged.runs.empty()) return;
-  std::vector<std::uint8_t> found(staged.keys.size());
-  simt::launch_runs(staged.run_offsets, [&](std::uint64_t first,
-                                            std::uint64_t last) {
-    simt::pipeline(
-        last - first, kRunPrefetchDepth,
-        [&](std::uint64_t i) {
-          const QueryRun& run = staged.runs[first + i];
-          simt::prefetch(
-              &arena_.resolve(dict_.table(run.src).bucket_head(run.bucket)));
-        },
-        [&](std::uint64_t i) {
-          const QueryRun& run = staged.runs[first + i];
-          const std::uint64_t begin = staged.run_offsets[first + i];
-          const std::uint64_t end = staged.run_offsets[first + i + 1];
-          Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
-                                staged.keys.data() + begin,
-                                static_cast<std::uint32_t>(end - begin),
-                                found.data() + begin);
-          for (std::uint64_t q = begin; q < end; ++q) {
-            out[staged.seqs[q]] = found[q];  // scatter to the input position
-          }
-        });
-  });
+  search_batched(queries, out, /*weights_out=*/nullptr);
 }
 
 // --------------------------------------------------------------------------
@@ -589,6 +799,28 @@ slabhash::MapFindResult DynGraph<Policy>::edge_weight(VertexId u, VertexId v) co
 }
 
 template <class Policy>
+void DynGraph<Policy>::edge_weights(std::span<const Edge> queries,
+                                    Weight* weights, std::uint8_t* found) const
+    requires Policy::kHasValues {
+  if (queries.empty()) return;
+  if (config_.batch_engine) {
+    search_batched(queries, found, weights);
+    return;
+  }
+  // Scalar fallback (the differential oracle): one point lookup per lane.
+  simt::launch(queries.size(), [&](const simt::WarpId& warp) {
+    for (int lane = 0; lane < simt::kWarpSize; ++lane) {
+      if (!warp.lane_active(lane)) continue;
+      const std::uint64_t i = warp.item(lane);
+      const slabhash::MapFindResult r =
+          edge_weight(queries[i].src, queries[i].dst);
+      weights[i] = r.found ? r.value : Weight{0};
+      if (found != nullptr) found[i] = r.found ? 1 : 0;
+    }
+  });
+}
+
+template <class Policy>
 void DynGraph<Policy>::for_each_neighbor(
     VertexId u, const std::function<void(VertexId, Weight)>& fn) const {
   if (u >= dict_.capacity() || !dict_.has_table(u)) return;
@@ -607,35 +839,75 @@ void DynGraph<Policy>::flush_all_tombstones() {
 }
 
 template <class Policy>
-std::uint32_t DynGraph<Policy>::rehash_long_chains(double max_chain_slabs) {
+bool DynGraph<Policy>::maybe_rehash_table(VertexId u, double max_chain_slabs) {
+  if (u >= dict_.capacity() || !dict_.has_table(u)) return false;
+  const slabhash::TableRef old_table = dict_.table(u);
+  const std::uint32_t live = dict_.edge_count(u);
+  const double expected_chain =
+      static_cast<double>(live) /
+      (static_cast<double>(old_table.num_buckets) * Policy::kSlotCapacity);
+  if (expected_chain <= max_chain_slabs) return false;
+  // Build a right-sized table and move the live keys over; the move also
+  // sheds tombstones. Only adjacency-list contents move — the dictionary
+  // entry is a pointer swap, as in §IV-A1.
+  const std::uint32_t buckets = slabhash::buckets_for(
+      live, config_.load_factor, Policy::kSlotCapacity);
+  slabhash::TableRef fresh{
+      arena_.allocate_contiguous(buckets, slabhash::kEmptyKey), buckets};
+  Policy::for_each(arena_, old_table, [&](VertexId dst, Weight w) {
+    Policy::insert(arena_, fresh, dst, w, config_.hash_seed, u);
+  });
+  Policy::clear(arena_, old_table);  // frees the old overflow chain
+  dict_.set_table(u, fresh);
+  return true;
+}
+
+template <class Policy>
+std::uint32_t DynGraph<Policy>::rehash_long_chains(double max_chain_slabs,
+                                                   bool full_scan) {
   if (max_chain_slabs <= 0.0) {
     throw std::invalid_argument("max_chain_slabs must be positive");
   }
+  last_rehash_stats_ = {};
+  // The targeted path is complete for thresholds >= 1 slab: an offender
+  // has more live keys than base capacity, so some bulk insert extended
+  // (and therefore observed) a chain past the base slab and recorded the
+  // vertex. Sub-slab thresholds can flag tables that never chained,
+  // scalar-path inserts (engine off) report no feedback, and a saturated
+  // candidate list has dropped observations — all fall back to the full
+  // sweep (which resets the feedback).
+  const bool targeted = !full_scan && config_.batch_engine &&
+                        max_chain_slabs >= 1.0 && !feedback_.saturated;
+  last_rehash_stats_.targeted = targeted;
   std::uint32_t rehashed = 0;
-  const std::uint64_t seed = config_.hash_seed;
-  for (VertexId u = 0; u < dict_.capacity(); ++u) {
-    if (!dict_.has_table(u)) continue;
-    const slabhash::TableRef old_table = dict_.table(u);
-    const std::uint32_t live = dict_.edge_count(u);
-    const double expected_chain =
-        static_cast<double>(live) /
-        (static_cast<double>(old_table.num_buckets) * Policy::kSlotCapacity);
-    if (expected_chain <= max_chain_slabs) continue;
-    // Build a right-sized table and move the live keys over; the move also
-    // sheds tombstones. Only adjacency-list contents move — the dictionary
-    // entry is a pointer swap, as in §IV-A1.
-    const std::uint32_t buckets = slabhash::buckets_for(
-        live, config_.load_factor, Policy::kSlotCapacity);
-    slabhash::TableRef fresh{
-        arena_.allocate_contiguous(buckets, slabhash::kEmptyKey), buckets};
-    Policy::for_each(arena_, old_table,
-                     [&](VertexId dst, Weight w) {
-                       Policy::insert(arena_, fresh, dst, w, seed, u);
-                     });
-    Policy::clear(arena_, old_table);  // frees the old overflow chain
-    dict_.set_table(u, fresh);
-    ++rehashed;
+  if (targeted) {
+    std::vector<VertexId>& candidates = feedback_.candidates;
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    std::vector<VertexId> survivors;
+    for (const VertexId u : candidates) {
+      ++last_rehash_stats_.scanned;
+      if (maybe_rehash_table(u, max_chain_slabs)) {
+        ++rehashed;
+      } else if (u < dict_.capacity() && dict_.has_table(u)) {
+        // Observed past its base slab but under this threshold: keep the
+        // observation for a future, stricter call.
+        survivors.push_back(u);
+      }
+    }
+    feedback_.candidates = std::move(survivors);
+    feedback_.hist = {};  // the histogram described the consumed interval
+    feedback_.runs_observed = 0;
+  } else {
+    feedback_.clear();  // the full sweep subsumes every observation
+    for (VertexId u = 0; u < dict_.capacity(); ++u) {
+      if (!dict_.has_table(u)) continue;
+      ++last_rehash_stats_.scanned;
+      if (maybe_rehash_table(u, max_chain_slabs)) ++rehashed;
+    }
   }
+  last_rehash_stats_.rehashed = rehashed;
   return rehashed;
 }
 

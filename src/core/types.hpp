@@ -53,6 +53,26 @@ struct GraphConfig {
   /// the scalar Algorithm-1 warp path, retained as the differential-test
   /// oracle and for latency-sensitive tiny batches.
   bool batch_engine = true;
+
+  /// Shards of the batch engine's stage phase. Shard s owns every vertex u
+  /// with u % shards == s, so staging, table creation, and the grouped
+  /// (vertex, bucket) runs stay disjoint per shard and the stage pass runs
+  /// in parallel with no locks. 0 = auto (one shard per pool worker,
+  /// rounded to a power of two, capped); 1 = the serial PR 2 stage.
+  std::uint32_t stage_shards = 0;
+
+  /// Double-buffer the batch engine: large batches split into epochs, and
+  /// epoch e+1 stages + groups on spare pool threads while epoch e applies
+  /// (producer/consumer through simt::ThreadPool::submit). Epochs APPLY in
+  /// input order — the pipeline fence — so cross-epoch duplicates resolve
+  /// exactly as the unsplit batch would (most recent wins). `false` keeps
+  /// the single-buffer stage-then-apply engine.
+  bool double_buffer = true;
+
+  /// Input edges per pipelined epoch. 0 = auto (2^15). Batches smaller
+  /// than ~1.5 epochs, and any batch on a pool with no workers, run as one
+  /// epoch (the degenerate pipeline).
+  std::uint32_t pipeline_epoch_edges = 0;
 };
 
 /// The graph's construction-time configuration under its public name.

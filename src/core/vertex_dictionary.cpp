@@ -9,10 +9,7 @@ namespace sg::core {
 
 VertexDictionary::VertexDictionary(std::uint32_t capacity) {
   if (capacity == 0) capacity = 1;
-  table_base_.assign(capacity, memory::kNullSlab);
-  num_buckets_.assign(capacity, 0);
-  edge_count_.assign(capacity, 0);
-  deleted_.assign(capacity, 0);
+  entries_.assign(capacity, Entry{});
 }
 
 void VertexDictionary::grow(std::uint32_t min_capacity) {
@@ -23,26 +20,25 @@ void VertexDictionary::grow(std::uint32_t min_capacity) {
   const std::uint32_t new_capacity = std::bit_ceil(min_capacity);
   // vector::resize preserves the prefix: this is exactly the shallow
   // pointer copy of §IV-A1 (adjacency storage is untouched).
-  table_base_.resize(new_capacity, memory::kNullSlab);
-  num_buckets_.resize(new_capacity, 0);
-  edge_count_.resize(new_capacity, 0);
-  deleted_.resize(new_capacity, 0);
+  entries_.resize(new_capacity, Entry{});
   ++growth_count_;
 }
 
 slabhash::TableRef VertexDictionary::table_acquire(VertexId u) const noexcept {
-  const memory::SlabHandle base = simt::atomic_load(table_base_[u]);
-  return {base, num_buckets_[u]};
+  const Entry& e = entries_[u];
+  const memory::SlabHandle base = simt::atomic_load(e.table_base);
+  return {base, e.num_buckets};
 }
 
 void VertexDictionary::publish_table(VertexId u, slabhash::TableRef ref) noexcept {
-  num_buckets_[u] = ref.num_buckets;
-  simt::atomic_store(table_base_[u], ref.base);
+  Entry& e = entries_[u];
+  e.num_buckets = ref.num_buckets;
+  simt::atomic_store(e.table_base, ref.base);
 }
 
 std::uint64_t VertexDictionary::total_edges() const noexcept {
   std::uint64_t total = 0;
-  for (std::uint32_t count : edge_count_) total += count;
+  for (const Entry& e : entries_) total += e.edge_count;
   return total;
 }
 

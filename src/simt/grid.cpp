@@ -36,7 +36,9 @@ void launch(std::uint64_t num_items, const WarpKernel& kernel,
     // A 1-thread pool reports size 0 (it runs jobs inline).
     const std::uint32_t workers =
         ThreadPool::instance().size() > 0 ? ThreadPool::instance().size() : 1u;
-    per_chunk = num_warps / (workers * 4u);
+    const std::uint32_t per_worker =
+        config.chunks_per_worker != 0 ? config.chunks_per_worker : 4u;
+    per_chunk = num_warps / (workers * per_worker);
     if (per_chunk == 0) per_chunk = 1;
     if (per_chunk > 256u) per_chunk = 256u;
   }
@@ -63,7 +65,8 @@ void launch_runs(std::span<const std::uint64_t> offsets,
   // ~4 chunks per worker (as in launch); a chunk closes once it holds its
   // share of ITEMS, so a single skewed run fills a whole chunk while
   // singleton runs pack together.
-  const std::uint64_t target_chunks = workers * 4u;
+  const std::uint64_t target_chunks =
+      workers * (config.chunks_per_worker != 0 ? config.chunks_per_worker : 4u);
   const std::uint64_t items_per_chunk =
       total_items > target_chunks ? (total_items + target_chunks - 1) / target_chunks
                                   : total_items;

@@ -26,6 +26,12 @@ struct LaunchConfig {
   /// overhead (larger) against balance for irregular kernels (smaller,
   /// Algorithm 2).
   std::uint32_t warps_per_chunk = 0;
+  /// Target scheduling chunks per pool worker for the auto heuristics
+  /// (launch and launch_runs). 0 = the default of 4. The batch pipeline
+  /// raises this while a staging job shares the pool: more, smaller chunks
+  /// let the round-robin scheduler interleave the two jobs finely instead
+  /// of parking whole workers on one of them.
+  std::uint32_t chunks_per_worker = 0;
   /// Run serially on the calling thread (deterministic debugging).
   bool serial = false;
 };

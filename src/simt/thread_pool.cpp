@@ -8,11 +8,19 @@ namespace sg::simt {
 
 struct ThreadPool::Job {
   std::uint64_t num_chunks = 0;
+  /// submit() owns its function; parallel_for points at the caller's.
+  std::function<void(std::uint64_t)> owned_fn;
   const std::function<void(std::uint64_t)>* fn = nullptr;
   std::atomic<std::uint64_t> cursor{0};
-  std::atomic<unsigned> workers_active{0};
+  /// Threads currently inside run_chunks for this job; guarded by the
+  /// pool's mutex_. Completion is (cursor exhausted && active == 0).
+  unsigned active = 0;
   std::exception_ptr error;
   std::mutex error_mutex;
+
+  bool exhausted() const noexcept {
+    return cursor.load(std::memory_order_relaxed) >= num_chunks;
+  }
 
   void run_chunks() {
     std::uint64_t i;
@@ -68,6 +76,7 @@ void ThreadPool::resize(unsigned num_threads) {
   cv_work_.notify_all();
   for (auto& worker : workers_) worker.join();
   workers_.clear();
+  jobs_.clear();  // anything left is exhausted; drop the stale handles
   shutdown_ = false;
   if (num_threads <= 1) return;  // inline mode, as in the constructor
   workers_.reserve(num_threads);
@@ -76,28 +85,87 @@ void ThreadPool::resize(unsigned num_threads) {
   }
 }
 
+ThreadPool::JobHandle ThreadPool::pick_job_locked() {
+  while (!jobs_.empty()) {
+    if (round_robin_ >= jobs_.size()) round_robin_ = 0;
+    JobHandle job = jobs_[round_robin_];
+    if (!job->exhausted()) {
+      ++round_robin_;  // next worker starts on the next job: fairness
+      return job;
+    }
+    jobs_.erase(jobs_.begin() +
+                static_cast<std::ptrdiff_t>(round_robin_));
+  }
+  return nullptr;
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    Job* job = nullptr;
+    JobHandle job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      cv_work_.wait(lock, [this] { return shutdown_ || job_ != nullptr; });
+      cv_work_.wait(lock, [this] {
+        if (shutdown_) return true;
+        for (const JobHandle& j : jobs_) {
+          if (!j->exhausted()) return true;
+        }
+        return false;
+      });
       if (shutdown_) return;
-      job = job_;
-      job->workers_active.fetch_add(1, std::memory_order_relaxed);
+      job = pick_job_locked();
+      if (!job) continue;
+      ++job->active;
     }
     job->run_chunks();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (job == job_ &&
-          job->cursor.load(std::memory_order_relaxed) >= job->num_chunks) {
-        // This job has no more work to hand out; wake the submitter, which
-        // is also draining chunks and will observe completion.
-      }
-      job->workers_active.fetch_sub(1, std::memory_order_relaxed);
+      --job->active;
     }
+    // The job is complete once its cursor is exhausted and the last helper
+    // has left run_chunks; any waiter re-checks both under the mutex.
     cv_done_.notify_all();
   }
+}
+
+ThreadPool::JobHandle ThreadPool::submit(
+    std::uint64_t num_chunks, std::function<void(std::uint64_t)> fn) {
+  auto job = std::make_shared<Job>();
+  job->num_chunks = num_chunks;
+  job->owned_fn = std::move(fn);
+  job->fn = &job->owned_fn;
+  if (num_chunks == 0) return job;
+  if (workers_.empty()) {
+    job->run_chunks();  // inline pool: the degenerate (serial) pipeline
+    return job;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    jobs_.push_back(job);
+  }
+  cv_work_.notify_all();
+  return job;
+}
+
+void ThreadPool::finish_job(const JobHandle& job) {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_done_.wait(lock, [&job] { return job->exhausted() && job->active == 0; });
+    // Prune the finished job from the dispatch list if no worker got there
+    // first (e.g. every chunk was run by the waiter).
+    for (std::size_t i = 0; i < jobs_.size(); ++i) {
+      if (jobs_[i] == job) {
+        jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+void ThreadPool::wait(const JobHandle& job) {
+  if (!job || job->num_chunks == 0) return;
+  job->run_chunks();  // help instead of idling
+  finish_job(job);
 }
 
 void ThreadPool::parallel_for(std::uint64_t num_chunks,
@@ -107,24 +175,18 @@ void ThreadPool::parallel_for(std::uint64_t num_chunks,
     for (std::uint64_t i = 0; i < num_chunks; ++i) fn(i);
     return;
   }
-  Job job;
-  job.num_chunks = num_chunks;
-  job.fn = &fn;
+  // Stack job, function by pointer: no allocation beyond the shared_ptr
+  // control block, no std::function copy.
+  auto job = std::make_shared<Job>();
+  job->num_chunks = num_chunks;
+  job->fn = &fn;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &job;
+    jobs_.push_back(job);
   }
   cv_work_.notify_all();
-  // The submitting thread participates too (it would otherwise idle).
-  job.run_chunks();
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_done_.wait(lock, [&job] {
-      return job.workers_active.load(std::memory_order_relaxed) == 0;
-    });
-    job_ = nullptr;
-  }
-  if (job.error) std::rethrow_exception(job.error);
+  job->run_chunks();  // the submitting thread participates too
+  finish_job(job);
 }
 
 ThreadPool& ThreadPool::instance() {

@@ -2,11 +2,20 @@
 // distributed over worker threads, so warps on different threads are truly
 // concurrent (the phase-concurrent races the paper's protocols must
 // tolerate are real here, not simulated).
+//
+// The pool schedules CHUNKS from any number of in-flight JOBS: chunks are
+// handed out round-robin across jobs, so a background job (the batch
+// pipeline's stage of batch N+1) makes progress while a foreground
+// parallel_for (apply of batch N) runs — the producer/consumer overlap the
+// double-buffered batch engine is built on. A 1-thread pool runs everything
+// inline on the submitting thread, which degenerates the pipeline to
+// stage-then-apply with identical results.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,14 +36,32 @@ class ThreadPool {
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
 
   /// Rebuilds the pool with `num_threads` workers (0 = the SG_THREADS /
-  /// hardware default). Must not be called while a parallel_for is in
-  /// flight; exists for the SG_THREADS sweep benches, which measure the
-  /// same workload across pool widths in one process.
+  /// hardware default). Must not be called while any job is in flight;
+  /// exists for the SG_THREADS sweep benches, which measure the same
+  /// workload across pool widths in one process.
   void resize(unsigned num_threads);
+
+  /// One scheduled job: `num_chunks` invocations of a chunk function,
+  /// claimed from a shared atomic cursor by however many threads join in.
+  struct Job;
+  using JobHandle = std::shared_ptr<Job>;
+
+  /// Enqueues fn(chunk_index) for chunk_index in [0, num_chunks) WITHOUT
+  /// waiting: workers interleave its chunks with any concurrently running
+  /// parallel_for (round-robin across jobs). On a pool with no workers the
+  /// job runs inline, to completion, before submit returns — the degenerate
+  /// (serial) pipeline. Exceptions are captured and rethrown by wait().
+  JobHandle submit(std::uint64_t num_chunks, std::function<void(std::uint64_t)> fn);
+
+  /// Blocks until `job` has completed every chunk; the calling thread helps
+  /// run remaining chunks rather than idling. Rethrows the job's first
+  /// exception. Idempotent.
+  void wait(const JobHandle& job);
 
   /// Runs fn(chunk_index) for chunk_index in [0, num_chunks), distributing
   /// chunks over the pool with a shared atomic cursor; blocks until all
   /// chunks complete. Exceptions from fn propagate (first one wins).
+  /// Equivalent to submit + wait, minus the std::function copy.
   void parallel_for(std::uint64_t num_chunks,
                     const std::function<void(std::uint64_t)>& fn);
 
@@ -44,14 +71,18 @@ class ThreadPool {
   static unsigned default_thread_count();
 
  private:
-  struct Job;
   void worker_loop();
+  /// Next job with unclaimed chunks, rotating fairly across jobs; prunes
+  /// exhausted jobs from the dispatch list. Caller holds mutex_.
+  JobHandle pick_job_locked();
+  void finish_job(const JobHandle& job);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;
-  Job* job_ = nullptr;  // current job, guarded by mutex_
+  std::vector<JobHandle> jobs_;  ///< jobs with (potentially) unclaimed chunks
+  std::size_t round_robin_ = 0;
   bool shutdown_ = false;
 };
 

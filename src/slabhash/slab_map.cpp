@@ -79,18 +79,26 @@ inline PairClaim claim_pair(std::uint32_t* pair_words, std::uint32_t key,
 namespace {
 
 /// map_replace after hashing: shared by the scalar entry point and the bulk
-/// path's singleton runs (which arrive pre-hashed).
+/// path's singleton runs (which arrive pre-hashed). `chain_slabs`, when
+/// non-null, receives how deep into the chain the walk went (1 = base).
 bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
                        std::uint32_t bucket, std::uint32_t key,
-                       std::uint32_t value, std::uint32_t alloc_seed) {
+                       std::uint32_t value, std::uint32_t alloc_seed,
+                       std::uint32_t* chain_slabs = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
+  // The walked depth is kept in a register and published only at the exits:
+  // a per-slab store through chain_slabs could alias slab words and force
+  // the compiler to reload them mid-probe.
+  std::uint32_t depth = 0;
   for (;;) {
+    ++depth;
     Slab& slab = arena.resolve(handle);
     const simt::SlabProbe probe =
         simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
     const std::uint32_t match = probe.match & kMapKeyWordsMask;
     if (match != 0) {  // key already stored: overwrite the value
       atomic_store(slab.words[std::countr_zero(match) + 1], value);
+      if (chain_slabs != nullptr) *chain_slabs = depth;
       return false;
     }
     // Claim the first EMPTY key slot with a single 64-bit key+value CAS;
@@ -100,9 +108,13 @@ bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
     while (empties != 0) {
       const int key_word = std::countr_zero(empties);
       const PairClaim claim = claim_pair(&slab.words[key_word], key, value);
-      if (claim.success) return true;
+      if (claim.success) {
+        if (chain_slabs != nullptr) *chain_slabs = depth;
+        return true;
+      }
       if (claim.observed_key == key) {  // lost the race to an identical key
         atomic_store(slab.words[key_word + 1], value);
+        if (chain_slabs != nullptr) *chain_slabs = depth;
         return false;
       }
       empties &= empties - 1;  // a different key claimed the slot
@@ -115,9 +127,13 @@ bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
 
 /// map_erase after hashing (scalar entry point + singleton bulk runs).
 bool erase_in_bucket(memory::SlabArena& arena, TableRef table,
-                     std::uint32_t bucket, std::uint32_t key) {
+                     std::uint32_t bucket, std::uint32_t key,
+                     std::uint32_t* chain_slabs = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
+  std::uint32_t depth = 0;  // published at the exits only (aliasing)
+  bool removed = false;
   while (handle != kNullSlab) {
+    ++depth;
     Slab& slab = arena.resolve(handle);
     const simt::SlabProbe probe =
         simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
@@ -125,15 +141,15 @@ bool erase_in_bucket(memory::SlabArena& arena, TableRef table,
     if (match != 0) {
       // CAS (not a plain store) so two warps deleting the same key only
       // decrement the edge counter once.
-      return atomic_cas(slab.words[std::countr_zero(match)], key,
-                        kTombstoneKey) == key;
+      removed = atomic_cas(slab.words[std::countr_zero(match)], key,
+                           kTombstoneKey) == key;
+      break;
     }
-    if ((probe.empty & kMapKeyWordsMask) != 0) {
-      return false;  // empties only at the tail
-    }
+    if ((probe.empty & kMapKeyWordsMask) != 0) break;  // empties at the tail
     handle = atomic_load(slab.words[kNextPtrWord]);
   }
-  return false;
+  if (chain_slabs != nullptr) *chain_slabs = depth;
+  return removed;
 }
 
 /// map_search after hashing (scalar entry point + singleton bulk runs).
@@ -189,21 +205,25 @@ MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
 std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
                                std::uint32_t bucket, const std::uint32_t* keys,
                                const std::uint32_t* values, std::uint32_t count,
-                               std::uint32_t alloc_seed) {
+                               std::uint32_t alloc_seed,
+                               std::uint32_t* chain_slabs) {
   if (count == 1) {  // singleton run: sparse batches are mostly these
     return replace_in_bucket(arena, table, bucket, keys[0], values[0],
-                             alloc_seed)
+                             alloc_seed, chain_slabs)
                ? 1u
                : 0u;
   }
   std::uint32_t added = 0;
+  std::uint32_t max_depth = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
                                    : static_cast<std::uint32_t>(simt::kWarpSize);
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0) {
+      ++depth;
       Slab& slab = arena.resolve(handle);
       // Load the successor early: its slab climbs the cache hierarchy
       // while this slab's compares and claims resolve.
@@ -262,24 +282,29 @@ std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
       }
       handle = next;
     }
+    if (depth > max_depth) max_depth = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = max_depth;
   return added;
 }
 
 std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
                              std::uint32_t bucket, const std::uint32_t* keys,
-                             std::uint32_t count) {
+                             std::uint32_t count, std::uint32_t* chain_slabs) {
   if (count == 1) {
-    return erase_in_bucket(arena, table, bucket, keys[0]) ? 1u : 0u;
+    return erase_in_bucket(arena, table, bucket, keys[0], chain_slabs) ? 1u : 0u;
   }
   std::uint32_t removed = 0;
+  std::uint32_t max_depth = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
                                    : static_cast<std::uint32_t>(simt::kWarpSize);
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0 && handle != kNullSlab) {
+      ++depth;
       Slab& slab = arena.resolve(handle);
       const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
       if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
@@ -314,7 +339,9 @@ std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
       if (empties != 0) break;
       handle = next;
     }
+    if (depth > max_depth) max_depth = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = max_depth;
   return removed;
 }
 

@@ -63,16 +63,22 @@ MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
 
 /// Bulk replace of a run: inserts keys[i] -> values[i] (unique keys,
 /// sorted); a key already present has its value overwritten. Returns the
-/// number of NEW keys.
+/// number of NEW keys. When `chain_slabs` is non-null it receives the
+/// deepest slab position the walk reached (1 = base slab only), including
+/// slabs appended by this call — the §III chain-length metric the batch
+/// engine feeds back to targeted rehashing, observed for free.
 std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
                                std::uint32_t bucket, const std::uint32_t* keys,
                                const std::uint32_t* values, std::uint32_t count,
-                               std::uint32_t alloc_seed = 0);
+                               std::uint32_t alloc_seed = 0,
+                               std::uint32_t* chain_slabs = nullptr);
 
 /// Bulk erase of a run; returns the number of keys that were present.
+/// `chain_slabs` as in map_bulk_replace (erase never extends the chain).
 std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
                              std::uint32_t bucket, const std::uint32_t* keys,
-                             std::uint32_t count);
+                             std::uint32_t count,
+                             std::uint32_t* chain_slabs = nullptr);
 
 /// Bulk lookup of a run: found[i] = 1 iff keys[i] is live; when `values` is
 /// non-null, values[i] receives the stored value on a hit. Duplicate keys

@@ -40,20 +40,30 @@ namespace {
 /// path's singleton runs (which arrive pre-hashed).
 bool insert_in_bucket(memory::SlabArena& arena, TableRef table,
                       std::uint32_t bucket, std::uint32_t key,
-                      std::uint32_t alloc_seed) {
+                      std::uint32_t alloc_seed,
+                      std::uint32_t* chain_slabs = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
+  // Depth stays in a register and publishes only at the exits: a per-slab
+  // store through chain_slabs could alias slab words and force reloads.
+  std::uint32_t depth = 0;
   for (;;) {
+    ++depth;
     Slab& slab = arena.resolve(handle);
     const simt::SlabProbe probe =
         simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
-    if ((probe.match & kSetKeyWordsMask) != 0) return false;  // already present
+    if ((probe.match & kSetKeyWordsMask) != 0) {  // already present
+      if (chain_slabs != nullptr) *chain_slabs = depth;
+      return false;
+    }
     std::uint32_t empties = probe.empty & kSetKeyWordsMask;
     while (empties != 0) {
       const int slot = std::countr_zero(empties);
       const std::uint32_t observed =
           atomic_cas(slab.words[slot], kEmptyKey, key);
-      if (observed == kEmptyKey) return true;
-      if (observed == key) return false;  // lost the race to an identical key
+      if (observed == kEmptyKey || observed == key) {
+        if (chain_slabs != nullptr) *chain_slabs = depth;
+        return observed == kEmptyKey;  // false: lost to an identical key
+      }
       empties &= empties - 1;  // a different key won the slot; keep going
     }
     SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
@@ -64,21 +74,27 @@ bool insert_in_bucket(memory::SlabArena& arena, TableRef table,
 
 /// set_erase after hashing (scalar entry point + singleton bulk runs).
 bool erase_in_bucket(memory::SlabArena& arena, TableRef table,
-                     std::uint32_t bucket, std::uint32_t key) {
+                     std::uint32_t bucket, std::uint32_t key,
+                     std::uint32_t* chain_slabs = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
+  std::uint32_t depth = 0;  // published at the exits only (aliasing)
+  bool removed = false;
   while (handle != kNullSlab) {
+    ++depth;
     Slab& slab = arena.resolve(handle);
     const simt::SlabProbe probe =
         simt::probe_slab(slab.words, key, kEmptyKey, kTombstoneKey);
     const std::uint32_t match = probe.match & kSetKeyWordsMask;
     if (match != 0) {
-      return atomic_cas(slab.words[std::countr_zero(match)], key,
-                        kTombstoneKey) == key;
+      removed = atomic_cas(slab.words[std::countr_zero(match)], key,
+                           kTombstoneKey) == key;
+      break;
     }
-    if ((probe.empty & kSetKeyWordsMask) != 0) return false;
+    if ((probe.empty & kSetKeyWordsMask) != 0) break;
     handle = atomic_load(slab.words[kNextPtrWord]);
   }
-  return false;
+  if (chain_slabs != nullptr) *chain_slabs = depth;
+  return removed;
 }
 
 /// set_contains after hashing (scalar entry point + singleton bulk runs).
@@ -121,19 +137,25 @@ bool set_contains(const memory::SlabArena& arena, TableRef table,
 
 std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
                               std::uint32_t bucket, const std::uint32_t* keys,
-                              std::uint32_t count, std::uint32_t alloc_seed) {
+                              std::uint32_t count, std::uint32_t alloc_seed,
+                              std::uint32_t* chain_slabs) {
   if (count == 1) {  // singleton run: sparse batches are mostly these
-    return insert_in_bucket(arena, table, bucket, keys[0], alloc_seed) ? 1u
-                                                                       : 0u;
+    return insert_in_bucket(arena, table, bucket, keys[0], alloc_seed,
+                            chain_slabs)
+               ? 1u
+               : 0u;
   }
   std::uint32_t added = 0;
+  std::uint32_t max_depth = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
                                    : static_cast<std::uint32_t>(simt::kWarpSize);
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0) {
+      ++depth;
       Slab& slab = arena.resolve(handle);
       SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
       if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
@@ -186,24 +208,29 @@ std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
       }
       handle = next;
     }
+    if (depth > max_depth) max_depth = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = max_depth;
   return added;
 }
 
 std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
                              std::uint32_t bucket, const std::uint32_t* keys,
-                             std::uint32_t count) {
+                             std::uint32_t count, std::uint32_t* chain_slabs) {
   if (count == 1) {
-    return erase_in_bucket(arena, table, bucket, keys[0]) ? 1u : 0u;
+    return erase_in_bucket(arena, table, bucket, keys[0], chain_slabs) ? 1u : 0u;
   }
   std::uint32_t removed = 0;
+  std::uint32_t max_depth = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
                                    : static_cast<std::uint32_t>(simt::kWarpSize);
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0 && handle != kNullSlab) {
+      ++depth;
       Slab& slab = arena.resolve(handle);
       const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
       if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
@@ -235,7 +262,9 @@ std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
       if (empties != 0) break;  // empties only at the tail: rest are absent
       handle = next;
     }
+    if (depth > max_depth) max_depth = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = max_depth;
   return removed;
 }
 

@@ -30,15 +30,20 @@ bool set_contains(const memory::SlabArena& arena, TableRef table,
 // per wave of up to 32 keys with one shared EMPTY scan per slab.
 
 /// Bulk unique insert of a run (unique, sorted keys); returns the number of
-/// NEW keys.
+/// NEW keys. `chain_slabs`, when non-null, receives the deepest slab
+/// position the walk reached (1 = base slab only, including slabs appended
+/// by this call) — the chain-length feedback targeted rehashing consumes.
 std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
                               std::uint32_t bucket, const std::uint32_t* keys,
-                              std::uint32_t count, std::uint32_t alloc_seed = 0);
+                              std::uint32_t count, std::uint32_t alloc_seed = 0,
+                              std::uint32_t* chain_slabs = nullptr);
 
 /// Bulk erase of a run; returns the number of keys that were present.
+/// `chain_slabs` as in set_bulk_insert.
 std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
                              std::uint32_t bucket, const std::uint32_t* keys,
-                             std::uint32_t count);
+                             std::uint32_t count,
+                             std::uint32_t* chain_slabs = nullptr);
 
 /// Bulk membership of a run: found[i] = 1 iff keys[i] is live.
 void set_bulk_contains(const memory::SlabArena& arena, TableRef table,

@@ -81,16 +81,21 @@ void segmented_sort(std::span<std::uint32_t> values,
 }
 
 void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch) {
-  const std::size_t n = records.size();
-  if (n < 2) return;
-  constexpr int kDigitBits = 11;
-  constexpr std::uint32_t kBins = 1u << kDigitBits;  // 8 KiB histogram: L1
   std::uint64_t or_mask = 0;
   std::uint64_t and_mask = ~std::uint64_t{0};
   for (const U128& r : records) {
     or_mask |= r.hi;
     and_mask &= r.hi;
   }
+  radix_sort_hi(records, scratch, or_mask, and_mask);
+}
+
+void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch,
+                   std::uint64_t or_mask, std::uint64_t and_mask) {
+  const std::size_t n = records.size();
+  if (n < 2) return;
+  constexpr int kDigitBits = 11;
+  constexpr std::uint32_t kBins = 1u << kDigitBits;  // 8 KiB histogram: L1
   const int significant_bits =
       64 - static_cast<int>(std::countl_zero(or_mask | 1));
   const int passes = (significant_bits + kDigitBits - 1) / kDigitBits;

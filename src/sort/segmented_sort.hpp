@@ -41,6 +41,14 @@ struct U128 {
 /// calls.
 void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch);
 
+/// radix_sort_hi with the OR / AND of every record's `hi` precomputed by
+/// the caller (the batch engine accumulates both for free while staging),
+/// skipping the mask-discovery pass over the data. Digits whose bits agree
+/// across all records — e.g. the shard-constant low vertex bits of a
+/// sharded staging pass — contribute no ordering and are skipped entirely.
+void radix_sort_hi(std::span<U128> records, std::vector<U128>& scratch,
+                   std::uint64_t hi_or_mask, std::uint64_t hi_and_mask);
+
 /// Per-segment comparison sort (parallel over segments): the "sort each
 /// adjacency list independently" alternative. Exposed for the ablation in
 /// the sort micro-bench.

@@ -1,0 +1,354 @@
+// Tests of the sharded, double-buffered batch pipeline (PR 3): interleaved
+// insert/delete/search batches through the pipelined path must equal both
+// the scalar Algorithm-1 oracle and the single-buffer PR 2 engine across
+// shard counts, epoch sizes, and pool widths (including the degenerate
+// 1-thread pipeline and pools wider than the shard count); most-recent-wins
+// dedup must stay deterministic across shard AND epoch boundaries; targeted
+// rehash must match the full scan while visiting strictly fewer tables; and
+// the batched edge_weights API must agree with point lookups.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/core/batch_engine.hpp"
+#include "src/core/dyn_graph.hpp"
+#include "src/simt/thread_pool.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::core {
+namespace {
+
+GraphConfig pipeline_config(bool undirected, std::uint32_t shards,
+                            std::uint32_t epoch_edges, bool double_buffer) {
+  GraphConfig cfg;
+  cfg.vertex_capacity = 256;
+  cfg.undirected = undirected;
+  cfg.batch_engine = true;
+  cfg.stage_shards = shards;
+  cfg.pipeline_epoch_edges = epoch_edges;
+  cfg.double_buffer = double_buffer;
+  return cfg;
+}
+
+GraphConfig oracle_config(bool undirected) {
+  GraphConfig cfg;
+  cfg.vertex_capacity = 256;
+  cfg.undirected = undirected;
+  cfg.batch_engine = false;
+  return cfg;
+}
+
+std::vector<WeightedEdge> random_batch(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t num_vertices) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> batch(count);
+  for (auto& e : batch) {
+    e = {static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<Weight>(rng.below(1u << 16))};
+  }
+  return batch;
+}
+
+/// Skewed, duplicate-heavy batch: a few hub sources own most edges and the
+/// same (src, dst) pair recurs with different weights — the shard- and
+/// epoch-boundary dedup stress case.
+std::vector<WeightedEdge> skewed_batch(std::uint64_t seed, std::size_t count,
+                                       std::uint32_t num_vertices) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> batch(count);
+  for (auto& e : batch) {
+    const bool hub = rng.below(100) < 70;
+    e = {hub ? static_cast<VertexId>(rng.below(5))
+             : static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<VertexId>(rng.below(hub ? 24 : num_vertices)),
+         static_cast<Weight>(rng.below(1u << 16))};
+  }
+  return batch;
+}
+
+template <class Policy>
+std::multiset<std::tuple<VertexId, VertexId, Weight>> graph_edges(
+    const DynGraph<Policy>& g) {
+  std::multiset<std::tuple<VertexId, VertexId, Weight>> edges;
+  for (VertexId u = 0; u < g.vertex_capacity(); ++u) {
+    g.for_each_neighbor(u, [&](VertexId v, Weight w) {
+      edges.insert({u, v, Policy::kHasValues ? w : Weight{0}});
+    });
+  }
+  return edges;
+}
+
+template <class Policy>
+void expect_identical(const DynGraph<Policy>& a, const DynGraph<Policy>& b) {
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId u = 0;
+       u < std::max(a.vertex_capacity(), b.vertex_capacity()); ++u) {
+    const std::uint32_t da = u < a.vertex_capacity() ? a.degree(u) : 0;
+    const std::uint32_t db = u < b.vertex_capacity() ? b.degree(u) : 0;
+    ASSERT_EQ(da, db) << "degree mismatch at vertex " << u;
+  }
+  EXPECT_EQ(graph_edges(a), graph_edges(b));
+}
+
+/// Drives interleaved insert / delete / search rounds through three graphs
+/// — the pipelined engine under test, the single-buffer engine, and the
+/// scalar oracle — asserting equality after every phase.
+template <class Policy>
+void run_pipeline_differential(bool undirected, std::uint32_t shards,
+                               std::uint32_t epoch_edges, std::uint64_t seed) {
+  DynGraph<Policy> pipelined(
+      pipeline_config(undirected, shards, epoch_edges, true));
+  DynGraph<Policy> single_buffer(pipeline_config(undirected, 1, 0, false));
+  DynGraph<Policy> oracle(oracle_config(undirected));
+
+  for (int round = 0; round < 3; ++round) {
+    const auto inserts = round % 2 == 0
+                             ? skewed_batch(seed + round, 700, 180)
+                             : random_batch(seed + round, 700, 180);
+    const std::uint64_t added = pipelined.insert_edges(inserts);
+    EXPECT_EQ(added, single_buffer.insert_edges(inserts));
+    EXPECT_EQ(added, oracle.insert_edges(inserts));
+    expect_identical(pipelined, oracle);
+    expect_identical(pipelined, single_buffer);
+
+    std::vector<Edge> erases;
+    for (const auto& e : skewed_batch(seed + 50 + round, 300, 180)) {
+      erases.push_back({e.src, e.dst});
+    }
+    const std::uint64_t removed = pipelined.delete_edges(erases);
+    EXPECT_EQ(removed, single_buffer.delete_edges(erases));
+    EXPECT_EQ(removed, oracle.delete_edges(erases));
+    expect_identical(pipelined, oracle);
+
+    std::vector<Edge> queries;
+    for (const auto& e : random_batch(seed + 90 + round, 400, 220)) {
+      queries.push_back({e.src, e.dst});
+    }
+    std::vector<std::uint8_t> out_pipelined(queries.size(), 2);
+    std::vector<std::uint8_t> out_oracle(queries.size(), 2);
+    pipelined.edges_exist(queries, out_pipelined.data());
+    oracle.edges_exist(queries, out_oracle.data());
+    EXPECT_EQ(out_pipelined, out_oracle);
+  }
+}
+
+class PipelineThreadSweep : public ::testing::TestWithParam<unsigned> {
+ protected:
+  void SetUp() override { simt::ThreadPool::instance().resize(GetParam()); }
+  void TearDown() override { simt::ThreadPool::instance().resize(0); }
+};
+
+TEST_P(PipelineThreadSweep, MapDirectedShardedEpochs) {
+  // Epoch size 96 on 700-edge batches: many epochs, the double buffer is
+  // exercised hard; shards 4 with pools of 1 and 8 covers shard count both
+  // above and below the worker count.
+  run_pipeline_differential<MapPolicy>(false, 4, 96, 11);
+}
+TEST_P(PipelineThreadSweep, MapUndirectedShardedEpochs) {
+  run_pipeline_differential<MapPolicy>(true, 4, 96, 12);
+}
+TEST_P(PipelineThreadSweep, SetDirectedShardedEpochs) {
+  run_pipeline_differential<SetPolicy>(false, 2, 128, 13);
+}
+TEST_P(PipelineThreadSweep, SetUndirectedAutoShards) {
+  run_pipeline_differential<SetPolicy>(true, 0, 96, 14);
+}
+TEST_P(PipelineThreadSweep, MapUndirectedSingleShardManyEpochs) {
+  run_pipeline_differential<MapPolicy>(true, 1, 64, 15);
+}
+
+// 1 = the degenerate serial pipeline (inline staging at submit); 8 = more
+// workers than shards, so apply and stage genuinely share the pool.
+INSTANTIATE_TEST_SUITE_P(Widths, PipelineThreadSweep,
+                         ::testing::Values(1u, 8u));
+
+TEST(PipelineDedup, MostRecentWinsAcrossEpochBoundaries) {
+  // Duplicates of (5, 9) land in different epochs (epoch size 8); the
+  // epoch fence must resolve them exactly as one unsplit batch would.
+  DynGraphMap g(pipeline_config(false, 2, 8, true));
+  std::vector<WeightedEdge> batch;
+  for (Weight w = 1; w <= 40; ++w) batch.push_back({5, 9, w});
+  batch.push_back({5, 10, 7});
+  for (Weight w = 100; w <= 130; ++w) batch.push_back({5, 9, w});
+  EXPECT_EQ(g.insert_edges(batch), 2u);
+  EXPECT_GT(g.last_batch_stats().epochs, 1u);
+  EXPECT_EQ(g.edge_weight(5, 9).value, 130u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(PipelineDedup, SkewedDuplicatesDeterministicAcrossShardCounts) {
+  // The same skewed duplicate-heavy batch must produce bit-identical
+  // adjacency no matter how staging is sharded or split into epochs —
+  // every occurrence of a (vertex, key) pair lands in the one shard owning
+  // the vertex, so per-shard dedup is exhaustive by construction.
+  const auto batch = skewed_batch(99, 3000, 64);
+  DynGraphMap reference(pipeline_config(true, 1, 0, false));
+  reference.insert_edges(batch);
+  for (const std::uint32_t shards : {2u, 4u, 8u}) {
+    for (const std::uint32_t epoch : {0u, 128u}) {
+      DynGraphMap sharded(pipeline_config(true, shards, epoch, true));
+      sharded.insert_edges(batch);
+      expect_identical(sharded, reference);
+    }
+  }
+}
+
+TEST(PipelineStats, ForcedEpochsReportStageAndApplyTime) {
+  DynGraphMap g(pipeline_config(false, 2, 64, true));
+  const auto batch = random_batch(3, 1000, 128);
+  g.insert_edges(batch);
+  const BatchPipelineStats& stats = g.last_batch_stats();
+  EXPECT_EQ(stats.epochs, (1000 + 63) / 64);
+  EXPECT_EQ(stats.shards, 2u);
+  EXPECT_GT(stats.stage_seconds, 0.0);
+  EXPECT_GT(stats.apply_seconds, 0.0);
+  EXPECT_GE(stats.overlap_seconds, 0.0);
+}
+
+TEST(ShardedStagingGuard, RunCrossingShardPartitionThrows) {
+  // Staging a vertex into a shard that does not own it must be caught by
+  // the merge guard — this is the invariant that makes cross-shard dedup
+  // impossible to break silently.
+  ShardedStaging staged;
+  staged.resize(2);
+  const slabhash::TableRef table{0, 4};
+  // Vertex 1 belongs to shard 1 (1 % 2); push it into shard 0.
+  staged.shard(0).push(1, 7, table, 42);
+  staged.shard(0).group(true, false, false);
+  staged.shard(1).group(true, false, false);
+  EXPECT_THROW(staged.merge(false, false), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Batched weighted lookup (edge_weights)
+// ---------------------------------------------------------------------------
+
+TEST(EdgeWeights, MatchesPointLookupsEngineAndOracle) {
+  const auto inserts = skewed_batch(7, 1500, 96);
+  for (const bool engine : {true, false}) {
+    GraphConfig cfg = engine ? pipeline_config(false, 2, 200, true)
+                             : oracle_config(false);
+    cfg.vertex_capacity = 96;
+    DynGraphMap g(cfg);
+    g.insert_edges(inserts);
+
+    std::vector<Edge> queries;
+    for (const auto& e : skewed_batch(8, 600, 128)) {  // hits + misses +
+      queries.push_back({e.src, e.dst});               // unknown sources
+    }
+    queries.push_back({5, 5});        // self-loop: never stored
+    queries.push_back({4000, 1});     // far out of range
+    std::vector<Weight> weights(queries.size(), 0xDEAD);
+    std::vector<std::uint8_t> found(queries.size(), 2);
+    g.edge_weights(queries, weights.data(), found.data());
+    for (std::size_t i = 0; i < queries.size(); ++i) {
+      const auto expect = g.edge_weight(queries[i].src, queries[i].dst);
+      EXPECT_EQ(found[i] != 0, expect.found) << "query " << i;
+      EXPECT_EQ(weights[i], expect.found ? expect.value : 0u) << "query " << i;
+    }
+    // The found pointer is optional.
+    std::vector<Weight> weights_only(queries.size(), 0xDEAD);
+    g.edge_weights(queries, weights_only.data());
+    EXPECT_EQ(weights, weights_only);
+  }
+}
+
+TEST(EdgeWeights, EmptyBatchIsNoop) {
+  DynGraphMap g(pipeline_config(false, 2, 0, true));
+  g.edge_weights({}, nullptr, nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Targeted (run-aware) rehash
+// ---------------------------------------------------------------------------
+
+/// Hub-heavy inserts: a handful of vertices grow chains far past one slab
+/// while the long tail stays in its base slab.
+std::vector<WeightedEdge> hub_batch(std::uint32_t num_vertices,
+                                    std::uint32_t hub_degree) {
+  std::vector<WeightedEdge> edges;
+  for (VertexId hub = 0; hub < 3; ++hub) {
+    for (std::uint32_t k = 0; k < hub_degree; ++k) {
+      edges.push_back({hub, 10 + k, k});
+    }
+  }
+  for (VertexId u = 3; u < num_vertices; ++u) {
+    edges.push_back({u, u + 1, 1});
+  }
+  return edges;
+}
+
+TEST(TargetedRehash, MatchesFullScanAndVisitsFewerTables) {
+  const auto edges = hub_batch(400, 200);
+  DynGraphMap targeted(pipeline_config(false, 2, 0, true));
+  DynGraphMap full(pipeline_config(false, 2, 0, true));
+  targeted.insert_edges(edges);
+  full.insert_edges(edges);
+
+  // Apply observed the hub chains for free.
+  EXPECT_FALSE(targeted.chain_feedback().empty());
+  std::uint64_t histogram_total = 0;
+  for (const std::uint64_t h : targeted.chain_feedback().hist) {
+    histogram_total += h;
+  }
+  EXPECT_GT(histogram_total, 0u);
+
+  const std::uint32_t rehashed_targeted = targeted.rehash_long_chains(1.0);
+  const std::uint32_t rehashed_full =
+      full.rehash_long_chains(1.0, /*full_scan=*/true);
+  EXPECT_EQ(rehashed_targeted, rehashed_full);
+  EXPECT_GT(rehashed_targeted, 0u);
+  EXPECT_TRUE(targeted.last_rehash_stats().targeted);
+  EXPECT_FALSE(full.last_rehash_stats().targeted);
+  // The point of the feedback: strictly fewer tables examined.
+  EXPECT_LT(targeted.last_rehash_stats().scanned,
+            full.last_rehash_stats().scanned);
+  expect_identical(targeted, full);
+
+  // A second targeted pass finds nothing new and scans almost nothing.
+  EXPECT_EQ(targeted.rehash_long_chains(1.0), 0u);
+  EXPECT_LE(targeted.last_rehash_stats().scanned, 3u);
+}
+
+TEST(TargetedRehash, FallsBackToFullScanBelowOneSlab) {
+  DynGraphMap g(pipeline_config(false, 1, 0, true));
+  g.insert_edges(hub_batch(50, 40));
+  g.rehash_long_chains(0.5);  // sub-slab threshold: must sweep everything
+  EXPECT_FALSE(g.last_rehash_stats().targeted);
+}
+
+TEST(TargetedRehash, FeedbackSaturatesInsteadOfGrowingUnbounded) {
+  // A graph mutated forever without ever calling rehash_long_chains must
+  // not leak candidate entries: past the cap the list empties, saturation
+  // is flagged (forcing the next rehash onto the complete full sweep),
+  // and clear() restores targeted operation.
+  ChainFeedback global;
+  ChainFeedback chunk;
+  global.candidates.assign(ChainFeedback::kMaxCandidates - 1, VertexId{7});
+  for (int i = 0; i < 8; ++i) chunk.note_long(9, 3);
+  global.merge_from(chunk);
+  EXPECT_TRUE(global.saturated);
+  EXPECT_TRUE(global.candidates.empty());
+  EXPECT_GT(global.hist[1], 0u);  // the histogram keeps accumulating
+  // Saturation survives further merges of unsaturated chunks.
+  chunk.note_long(4, 2);
+  global.merge_from(chunk);
+  EXPECT_TRUE(global.saturated);
+  global.clear();
+  EXPECT_FALSE(global.saturated);
+}
+
+TEST(TargetedRehash, EngineOffAlwaysFullScans) {
+  DynGraphMap g(oracle_config(false));
+  g.insert_edges(hub_batch(50, 60));
+  const std::uint32_t rehashed = g.rehash_long_chains(1.0);
+  EXPECT_GT(rehashed, 0u);
+  EXPECT_FALSE(g.last_rehash_stats().targeted);
+}
+
+}  // namespace
+}  // namespace sg::core

@@ -208,6 +208,68 @@ TEST(ThreadPool, InlinePoolPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, SubmitRunsAllChunksByWait) {
+  ThreadPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  auto job = pool.submit(500, [&](std::uint64_t i) {
+    sum.fetch_add(i, std::memory_order_relaxed);
+  });
+  pool.wait(job);
+  EXPECT_EQ(sum.load(), 500ull * 499 / 2);
+  pool.wait(job);  // idempotent
+  EXPECT_EQ(sum.load(), 500ull * 499 / 2);
+}
+
+TEST(ThreadPool, SubmittedJobOverlapsParallelFor) {
+  // A background job and a foreground parallel_for share the pool; both
+  // must complete, with the background job's chunks interleaved rather
+  // than starved (the batch pipeline's stage-vs-apply arrangement).
+  ThreadPool pool(4);
+  std::atomic<int> background{0};
+  std::atomic<int> foreground{0};
+  auto job = pool.submit(64, [&](std::uint64_t) {
+    background.fetch_add(1, std::memory_order_relaxed);
+  });
+  pool.parallel_for(64, [&](std::uint64_t) {
+    foreground.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(foreground.load(), 64);
+  pool.wait(job);
+  EXPECT_EQ(background.load(), 64);
+}
+
+TEST(ThreadPool, SubmitOnInlinePoolRunsSynchronously) {
+  ThreadPool pool(1);
+  int count = 0;
+  auto job = pool.submit(8, [&](std::uint64_t) { ++count; });
+  EXPECT_EQ(count, 8);  // completed before submit returned
+  pool.wait(job);
+  EXPECT_EQ(count, 8);
+}
+
+TEST(ThreadPool, SubmitExceptionRethrownByWait) {
+  for (const unsigned threads : {1u, 3u}) {
+    ThreadPool pool(threads);
+    auto job = pool.submit(16, [&](std::uint64_t i) {
+      if (i == 3) throw std::runtime_error("stage failed");
+    });
+    EXPECT_THROW(pool.wait(job), std::runtime_error);
+  }
+}
+
+TEST(ThreadPool, ManyConcurrentSubmittedJobs) {
+  ThreadPool pool(4);
+  std::vector<ThreadPool::JobHandle> jobs;
+  std::atomic<int> total{0};
+  for (int j = 0; j < 8; ++j) {
+    jobs.push_back(pool.submit(32, [&](std::uint64_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  for (auto& job : jobs) pool.wait(job);
+  EXPECT_EQ(total.load(), 8 * 32);
+}
+
 TEST(Atomics, CasReturnsObservedValue) {
   std::uint32_t word = 5;
   EXPECT_EQ(atomic_cas(word, 5u, 9u), 5u);  // success: old value
