@@ -15,6 +15,13 @@ With no --metric flags the default set below is used. A metric absent from
 either point of a pair is reported and skipped (older points predate newer
 series), so adding metrics never breaks the gate retroactively.
 
+Most tracked metrics are noisy rates where only a sustained drop matters;
+auto_rehash_triggers is different — a deterministic COUNT from a pinned
+workload (fixed seed, shards, epochs). Any change to it means the policy's
+behavior changed, which is exactly what the gate should catch: a PR that
+intentionally alters trigger behavior re-baselines by checking in its new
+value with the justification in the bench description.
+
 Values are compared per series: a metric name plus its label map (e.g.
 ours_insert_rate{batch=2^14}) must match on both sides. For points that
 predate the ours_insert_rate metric series, the same series is derived from
@@ -31,6 +38,10 @@ DEFAULT_METRICS = [
     "pipeline_insert_rate",
     "pipeline_overlap",
     "rehash_targeted_vs_full",
+    "query_rate",
+    "query_overlap",
+    "merge_free_insert_rate",
+    "auto_rehash_triggers",
 ]
 DEFAULT_THRESHOLD = 0.10
 

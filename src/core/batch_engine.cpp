@@ -1,25 +1,109 @@
 #include "src/core/batch_engine.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
+#include <string>
+
+#include "src/simt/thread_pool.hpp"
 
 namespace sg::core {
 
-void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
-  // Stage 2a: stable radix sort by the packed (vertex, bucket) word, with
+void BatchStaging::group_prepare(bool dedup) {
+  dedup_ = dedup;
+  // Pass 1a: stable radix sort by the packed (vertex, bucket) word, with
   // the digit-skip masks accumulated during staging (sharded stagings have
   // shard-constant low vertex bits, which vanish from the passes). The low
   // word (key, sequence) is untouched, so within a group the staged order
   // — and with it most-recent-wins — survives.
   sort::radix_sort_hi(std::span<sort::U128>(order_), scratch_, hi_or_, hi_and_);
   const std::size_t n = order_.size();
+  grouped_runs_ = 0;
+  grouped_keys_ = 0;
+  duplicates = 0;
+  // Pass 1b: cut groups, sort each group's low word — almost every group
+  // is a single query, so this costs a compare, not a sort — and COUNT
+  // what the emit pass will produce. The per-group order established here
+  // persists in order_, so pass 2 is a pure scan-and-write.
+  for (std::size_t begin = 0; begin < n;) {
+    const std::uint64_t hi = order_[begin].hi;
+    std::size_t end = begin + 1;
+    while (end < n && order_[end].hi == hi) ++end;
+    if (end - begin > 1) {
+      std::sort(order_.begin() + static_cast<std::ptrdiff_t>(begin),
+                order_.begin() + static_cast<std::ptrdiff_t>(end),
+                [](const sort::U128& a, const sort::U128& b) {
+                  return a.lo < b.lo;  // (key, sequence) ascending
+                });
+    }
+    ++grouped_runs_;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (dedup && i + 1 < end &&
+          static_cast<std::uint32_t>(order_[i + 1].lo >> 32) ==
+              static_cast<std::uint32_t>(order_[i].lo >> 32)) {
+        ++duplicates;  // a later occurrence follows: it wins
+        continue;
+      }
+      ++grouped_keys_;
+    }
+    begin = end;
+  }
+}
+
+void BatchStaging::group_emit(bool gather_values, bool gather_seqs,
+                              BatchStaging& dst, std::uint64_t key_base,
+                              std::uint64_t run_base) const {
+  const std::size_t n = order_.size();
+  std::uint64_t key = key_base;
+  std::uint64_t run = run_base;
+  for (std::size_t begin = 0; begin < n;) {
+    const std::uint64_t hi = order_[begin].hi;
+    std::size_t end = begin + 1;
+    while (end < n && order_[end].hi == hi) ++end;
+    dst.runs[run] = {static_cast<VertexId>(hi >> kBucketBits),
+                     static_cast<std::uint32_t>(hi & ((1u << kBucketBits) - 1u))};
+    dst.run_offsets[run] = key;
+    ++run;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t k = static_cast<std::uint32_t>(order_[i].lo >> 32);
+      if (dedup_ && i + 1 < end &&
+          static_cast<std::uint32_t>(order_[i + 1].lo >> 32) == k) {
+        continue;  // a later occurrence follows: it wins
+      }
+      const std::uint32_t seq = static_cast<std::uint32_t>(order_[i].lo);
+      dst.keys[key] = k;
+      if (gather_seqs) dst.seqs[key] = seq;
+      if (gather_values) dst.values[key] = weights_[seq];
+      ++key;
+    }
+    begin = end;
+  }
+  assert(run == run_base + grouped_runs_ && key == key_base + grouped_keys_ &&
+         "two-pass invariant: emit must place exactly what prepare counted");
+}
+
+void BatchStaging::emit_self(bool gather_values, bool gather_seqs) {
+  keys.resize(grouped_keys_);
+  if (gather_values) values.resize(grouped_keys_);
+  if (gather_seqs) seqs.resize(grouped_keys_);
+  runs.resize(grouped_runs_);
+  run_offsets.resize(grouped_runs_ + 1);
+  group_emit(gather_values, gather_seqs, *this, 0, 0);
+  run_offsets[grouped_runs_] = grouped_keys_;
+}
+
+void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
+  // Fused single-pass grouping for stagings that need no cross-shard
+  // assembly (the lone-shard pipeline path): sort, then cut + emit in one
+  // scan. Sharded stagings use group_prepare + group_emit instead, so the
+  // counting pass is only ever paid where the counts buy a zero-copy
+  // global placement.
+  dedup_ = dedup;
+  sort::radix_sort_hi(std::span<sort::U128>(order_), scratch_, hi_or_, hi_and_);
+  const std::size_t n = order_.size();
   keys.reserve(n);
   if (gather_seqs) seqs.reserve(n);
   if (gather_values) values.reserve(n);
-  // Stage 2b: cut groups, sort each group's low word — almost every group
-  // is a single query, so this costs a compare, not a sort — and emit with
-  // duplicates dropped (the highest sequence of equal keys wins: "only the
-  // most recent edge and its weight will be stored").
   for (std::size_t begin = 0; begin < n;) {
     const std::uint64_t hi = order_[begin].hi;
     std::size_t end = begin + 1;
@@ -50,6 +134,22 @@ void BatchStaging::group(bool dedup, bool gather_values, bool gather_seqs) {
     begin = end;
   }
   run_offsets.push_back(keys.size());
+  grouped_runs_ = runs.size();
+  grouped_keys_ = keys.size();
+}
+
+void BatchStaging::check_partition(std::uint32_t shard,
+                                   std::uint32_t num_shards) const {
+  for (const sort::U128& rec : order_) {
+    const VertexId src = static_cast<VertexId>(rec.hi >> kBucketBits);
+    if (shard_of_vertex(src, num_shards) != shard) {
+      throw std::logic_error(
+          "BatchStaging: staged query crossed its shard's vertex partition "
+          "(vertex " +
+          std::to_string(src) + " staged by shard " + std::to_string(shard) +
+          " of " + std::to_string(num_shards) + ")");
+    }
+  }
 }
 
 std::uint64_t ShardedStaging::total_staged() const {
@@ -70,25 +170,36 @@ std::uint64_t ShardedStaging::total_duplicates() const {
   return total;
 }
 
-void ShardedStaging::merge(bool gather_values, bool gather_seqs) {
+void ShardedStaging::validate_partition() const {
+  // The dedup-determinism guard: shard s may only stage vertices it owns.
+  // A violation means two shards could each hold occurrences of the same
+  // (vertex, key) and per-shard dedup would no longer be most-recent-wins
+  // across the whole batch — impossible by construction of the staging
+  // filters, and checked here (debug builds) so it stays impossible.
   const std::uint32_t num_shards = shard_count();
-  if (num_shards <= 1) return;  // front() aliases the lone shard
+  if (num_shards <= 1) return;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    shards_[s].check_partition(s, num_shards);
+  }
+}
+
+std::uint64_t ShardedStaging::finalize(bool merge_free, bool gather_values,
+                                       bool gather_seqs) {
+#ifndef NDEBUG
+  validate_partition();
+#endif
+  copied_bytes = 0;
+  const std::uint32_t num_shards = shard_count();
+  if (num_shards <= 1) {
+    // front() aliases the lone shard, which grouped through the fused
+    // single-pass group(): nothing to assemble, nothing was copied.
+    return 0;
+  }
   std::uint64_t total_keys = 0;
   std::uint64_t total_runs = 0;
   for (std::uint32_t s = 0; s < num_shards; ++s) {
-    // The dedup-determinism guard: shard s may only emit runs for vertices
-    // it owns. A violation means two shards could each hold occurrences of
-    // the same (vertex, key) and per-shard dedup would no longer be
-    // most-recent-wins across the whole batch — impossible by construction
-    // of the staging filters, and checked here so it stays impossible.
-    for (const QueryRun& run : shards_[s].runs) {
-      if (shard_of_vertex(run.src, num_shards) != s) {
-        throw std::logic_error(
-            "ShardedStaging: run crossed its shard's vertex partition");
-      }
-    }
-    total_keys += shards_[s].keys.size();
-    total_runs += shards_[s].runs.size();
+    total_keys += shards_[s].grouped_keys();
+    total_runs += shards_[s].grouped_runs();
   }
   merged_.clear();
   merged_.keys.resize(total_keys);
@@ -96,32 +207,73 @@ void ShardedStaging::merge(bool gather_values, bool gather_seqs) {
   if (gather_seqs) merged_.seqs.resize(total_keys);
   merged_.runs.resize(total_runs);
   merged_.run_offsets.resize(total_runs + 1);
-  std::uint64_t key_base = 0;
-  std::uint64_t run_base = 0;
-  for (std::uint32_t s = 0; s < num_shards; ++s) {
-    const BatchStaging& st = shards_[s];
-    std::copy(st.keys.begin(), st.keys.end(),
-              merged_.keys.begin() + static_cast<std::ptrdiff_t>(key_base));
-    if (gather_values) {
-      std::copy(st.values.begin(), st.values.end(),
-                merged_.values.begin() + static_cast<std::ptrdiff_t>(key_base));
+
+  std::uint64_t driver_copied = 0;
+  if (merge_free) {
+    // Pass 2 of the two-pass (count, then place) scheme: prefix-sum the
+    // per-shard counts into disjoint slices and let every shard emit its
+    // own output directly into its slice — in parallel, with no driver
+    // copy. Slices are element-disjoint, so the concurrent writes need no
+    // synchronization; the pool's job fence publishes them to the reader.
+    std::vector<std::uint64_t> key_base(num_shards);
+    std::vector<std::uint64_t> run_base(num_shards);
+    std::uint64_t key_cursor = 0;
+    std::uint64_t run_cursor = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      key_base[s] = key_cursor;
+      run_base[s] = run_cursor;
+      key_cursor += shards_[s].grouped_keys();
+      run_cursor += shards_[s].grouped_runs();
     }
-    if (gather_seqs) {
-      std::copy(st.seqs.begin(), st.seqs.end(),
-                merged_.seqs.begin() + static_cast<std::ptrdiff_t>(key_base));
+    simt::ThreadPool::instance().parallel_for(
+        num_shards, [&](std::uint64_t s) {
+          shards_[s].group_emit(gather_values, gather_seqs, merged_,
+                                key_base[s], run_base[s]);
+        });
+  } else {
+    // Legacy (PR 3) copying merge, kept as the differential reference:
+    // shards self-emit in parallel, then one thread concatenates.
+    simt::ThreadPool::instance().parallel_for(
+        num_shards, [&](std::uint64_t s) {
+          shards_[s].emit_self(gather_values, gather_seqs);
+        });
+    std::uint64_t key_cursor = 0;
+    std::uint64_t run_cursor = 0;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      const BatchStaging& st = shards_[s];
+      std::copy(st.keys.begin(), st.keys.end(),
+                merged_.keys.begin() + static_cast<std::ptrdiff_t>(key_cursor));
+      driver_copied += st.keys.size() * sizeof(std::uint32_t);
+      if (gather_values) {
+        std::copy(
+            st.values.begin(), st.values.end(),
+            merged_.values.begin() + static_cast<std::ptrdiff_t>(key_cursor));
+        driver_copied += st.values.size() * sizeof(std::uint32_t);
+      }
+      if (gather_seqs) {
+        std::copy(st.seqs.begin(), st.seqs.end(),
+                  merged_.seqs.begin() + static_cast<std::ptrdiff_t>(key_cursor));
+        driver_copied += st.seqs.size() * sizeof(std::uint32_t);
+      }
+      std::copy(st.runs.begin(), st.runs.end(),
+                merged_.runs.begin() + static_cast<std::ptrdiff_t>(run_cursor));
+      driver_copied += st.runs.size() * sizeof(QueryRun);
+      for (std::size_t r = 0; r < st.runs.size(); ++r) {
+        merged_.run_offsets[run_cursor + r] = key_cursor + st.run_offsets[r];
+      }
+      driver_copied += st.runs.size() * sizeof(std::uint64_t);
+      key_cursor += st.keys.size();
+      run_cursor += st.runs.size();
     }
-    std::copy(st.runs.begin(), st.runs.end(),
-              merged_.runs.begin() + static_cast<std::ptrdiff_t>(run_base));
-    for (std::size_t r = 0; r < st.runs.size(); ++r) {
-      merged_.run_offsets[run_base + r] = key_base + st.run_offsets[r];
-    }
-    key_base += st.keys.size();
-    run_base += st.runs.size();
-    merged_.staged += st.staged;
-    merged_.dropped += st.dropped;
-    merged_.duplicates += st.duplicates;
   }
   merged_.run_offsets[total_runs] = total_keys;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    merged_.staged += shards_[s].staged;
+    merged_.dropped += shards_[s].dropped;
+    merged_.duplicates += shards_[s].duplicates;
+  }
+  copied_bytes = driver_copied;
+  return driver_copied;
 }
 
 }  // namespace sg::core

@@ -22,8 +22,14 @@
 //      number, i.e. the most recent occurrence, wins. Ownership makes the
 //      dedup exhaustive: every occurrence of a (vertex, key) pair lands in
 //      the one shard that owns the vertex, so "most recent edge and its
-//      weight" stays deterministic across shard boundaries. A guarded
-//      merge then concatenates the shards into one global run list.
+//      weight" stays deterministic across shard boundaries. Grouping is
+//      TWO-PASS and merge-free: shards first COUNT their runs and
+//      post-dedup keys, the counts prefix-sum into disjoint slices of one
+//      presized global run list, and shards then PLACE their output
+//      directly into those slices in parallel — stage 3 consumes shard
+//      output with zero driver-side copy (the PR 3 concatenating merge
+//      survives only as a differential reference, GraphConfig::merge_free
+//      = false).
 //   3. APPLY (parallel) — simt::launch_runs schedules contiguous run
 //      ranges balanced by query count; each warp walks a run's bucket
 //      chain once through the slabhash bulk entry points, software-
@@ -38,7 +44,12 @@
 // e+1 runs stages 1-2 as a background ThreadPool job while epoch e runs
 // stage 3 on the same pool (round-robin chunk interleaving). Epochs apply
 // in input order — the pipeline fence — so counter deltas and cross-epoch
-// duplicate resolution commit exactly as the unsplit batch would.
+// duplicate resolution commit exactly as the unsplit batch would. QUERY
+// batches (edges_exist / edge_weights) pipeline through the identical
+// epoch machinery — stage+group of query slice N+1 overlaps the bulk
+// searches of slice N — with results scattered to input positions through
+// the staged sequence numbers, and the bulk searches feed chain lengths
+// into ChainFeedback exactly as mutations do.
 //
 // The engine owns the run partition: a (table, bucket) pair appears in at
 // most one run per epoch, which is the exclusivity contract the bulk slab
@@ -46,7 +57,6 @@
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -115,6 +125,8 @@ class BatchStaging {
     staged = dropped = duplicates = 0;
     hi_or_ = 0;
     hi_and_ = ~std::uint64_t{0};
+    grouped_runs_ = grouped_keys_ = 0;
+    dedup_ = false;
   }
 
   /// Stage one directed query with an explicit sequence number — the value
@@ -152,12 +164,46 @@ class BatchStaging {
     if (weighted) weights_.reserve(queries);
   }
 
-  /// Stage 2: sort, optionally dedup (mutations dedup, searches keep every
-  /// query so results can scatter back per input position), and cut runs.
-  /// `gather_values` copies the staged weights into `values` run-order;
-  /// `gather_seqs` keeps the sequence numbers (searches scatter results
-  /// through them; mutations don't need them).
+  /// Stage 2, pass 1 of the two-pass (count, then place) grouping: sort by
+  /// the packed (vertex, bucket) word, order each multi-query group by
+  /// (key, sequence), and COUNT the runs and post-dedup keys this staging
+  /// will emit — without emitting anything. `dedup` drops all but the
+  /// highest-sequence occurrence of equal keys (mutations dedup; searches
+  /// keep every query so results can scatter back per input position) and
+  /// is remembered for the emit pass. Sets `duplicates`.
+  void group_prepare(bool dedup);
+
+  /// Stage 2, pass 2: emit the prepared runs into `dst`'s presized arrays,
+  /// runs at [run_base, run_base + grouped_runs()), keys (and values /
+  /// seqs, when gathered) at [key_base, key_base + grouped_keys()).
+  /// `dst` may be *this (the single-shard / legacy self-emit) or a shared
+  /// global staging that several shards emit into concurrently — slices
+  /// are disjoint by construction of the prefix-summed bases, so the
+  /// parallel writes need no synchronization. `gather_values` copies the
+  /// staged weights into `dst.values` run-order; `gather_seqs` keeps the
+  /// sequence numbers (searches scatter results through them).
+  void group_emit(bool gather_values, bool gather_seqs, BatchStaging& dst,
+                  std::uint64_t key_base, std::uint64_t run_base) const;
+
+  /// Pass 2 into this staging's own arrays (resizes them to the prepared
+  /// counts and emits at base 0 — the lone-shard and legacy-merge path).
+  void emit_self(bool gather_values, bool gather_seqs);
+
+  /// Fused single-pass grouping (sort, then cut + emit in one scan) for
+  /// stagings that need no cross-shard assembly — the lone-shard pipeline
+  /// path and unit tests. Equivalent output to group_prepare + emit_self,
+  /// without paying the counting pass where no global placement needs it.
   void group(bool dedup, bool gather_values, bool gather_seqs);
+
+  /// Runs / keys the emit pass will produce (valid after group_prepare).
+  std::uint64_t grouped_runs() const noexcept { return grouped_runs_; }
+  std::uint64_t grouped_keys() const noexcept { return grouped_keys_; }
+
+  /// The partition guard: throws std::logic_error if any staged query's
+  /// source is not owned by shard `shard` of `num_shards`. Release builds
+  /// skip the scan (debug assertion); the staging filters make violations
+  /// impossible by construction, and this keeps them impossible.
+  void check_partition(std::uint32_t shard, std::uint32_t num_shards) const;
 
  private:
   std::vector<sort::U128> order_;       ///< staged (hi, lo) sort records
@@ -165,6 +211,9 @@ class BatchStaging {
   std::vector<std::uint32_t> weights_;  ///< sequence -> weight (stage 1)
   std::uint64_t hi_or_ = 0;             ///< OR of all staged hi words
   std::uint64_t hi_and_ = ~std::uint64_t{0};  ///< AND of all staged hi words
+  std::uint64_t grouped_runs_ = 0;      ///< runs counted by group_prepare
+  std::uint64_t grouped_keys_ = 0;      ///< post-dedup keys counted
+  bool dedup_ = false;                  ///< prepare's dedup, reused by emit
 };
 
 /// Per-(vertex, bucket) chain lengths observed by stage 3, in slabs — the
@@ -224,10 +273,11 @@ struct ChainFeedback {
 };
 
 /// One double-buffer half of the pipelined engine: per-shard staging areas
-/// plus the merged global run list stage 3 consumes. The merge enforces
-/// the ownership partition — every run of shard s must satisfy
-/// shard_of_vertex(run.src, shards) == s — which is the invariant that
-/// makes per-shard dedup exhaustive and runs bucket-exclusive.
+/// plus the global run list stage 3 consumes. The shard-ownership
+/// partition — every run of shard s must satisfy
+/// shard_of_vertex(run.src, shards) == s — is the invariant that makes
+/// per-shard dedup exhaustive and runs bucket-exclusive; finalize() guards
+/// it with a debug assertion (validate_partition()).
 class ShardedStaging {
  public:
   void resize(std::uint32_t num_shards) {
@@ -238,61 +288,73 @@ class ShardedStaging {
   }
   BatchStaging& shard(std::uint32_t s) { return shards_[s]; }
 
-  /// Concatenates the grouped shards into one run list (no-op with one
-  /// shard — `front()` aliases it directly). Throws std::logic_error if a
-  /// run violates the shard-ownership partition. Runs keep shard-major,
-  /// source-ascending-within-shard order: deterministic, and consecutive
-  /// runs still share sources for the apply counter batching.
-  void merge(bool gather_values, bool gather_seqs);
+  /// Assembles the prepared shards (each past group_prepare) into the one
+  /// run list front() exposes. `merge_free` selects two-pass, zero-copy
+  /// assembly: per-shard run/key counts prefix-sum into disjoint slices of
+  /// the presized global arrays and every shard EMITS ITS OWN OUTPUT
+  /// directly into its slice, in parallel — no driver-side copy exists.
+  /// `merge_free == false` keeps the PR 3 copying merge (shards self-emit,
+  /// then the caller's thread concatenates) as the differential reference.
+  /// Returns the bytes the driver copied: always 0 when merge-free. Either
+  /// way runs keep shard-major, source-ascending-within-shard order:
+  /// deterministic, and consecutive runs still share sources for the apply
+  /// counter batching. Debug builds re-validate the shard partition.
+  std::uint64_t finalize(bool merge_free, bool gather_values,
+                         bool gather_seqs);
+
+  /// The partition guard behind finalize()'s debug assertion, callable
+  /// directly (tests, paranoid callers): throws std::logic_error if any
+  /// shard staged a vertex it does not own.
+  void validate_partition() const;
 
   /// The staging stage 3 applies: the lone shard, or the merged view.
   const BatchStaging& front() const {
     return shards_.size() == 1 ? shards_[0] : merged_;
   }
 
+  /// Driver-copied bytes of the last finalize() on this buffer (always 0
+  /// when merge-free). Written by the staging job, read by the pipeline
+  /// driver after the epoch fence — the fence orders the accesses.
+  std::uint64_t copied_bytes = 0;
+
   std::uint64_t total_staged() const;
   std::uint64_t total_dropped() const;
   std::uint64_t total_duplicates() const;
 
   // ---- stage-window bookkeeping (pipeline overlap accounting) ----------
-  /// Shard chunks running as a background job record their execution
-  /// window here; the pipeline driver intersects it with the apply window
-  /// to measure the overlap the double buffer actually achieved.
-  void window_reset() {
-    window_begin_ns_.store(INT64_MAX, std::memory_order_relaxed);
-    window_end_ns_.store(INT64_MIN, std::memory_order_relaxed);
-  }
+  /// Execution window of this buffer's last staging pass: recorded once
+  /// by the (single) staging job after its shard fan-out joins, read by
+  /// the pipeline driver after the epoch fence — the fence's pool
+  /// handshake orders the accesses, so plain fields suffice. The driver
+  /// intersects it with the apply window to measure the overlap the
+  /// double buffer actually achieved.
   void window_note(std::int64_t begin_ns, std::int64_t end_ns) {
-    std::int64_t seen = window_begin_ns_.load(std::memory_order_relaxed);
-    while (begin_ns < seen && !window_begin_ns_.compare_exchange_weak(
-                                  seen, begin_ns, std::memory_order_relaxed)) {
-    }
-    seen = window_end_ns_.load(std::memory_order_relaxed);
-    while (end_ns > seen && !window_end_ns_.compare_exchange_weak(
-                                seen, end_ns, std::memory_order_relaxed)) {
-    }
+    window_begin_ns_ = begin_ns;
+    window_end_ns_ = end_ns;
   }
-  std::int64_t window_begin_ns() const {
-    return window_begin_ns_.load(std::memory_order_relaxed);
-  }
-  std::int64_t window_end_ns() const {
-    return window_end_ns_.load(std::memory_order_relaxed);
-  }
+  std::int64_t window_begin_ns() const { return window_begin_ns_; }
+  std::int64_t window_end_ns() const { return window_end_ns_; }
 
  private:
   std::vector<BatchStaging> shards_;
   BatchStaging merged_;
-  std::atomic<std::int64_t> window_begin_ns_{INT64_MAX};
-  std::atomic<std::int64_t> window_end_ns_{INT64_MIN};
+  std::int64_t window_begin_ns_ = 0;
+  std::int64_t window_end_ns_ = 0;
 };
 
-/// Wall-clock profile of the last pipelined batch (docs/PERF.md).
+/// Wall-clock profile of the last pipelined batch (docs/PERF.md). The same
+/// struct profiles query batches (edges_exist / edge_weights), where
+/// `apply_seconds` is the bulk-search window.
 struct BatchPipelineStats {
   std::uint32_t epochs = 0;
   std::uint32_t shards = 0;
-  double stage_seconds = 0.0;    ///< summed stage+group+merge windows
-  double apply_seconds = 0.0;    ///< summed apply windows
+  double stage_seconds = 0.0;    ///< summed stage+group+finalize windows
+  double apply_seconds = 0.0;    ///< summed apply (or bulk-search) windows
   double overlap_seconds = 0.0;  ///< stage(e+1) ∩ apply(e) window overlap
+  /// Bytes the driver copied to assemble shard output, summed over epochs:
+  /// 0 under merge-free staging (shards emit straight into the presized
+  /// global slices), > 0 only on the legacy copying merge.
+  std::uint64_t merge_copy_bytes = 0;
 };
 
 /// Stage-1 helpers shared by DynGraph's batched paths. `table_of(src)`
@@ -425,11 +487,14 @@ void stage_edges(std::span<const Edge> edges, bool undirected,
 /// the staged sequence number IS the original index of the query (one
 /// staged query per input at most; dropped inputs simply have no staged
 /// query, so the caller's output stays 0 there). Sharded: each query is
-/// staged by the shard owning its source.
+/// staged by the shard owning its source. `seq_base` offsets the staged
+/// sequence numbers — epoch-pipelined query batches stage sub-spans, and
+/// results must still scatter to GLOBAL input positions.
 template <typename TableFn>
 void stage_queries_shard(std::span<const Edge> queries, std::uint64_t seed,
                          std::uint32_t shard, std::uint32_t num_shards,
-                         TableFn&& table_of, BatchStaging& st) {
+                         TableFn&& table_of, BatchStaging& st,
+                         std::uint32_t seq_base = 0) {
   st.clear();
   st.reserve(queries.size() / num_shards + 16, false);
   for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -439,7 +504,8 @@ void stage_queries_shard(std::span<const Edge> queries, std::uint64_t seed,
     }
     const slabhash::TableRef table = table_of(q.src);
     if (table.valid()) {
-      st.push_seq(q.src, q.dst, table, seed, static_cast<std::uint32_t>(i));
+      st.push_seq(q.src, q.dst, table, seed,
+                  seq_base + static_cast<std::uint32_t>(i));
     } else {
       ++st.dropped;  // unknown source: the caller's output stays 0
     }

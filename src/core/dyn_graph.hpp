@@ -65,8 +65,10 @@ struct MapPolicy {
     slabhash::map_flush_tombstones(arena, t);
   }
   /// Key stored at slot `i` of a slab (layout-aware; for the iterator).
+  /// Racy by design: Algorithm 2's lanes iterate while peer warps CAS
+  /// tombstones into the same slabs.
   static std::uint32_t slot_key(const memory::Slab& slab, int i) {
-    return slab.words[i * 2];
+    return simt::racy_load(slab.words[i * 2]);
   }
 
   // ---- staged-run hooks (batch engine) --------------------------------
@@ -90,16 +92,19 @@ struct MapPolicy {
   static void bulk_contains(const memory::SlabArena& arena,
                             slabhash::TableRef t, std::uint32_t bucket,
                             const std::uint32_t* keys, std::uint32_t count,
-                            std::uint8_t* found) {
-    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, nullptr);
+                            std::uint8_t* found, std::uint32_t* chain_slabs) {
+    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, nullptr,
+                              chain_slabs);
   }
   /// Like bulk_contains but also gathers the stored values — the batched
   /// weighted-lookup hook behind DynGraph::edge_weights.
   static void bulk_search_values(const memory::SlabArena& arena,
                                  slabhash::TableRef t, std::uint32_t bucket,
                                  const std::uint32_t* keys, std::uint32_t count,
-                                 std::uint8_t* found, std::uint32_t* values) {
-    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, values);
+                                 std::uint8_t* found, std::uint32_t* values,
+                                 std::uint32_t* chain_slabs) {
+    slabhash::map_bulk_search(arena, t, bucket, keys, count, found, values,
+                              chain_slabs);
   }
 };
 
@@ -137,7 +142,7 @@ struct SetPolicy {
     slabhash::set_flush_tombstones(arena, t);
   }
   static std::uint32_t slot_key(const memory::Slab& slab, int i) {
-    return slab.words[i];
+    return simt::racy_load(slab.words[i]);
   }
 
   // ---- staged-run hooks (batch engine) --------------------------------
@@ -161,8 +166,9 @@ struct SetPolicy {
   static void bulk_contains(const memory::SlabArena& arena,
                             slabhash::TableRef t, std::uint32_t bucket,
                             const std::uint32_t* keys, std::uint32_t count,
-                            std::uint8_t* found) {
-    slabhash::set_bulk_contains(arena, t, bucket, keys, count, found);
+                            std::uint8_t* found, std::uint32_t* chain_slabs) {
+    slabhash::set_bulk_contains(arena, t, bucket, keys, count, found,
+                                chain_slabs);
   }
 };
 
@@ -316,9 +322,26 @@ class DynGraph {
   const ChainFeedback& chain_feedback() const { return feedback_; }
 
   /// Stage/apply wall-clock profile of the last batched mutation,
-  /// including the overlap the double buffer achieved.
+  /// including the overlap the double buffer achieved and the bytes the
+  /// driver copied to assemble shard output (0 under merge-free staging).
   const BatchPipelineStats& last_batch_stats() const {
     return pipeline_stats_;
+  }
+
+  /// Stage/search profile of the last batched query (edges_exist /
+  /// edge_weights): apply_seconds is the bulk-search window, and
+  /// overlap_seconds measures how much of slice N+1's staging hid behind
+  /// slice N's searches. Query batches may run concurrently; the profile
+  /// is of whichever batch finished last.
+  BatchPipelineStats last_query_stats() const {
+    std::lock_guard<std::mutex> lock(query_stats_mutex_);
+    return query_stats_;
+  }
+
+  /// Times the automatic rehash policy (GraphConfig::auto_rehash_p99_slabs)
+  /// fired over this graph's lifetime.
+  std::uint64_t auto_rehash_triggers() const noexcept {
+    return auto_rehash_count_;
   }
 
   GraphMemoryStats memory_stats() const;
@@ -349,11 +372,22 @@ class DynGraph {
   std::uint64_t insert_batched(std::span<const WeightedEdge> edges);
   std::uint64_t delete_batched(std::span<const Edge> edges);
   void exist_batched(std::span<const Edge> queries, std::uint8_t* out) const;
-  /// Shared batched-search driver (edges_exist / edge_weights): sharded
-  /// stage of the query batch, one chain walk per run, results scattered to
-  /// input positions through the staged sequence numbers.
+  /// Shared batched-search driver (edges_exist / edge_weights): the query
+  /// batch splits into double-buffered epochs — stage+group of slice N+1
+  /// runs as a background pool job while the bulk searches of slice N run
+  /// — with results scattered to input positions through the staged
+  /// sequence numbers and observed chain lengths folded into feedback_.
+  /// Staging is local (query batches stay concurrent with each other).
   void search_batched(std::span<const Edge> queries, std::uint8_t* found_out,
                       Weight* weights_out) const;
+  /// Runs the bulk searches of one staged query slice, scattering hits
+  /// into the caller's output arrays.
+  void search_apply_runs(const BatchStaging& staged, std::uint8_t* found_out,
+                         Weight* weights_out, bool overlapped) const;
+  /// The §III auto-rehash policy: fires rehash_long_chains when the p99 of
+  /// the live chain histogram crosses config_.auto_rehash_p99_slabs.
+  /// Called after every batched mutation, under batch_mutex_.
+  void maybe_auto_rehash();
   /// Shared stage-3 driver: runs scheduled by query count, head slabs
   /// software-pipelined, per-source counter deltas aggregated before the
   /// atomic. `erase` flips between bulk_insert/counter-add and
@@ -362,7 +396,25 @@ class DynGraph {
   /// observed per run fold into feedback_.
   std::uint64_t apply_mutation_runs(const BatchStaging& staged, bool erase,
                                     bool overlapped);
-  /// The double-buffered epoch pipeline shared by insert/delete:
+  /// The double-buffered epoch driver shared by the mutation AND query
+  /// pipelines: plans epochs from config and pool width, stages slice 0
+  /// synchronously, then alternates apply(slice e) with a single-chunk
+  /// background job staging slice e+1, fencing on the job before the
+  /// buffer swap and folding the stage/apply window intersection into
+  /// `stats`. `stage_epoch(buf, begin, end, shards)` stages + groups +
+  /// finalizes one input sub-span into `buf` (recording its window);
+  /// `apply(front, overlapped)` consumes one staged slice and returns its
+  /// contribution to the total. `stage_items_factor` scales epoch size to
+  /// staged queries for the shard-count heuristic (2 when undirected
+  /// mutations mirror in place).
+  template <typename StageEpochFn, typename ApplyFn>
+  std::uint64_t run_epoch_pipeline(std::uint64_t num_items,
+                                   std::uint32_t stage_items_factor,
+                                   ShardedStaging* cur, ShardedStaging* nxt,
+                                   BatchPipelineStats& stats,
+                                   StageEpochFn&& stage_epoch,
+                                   ApplyFn&& apply) const;
+  /// The mutation pipeline over the member double buffer:
   /// stage_shard(epoch_span_begin, epoch_span_end, shard, num_shards, out)
   /// stages one shard of one epoch sub-span of the input batch.
   template <typename StageShardFn>
@@ -390,9 +442,18 @@ class DynGraph {
   ShardedStaging staging_bufs_[2];
   std::mutex batch_mutex_;
   BatchPipelineStats pipeline_stats_;
-  ChainFeedback feedback_;      ///< merged run chain lengths (apply output)
-  std::mutex feedback_mutex_;   ///< guards feedback_ during apply
+  /// Query-batch profile. Mutable + mutex: edges_exist / edge_weights are
+  /// const and may run concurrently with each other (phase-concurrent
+  /// queries); each batch computes its profile locally and publishes it
+  /// whole under the lock.
+  mutable BatchPipelineStats query_stats_;
+  mutable std::mutex query_stats_mutex_;
+  /// Run chain lengths observed by apply AND by bulk searches (queries are
+  /// const, hence mutable; feedback_mutex_ serializes the merges).
+  mutable ChainFeedback feedback_;
+  mutable std::mutex feedback_mutex_;
   RehashStats last_rehash_stats_;
+  std::uint64_t auto_rehash_count_ = 0;
 };
 
 using DynGraphMap = DynGraph<MapPolicy>;

@@ -6,6 +6,7 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
@@ -253,97 +254,79 @@ std::uint32_t DynGraph<Policy>::stage_shard_count(std::uint64_t items) const {
   return shards > kMaxStageShards ? kMaxStageShards : shards;
 }
 
+/// Steady-clock nanoseconds (the pipeline window timestamps).
+inline std::int64_t pipeline_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 template <class Policy>
-template <typename StageShardFn>
-std::uint64_t DynGraph<Policy>::run_mutation_pipeline(
-    std::uint64_t num_edges, bool gather_values, bool erase,
-    StageShardFn&& stage_shard) {
-  if (num_edges == 0) {
-    pipeline_stats_ = {};
-    return 0;
-  }
-  const auto now_ns = [] {
-    return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
-  };
+template <typename StageEpochFn, typename ApplyFn>
+std::uint64_t DynGraph<Policy>::run_epoch_pipeline(
+    std::uint64_t num_items, std::uint32_t stage_items_factor,
+    ShardedStaging* cur, ShardedStaging* nxt, BatchPipelineStats& stats,
+    StageEpochFn&& stage_epoch, ApplyFn&& apply) const {
+  stats = {};
+  if (num_items == 0) return 0;
   auto& pool = simt::ThreadPool::instance();
 
   // Epoch plan: auto mode pipelines only when spare threads exist and the
   // batch is large enough to amortize the split; an explicit epoch size
   // always splits (tests drive the degenerate inline pipeline through it).
-  std::uint64_t epoch_edges;
+  std::uint64_t epoch_items;
   bool split;
   if (config_.pipeline_epoch_edges != 0) {
-    epoch_edges = config_.pipeline_epoch_edges;
-    split = config_.double_buffer && num_edges > epoch_edges;
+    epoch_items = config_.pipeline_epoch_edges;
+    split = config_.double_buffer && num_items > epoch_items;
   } else {
-    epoch_edges = std::uint64_t{1} << 15;
+    epoch_items = std::uint64_t{1} << 15;
     split = config_.double_buffer && pool.size() > 0 &&
-            num_edges > epoch_edges + epoch_edges / 2;
+            num_items > epoch_items + epoch_items / 2;
   }
-  if (!split) epoch_edges = num_edges;
-  const std::uint64_t num_epochs = (num_edges + epoch_edges - 1) / epoch_edges;
+  if (!split) epoch_items = num_items;
+  const std::uint64_t num_epochs = (num_items + epoch_items - 1) / epoch_items;
   // Shards sized to one epoch's staged queries (each epoch stages anew).
   const std::uint32_t shards =
-      stage_shard_count(epoch_edges * (config_.undirected ? 2 : 1));
+      stage_shard_count(epoch_items * stage_items_factor);
 
-  pipeline_stats_ = {};
-  pipeline_stats_.epochs = static_cast<std::uint32_t>(num_epochs);
-  pipeline_stats_.shards = shards;
-
-  ShardedStaging* cur = &staging_bufs_[0];
-  ShardedStaging* nxt = &staging_bufs_[1];
+  stats.epochs = static_cast<std::uint32_t>(num_epochs);
+  stats.shards = shards;
   cur->resize(shards);
   nxt->resize(shards);
 
-  // Chunk body of one epoch's staging pass: stage + group shard s of the
-  // epoch's input sub-span, recording the execution window for the overlap
-  // accounting. Identical whether run synchronously (epoch 0), as a
-  // background job (overlapped epochs), or inline at submit (no workers:
-  // the degenerate pipeline — staging an epoch early is safe because apply
-  // never changes what staging reads: bucket counts, table handles, and
-  // liveness of vertices the earlier epoch did not create).
-  const auto make_stage_job = [&, shards, gather_values](
-                                  ShardedStaging* buf, std::uint64_t begin,
-                                  std::uint64_t end) {
-    return [this, &stage_shard, buf, begin, end, shards, gather_values,
-            now_ns](std::uint64_t s) {
-      const std::int64_t t0 = now_ns();
-      BatchStaging& st = buf->shard(static_cast<std::uint32_t>(s));
-      stage_shard(begin, end, static_cast<std::uint32_t>(s), shards, st);
-      st.group(/*dedup=*/true, gather_values, /*gather_seqs=*/false);
-      buf->window_note(t0, now_ns());
-    };
-  };
-
-  // Epoch 0 stages synchronously (nothing to overlap with yet).
+  // Epoch 0 stages synchronously (nothing to overlap with yet). Later
+  // epochs stage as a single-chunk background job whose nested
+  // parallel_for shares the pool with apply — staging an epoch early is
+  // safe because apply never changes what staging reads: bucket counts,
+  // table handles, and liveness of vertices the earlier epoch did not
+  // create. A pool with no workers runs the job inline at submit: the
+  // degenerate (serial) pipeline.
   {
-    cur->window_reset();
-    const std::int64_t t0 = now_ns();
-    pool.parallel_for(shards, make_stage_job(
-                                  cur, 0,
-                                  epoch_edges < num_edges ? epoch_edges
-                                                          : num_edges));
-    cur->merge(gather_values, /*gather_seqs=*/false);
-    pipeline_stats_.stage_seconds += static_cast<double>(now_ns() - t0) * 1e-9;
+    const std::int64_t t0 = pipeline_now_ns();
+    stage_epoch(cur, 0, epoch_items < num_items ? epoch_items : num_items,
+                shards);
+    stats.stage_seconds +=
+        static_cast<double>(pipeline_now_ns() - t0) * 1e-9;
+    stats.merge_copy_bytes += cur->copied_bytes;
   }
 
   std::uint64_t total = 0;
   for (std::uint64_t e = 0; e < num_epochs; ++e) {
     simt::ThreadPool::JobHandle job;
-    const std::uint64_t next_begin = (e + 1) * epoch_edges;
-    if (next_begin < num_edges) {
+    const std::uint64_t next_begin = (e + 1) * epoch_items;
+    if (next_begin < num_items) {
       const std::uint64_t next_end =
-          next_begin + epoch_edges < num_edges ? next_begin + epoch_edges
-                                               : num_edges;
-      nxt->window_reset();
-      job = pool.submit(shards, make_stage_job(nxt, next_begin, next_end));
+          next_begin + epoch_items < num_items ? next_begin + epoch_items
+                                               : num_items;
+      job = pool.submit(1, [&stage_epoch, nxt, next_begin, next_end,
+                            shards](std::uint64_t) {
+        stage_epoch(nxt, next_begin, next_end, shards);
+      });
     }
-    const std::int64_t apply_begin = now_ns();
+    const std::int64_t apply_begin = pipeline_now_ns();
     try {
-      total += apply_mutation_runs(cur->front(), erase,
-                                   /*overlapped=*/job != nullptr);
+      total += apply(cur->front(), /*overlapped=*/job != nullptr);
     } catch (...) {
       if (job) {
         try {
@@ -353,31 +336,65 @@ std::uint64_t DynGraph<Policy>::run_mutation_pipeline(
       }
       throw;
     }
-    const std::int64_t apply_end = now_ns();
-    pipeline_stats_.apply_seconds +=
+    const std::int64_t apply_end = pipeline_now_ns();
+    stats.apply_seconds +=
         static_cast<double>(apply_end - apply_begin) * 1e-9;
     if (job) {
       pool.wait(job);  // the epoch fence: stage(e+1) committed, apply(e) done
       const std::int64_t stage_begin = nxt->window_begin_ns();
       const std::int64_t stage_end = nxt->window_end_ns();
       if (stage_end > stage_begin) {
-        pipeline_stats_.stage_seconds +=
+        stats.stage_seconds +=
             static_cast<double>(stage_end - stage_begin) * 1e-9;
         const std::int64_t lo =
             stage_begin > apply_begin ? stage_begin : apply_begin;
         const std::int64_t hi = stage_end < apply_end ? stage_end : apply_end;
         if (hi > lo) {
-          pipeline_stats_.overlap_seconds += static_cast<double>(hi - lo) * 1e-9;
+          stats.overlap_seconds += static_cast<double>(hi - lo) * 1e-9;
         }
       }
-      const std::int64_t merge_begin = now_ns();
-      nxt->merge(gather_values, /*gather_seqs=*/false);
-      pipeline_stats_.stage_seconds +=
-          static_cast<double>(now_ns() - merge_begin) * 1e-9;
+      stats.merge_copy_bytes += nxt->copied_bytes;
       std::swap(cur, nxt);
     }
   }
   return total;
+}
+
+template <class Policy>
+template <typename StageShardFn>
+std::uint64_t DynGraph<Policy>::run_mutation_pipeline(
+    std::uint64_t num_edges, bool gather_values, bool erase,
+    StageShardFn&& stage_shard) {
+  auto& pool = simt::ThreadPool::instance();
+  // One epoch's full staging pass: stage + group every shard of the
+  // epoch's input sub-span in parallel (two-pass count/place when sharded,
+  // fused single-pass otherwise), then finalize the shard outputs into
+  // the one run list apply consumes — merge-free by default, so NO work
+  // is left for the fence bubble.
+  const auto stage_epoch = [&, gather_values](ShardedStaging* buf,
+                                              std::uint64_t begin,
+                                              std::uint64_t end,
+                                              std::uint32_t shards) {
+    const std::int64_t t0 = pipeline_now_ns();
+    pool.parallel_for(shards, [&, buf, begin, end, shards](std::uint64_t s) {
+      BatchStaging& st = buf->shard(static_cast<std::uint32_t>(s));
+      stage_shard(begin, end, static_cast<std::uint32_t>(s), shards, st);
+      if (shards == 1) {
+        // No assembly needed: fused single-pass grouping, no count pass.
+        st.group(/*dedup=*/true, gather_values, /*gather_seqs=*/false);
+      } else {
+        st.group_prepare(/*dedup=*/true);
+      }
+    });
+    buf->finalize(config_.merge_free, gather_values, /*gather_seqs=*/false);
+    buf->window_note(t0, pipeline_now_ns());
+  };
+  return run_epoch_pipeline(
+      num_edges, config_.undirected ? 2u : 1u, &staging_bufs_[0],
+      &staging_bufs_[1], pipeline_stats_, stage_epoch,
+      [&](const BatchStaging& front, bool overlapped) {
+        return apply_mutation_runs(front, erase, overlapped);
+      });
 }
 
 template <class Policy>
@@ -397,7 +414,7 @@ std::uint64_t DynGraph<Policy>::insert_batched(
     if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
     return dict_.table(u);
   };
-  return run_mutation_pipeline(
+  const std::uint64_t added = run_mutation_pipeline(
       edges.size(), /*gather_values=*/Policy::kHasValues, /*erase=*/false,
       [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
           std::uint32_t num_shards, BatchStaging& st) {
@@ -406,6 +423,8 @@ std::uint64_t DynGraph<Policy>::insert_batched(
                                    config_.hash_seed, shard, num_shards,
                                    table_of, st);
       });
+  maybe_auto_rehash();
+  return added;
 }
 
 template <class Policy>
@@ -416,7 +435,7 @@ std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
     return u < capacity && dict_.has_table(u) ? dict_.table(u)
                                               : slabhash::TableRef{};
   };
-  return run_mutation_pipeline(
+  const std::uint64_t removed = run_mutation_pipeline(
       edges.size(), /*gather_values=*/false, /*erase=*/true,
       [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
           std::uint32_t num_shards, BatchStaging& st) {
@@ -424,6 +443,43 @@ std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
                           config_.undirected, config_.hash_seed, shard,
                           num_shards, table_of, st);
       });
+  maybe_auto_rehash();
+  return removed;
+}
+
+// The §III auto-rehash policy: "maintain low-cost metrics per vertex ...
+// and periodically perform rehashing if it exceeds a given threshold". The
+// bulk operations already histogram every run's chain length for free
+// (ChainFeedback); after a mutation batch commits, fire rehash_long_chains
+// when the tail at/above the configured chain threshold exceeds 1% of the
+// runs observed since the last rehash — i.e. the p99 chain length crossed
+// it. Runs under batch_mutex_, after apply: the accumulated feedback is
+// stable, and the phase-concurrent model keeps queries out of the phase.
+template <class Policy>
+void DynGraph<Policy>::maybe_auto_rehash() {
+  const double threshold = config_.auto_rehash_p99_slabs;
+  if (threshold <= 0.0 || !config_.batch_engine) return;
+  if (feedback_.runs_observed == 0) return;
+  // hist bin b counts chains of b + 2 slabs (last bin saturating): chains
+  // below 2 slabs are never histogrammed, so thresholds clamp to 2, and
+  // thresholds past the last bin degrade to its ">= kHistBuckets + 1"
+  // tail — the policy may fire earlier than such a threshold asks, never
+  // later (GraphConfig::auto_rehash_p99_slabs documents this).
+  const std::uint32_t min_chain =
+      threshold < 2.0 ? 2u
+                      : static_cast<std::uint32_t>(std::ceil(threshold));
+  std::uint32_t first_bin = min_chain - 2;
+  if (first_bin > ChainFeedback::kHistBuckets - 1) {
+    first_bin = ChainFeedback::kHistBuckets - 1;
+  }
+  std::uint64_t tail = 0;
+  for (std::uint32_t b = first_bin; b < ChainFeedback::kHistBuckets; ++b) {
+    tail += feedback_.hist[b];
+  }
+  if (tail * 100 > feedback_.runs_observed) {  // p99 crossed the threshold
+    ++auto_rehash_count_;
+    rehash_long_chains(1.0);  // targeted: consumes the candidate list
+  }
 }
 
 template <class Policy>
@@ -508,6 +564,80 @@ std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
 }
 
 template <class Policy>
+void DynGraph<Policy>::search_apply_runs(const BatchStaging& staged,
+                                         std::uint8_t* found_out,
+                                         Weight* weights_out,
+                                         bool overlapped) const {
+  if (staged.runs.empty()) return;
+  simt::LaunchConfig launch_cfg;
+  // While a staging job shares the pool, smaller chunks let the scheduler
+  // interleave the two jobs instead of parking workers on one of them.
+  if (overlapped) launch_cfg.chunks_per_worker = 8;
+  // Slice-local scratch; chunks write disjoint [run_offsets[first],
+  // run_offsets[last]) ranges, so the shared vectors need no locks.
+  std::vector<std::uint8_t> found(staged.keys.size());
+  std::vector<std::uint32_t> values;
+  if (weights_out != nullptr) values.resize(staged.keys.size());
+  simt::launch_runs(
+      staged.run_offsets,
+      [&](std::uint64_t first, std::uint64_t last) {
+        ChainFeedback chunk_feedback;
+        simt::pipeline(
+            last - first, kRunPrefetchDepth,
+            [&](std::uint64_t i) {
+              const QueryRun& run = staged.runs[first + i];
+              simt::prefetch(&arena_.resolve(
+                  dict_.table(run.src).bucket_head(run.bucket)));
+            },
+            [&](std::uint64_t i) {
+              const QueryRun& run = staged.runs[first + i];
+              const std::uint64_t begin = staged.run_offsets[first + i];
+              const std::uint64_t end = staged.run_offsets[first + i + 1];
+              const auto count = static_cast<std::uint32_t>(end - begin);
+              std::uint32_t chain_slabs = 0;
+              if constexpr (Policy::kHasValues) {
+                if (weights_out != nullptr) {
+                  Policy::bulk_search_values(arena_, dict_.table(run.src),
+                                             run.bucket,
+                                             staged.keys.data() + begin, count,
+                                             found.data() + begin,
+                                             values.data() + begin,
+                                             &chain_slabs);
+                } else {
+                  Policy::bulk_contains(arena_, dict_.table(run.src),
+                                        run.bucket, staged.keys.data() + begin,
+                                        count, found.data() + begin,
+                                        &chain_slabs);
+                }
+              } else {
+                Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
+                                      staged.keys.data() + begin, count,
+                                      found.data() + begin, &chain_slabs);
+              }
+              // Queries observe chain lengths for free, exactly as the bulk
+              // mutations do — search-heavy phases keep the §III metric and
+              // the auto-rehash policy's histogram warm.
+              if (chain_slabs > 1) {
+                chunk_feedback.note_long(run.src, chain_slabs);
+              }
+              for (std::uint64_t q = begin; q < end; ++q) {
+                // Scatter to the input position through the staged sequence.
+                if (found_out != nullptr) found_out[staged.seqs[q]] = found[q];
+                if (weights_out != nullptr && found[q] != 0) {
+                  weights_out[staged.seqs[q]] = values[q];
+                }
+              }
+            });
+        chunk_feedback.runs_observed += last - first;
+        {
+          std::lock_guard<std::mutex> lock(feedback_mutex_);
+          feedback_.merge_from(chunk_feedback);
+        }
+      },
+      launch_cfg);
+}
+
+template <class Policy>
 void DynGraph<Policy>::search_batched(std::span<const Edge> queries,
                                       std::uint8_t* found_out,
                                       Weight* weights_out) const {
@@ -518,66 +648,54 @@ void DynGraph<Policy>::search_batched(std::span<const Edge> queries,
     std::fill(weights_out, weights_out + queries.size(), Weight{0});
   }
   auto& pool = simt::ThreadPool::instance();
-  const std::uint32_t shards = stage_shard_count(queries.size());
-  ShardedStaging staged;  // local: query batches stay concurrent
-  staged.resize(shards);
+  if (queries.empty()) return;
+
+  // Queries are phase-concurrent with each other, so each batch pipelines
+  // independently through LOCAL staging buffers (the double-buffered
+  // members belong to the mutation phase).
+  ShardedStaging bufs[2];
   const std::uint32_t capacity = dict_.capacity();
   const auto table_of = [this, capacity](VertexId u) {
     return u < capacity && dict_.has_table(u) ? dict_.table(u)
                                               : slabhash::TableRef{};
   };
-  pool.parallel_for(shards, [&](std::uint64_t s) {
-    BatchStaging& st = staged.shard(static_cast<std::uint32_t>(s));
-    stage_queries_shard(queries, config_.hash_seed,
-                        static_cast<std::uint32_t>(s), shards, table_of, st);
-    st.group(/*dedup=*/false, /*gather_values=*/false, /*gather_seqs=*/true);
-  });
-  staged.merge(/*gather_values=*/false, /*gather_seqs=*/true);
-  const BatchStaging& front = staged.front();
-  if (front.runs.empty()) return;
-  std::vector<std::uint8_t> found(front.keys.size());
-  std::vector<std::uint32_t> values;
-  if (weights_out != nullptr) values.resize(front.keys.size());
-  simt::launch_runs(front.run_offsets, [&](std::uint64_t first,
-                                           std::uint64_t last) {
-    simt::pipeline(
-        last - first, kRunPrefetchDepth,
-        [&](std::uint64_t i) {
-          const QueryRun& run = front.runs[first + i];
-          simt::prefetch(
-              &arena_.resolve(dict_.table(run.src).bucket_head(run.bucket)));
-        },
-        [&](std::uint64_t i) {
-          const QueryRun& run = front.runs[first + i];
-          const std::uint64_t begin = front.run_offsets[first + i];
-          const std::uint64_t end = front.run_offsets[first + i + 1];
-          const auto count = static_cast<std::uint32_t>(end - begin);
-          if constexpr (Policy::kHasValues) {
-            if (weights_out != nullptr) {
-              Policy::bulk_search_values(arena_, dict_.table(run.src),
-                                         run.bucket,
-                                         front.keys.data() + begin, count,
-                                         found.data() + begin,
-                                         values.data() + begin);
-            } else {
-              Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
-                                    front.keys.data() + begin, count,
-                                    found.data() + begin);
-            }
-          } else {
-            Policy::bulk_contains(arena_, dict_.table(run.src), run.bucket,
-                                  front.keys.data() + begin, count,
-                                  found.data() + begin);
-          }
-          for (std::uint64_t q = begin; q < end; ++q) {
-            // Scatter to the input position through the staged sequence.
-            if (found_out != nullptr) found_out[front.seqs[q]] = found[q];
-            if (weights_out != nullptr && found[q] != 0) {
-              weights_out[front.seqs[q]] = values[q];
-            }
-          }
-        });
-  });
+  // One query slice's staging pass, with the staged sequence numbers
+  // offset to GLOBAL input positions so scatter lands correctly. Safe to
+  // run ahead of the current slice's searches: queries never mutate what
+  // staging reads.
+  const auto stage_epoch = [&](ShardedStaging* buf, std::uint64_t begin,
+                               std::uint64_t end, std::uint32_t shards) {
+    const std::int64_t t0 = pipeline_now_ns();
+    pool.parallel_for(shards, [&, buf, begin, end, shards](std::uint64_t s) {
+      BatchStaging& st = buf->shard(static_cast<std::uint32_t>(s));
+      stage_queries_shard(queries.subspan(begin, end - begin),
+                          config_.hash_seed, static_cast<std::uint32_t>(s),
+                          shards, table_of, st,
+                          static_cast<std::uint32_t>(begin));
+      if (shards == 1) {
+        st.group(/*dedup=*/false, /*gather_values=*/false,
+                 /*gather_seqs=*/true);
+      } else {
+        st.group_prepare(/*dedup=*/false);
+      }
+    });
+    buf->finalize(config_.merge_free, /*gather_values=*/false,
+                  /*gather_seqs=*/true);
+    buf->window_note(t0, pipeline_now_ns());
+  };
+
+  BatchPipelineStats stats;
+  run_epoch_pipeline(queries.size(), 1u, &bufs[0], &bufs[1], stats,
+                     stage_epoch,
+                     [&](const BatchStaging& front, bool overlapped) {
+                       search_apply_runs(front, found_out, weights_out,
+                                         overlapped);
+                       return std::uint64_t{0};
+                     });
+  {
+    std::lock_guard<std::mutex> lock(query_stats_mutex_);
+    query_stats_ = stats;
+  }
 }
 
 template <class Policy>

@@ -71,8 +71,31 @@ struct GraphConfig {
 
   /// Input edges per pipelined epoch. 0 = auto (2^15). Batches smaller
   /// than ~1.5 epochs, and any batch on a pool with no workers, run as one
-  /// epoch (the degenerate pipeline).
+  /// epoch (the degenerate pipeline). Query batches (edges_exist /
+  /// edge_weights) pipeline through the same epoch plan.
   std::uint32_t pipeline_epoch_edges = 0;
+
+  /// Merge-free staging: shards count their grouped runs/keys, the counts
+  /// prefix-sum into disjoint slices of one presized global run list, and
+  /// shards emit directly into their slices in parallel — the apply stage
+  /// consumes shard output with zero driver-side copy
+  /// (BatchPipelineStats::merge_copy_bytes == 0). `false` restores the
+  /// PR 3 concatenating merge, kept as the differential reference.
+  bool merge_free = true;
+
+  /// Automatic rehash policy (§III "periodically perform rehashing"): after
+  /// every batched mutation the engine inspects the live chain histogram
+  /// ChainFeedback accumulated for free by the bulk operations; when more
+  /// than 1% of observed runs walked chains of at least this many slabs —
+  /// i.e. the p99 chain length crossed the threshold — rehash_long_chains
+  /// fires on its own, no user call needed. The histogram resolves chains
+  /// of 2..9 slabs (its last bin saturates at ">= 9"), so values below 2
+  /// clamp to 2 and values above 9 degrade to 9: a 12-slab threshold
+  /// counts the ">= 9 slabs" tail and may therefore fire earlier than
+  /// requested (never later). 0 disables the trigger. Queries feed the
+  /// histogram too, but only mutation batches may fire (the
+  /// phase-concurrent model keeps query phases read-only).
+  double auto_rehash_p99_slabs = 4.0;
 };
 
 /// The graph's construction-time configuration under its public name.

@@ -27,12 +27,14 @@ void VertexDictionary::grow(std::uint32_t min_capacity) {
 slabhash::TableRef VertexDictionary::table_acquire(VertexId u) const noexcept {
   const Entry& e = entries_[u];
   const memory::SlabHandle base = simt::atomic_load(e.table_base);
-  return {base, e.num_buckets};
+  // The bucket-count read may race an in-flight publish; when it does, the
+  // base handle read above was kNullSlab and the caller discards the ref.
+  return {base, simt::racy_load(e.num_buckets)};
 }
 
 void VertexDictionary::publish_table(VertexId u, slabhash::TableRef ref) noexcept {
   Entry& e = entries_[u];
-  e.num_buckets = ref.num_buckets;
+  simt::racy_store(e.num_buckets, ref.num_buckets);
   simt::atomic_store(e.table_base, ref.base);
 }
 

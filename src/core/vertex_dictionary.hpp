@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "src/core/types.hpp"
+#include "src/simt/atomics.hpp"
 #include "src/slabhash/slab_layout.hpp"
 
 namespace sg::core {
@@ -36,17 +37,19 @@ class VertexDictionary {
   /// verify the overallocation strategy avoids repeated copies.
   std::uint32_t growth_count() const noexcept { return growth_count_; }
 
-  // --- per-vertex slots (bounds-unchecked hot accessors) ---------------
+  // --- per-vertex slots (bounds-unchecked hot accessors; reads annotated
+  // racy: a table handle observed mid-creation by another shard's stage
+  // pass is stale-but-safe, the phase protocols re-resolve it) ----------
   slabhash::TableRef table(VertexId u) const noexcept {
     const Entry& e = entries_[u];
-    return {e.table_base, e.num_buckets};
+    return {simt::racy_load(e.table_base), simt::racy_load(e.num_buckets)};
   }
   bool has_table(VertexId u) const noexcept {
-    return entries_[u].table_base != memory::kNullSlab;
+    return simt::racy_load(entries_[u].table_base) != memory::kNullSlab;
   }
   void set_table(VertexId u, slabhash::TableRef ref) noexcept {
-    entries_[u].table_base = ref.base;
-    entries_[u].num_buckets = ref.num_buckets;
+    simt::racy_store(entries_[u].num_buckets, ref.num_buckets);
+    simt::racy_store(entries_[u].table_base, ref.base);
   }
 
   /// Racy-read-safe variants for lazy table creation during a parallel
@@ -59,16 +62,24 @@ class VertexDictionary {
   std::uint32_t& edge_count_word(VertexId u) noexcept {
     return entries_[u].edge_count;
   }
+  /// Counter reads tolerate racing atomic updates by design (a batch's
+  /// exact total is only defined at the phase fence); annotated racy so
+  /// the TSan job checks everything else.
   std::uint32_t edge_count(VertexId u) const noexcept {
-    return entries_[u].edge_count;
+    return simt::racy_load(entries_[u].edge_count);
   }
   void set_edge_count(VertexId u, std::uint32_t n) noexcept {
-    entries_[u].edge_count = n;
+    simt::racy_store(entries_[u].edge_count, n);
   }
 
-  bool deleted(VertexId u) const noexcept { return entries_[u].deleted != 0; }
+  /// The liveness flag is monotone within a phase (insert phases only
+  /// revive, delete phases only doom), so racing plain accesses are part
+  /// of the protocol — stale reads resolve exactly as on the GPU.
+  bool deleted(VertexId u) const noexcept {
+    return simt::racy_load(entries_[u].deleted) != 0;
+  }
   void set_deleted(VertexId u, bool flag) noexcept {
-    entries_[u].deleted = flag ? 1 : 0;
+    simt::racy_store(entries_[u].deleted, flag ? 1u : 0u);
   }
 
   /// Sum of all per-vertex edge counters.

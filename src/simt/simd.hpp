@@ -20,6 +20,10 @@
 // Reads are plain (non-atomic) vector loads, exactly like the GPU's
 // non-atomic warp-wide slab read: safe under the paper's phase-concurrent
 // model, where a stale word is resolved by the CAS that claims a slot.
+// The portable loops read through simt::racy_load — a plain load in normal
+// builds (the loops must keep auto-vectorizing), a relaxed atomic under
+// ThreadSanitizer so the TSan CI job sees the by-design races as
+// annotated rather than silencing them with a suppression file.
 #pragma once
 
 #include <atomic>
@@ -28,6 +32,7 @@
 #include <cstring>
 
 #include "src/memory/slab_arena.hpp"
+#include "src/simt/atomics.hpp"
 
 #if defined(__AVX2__)
 #include <immintrin.h>
@@ -90,7 +95,7 @@ inline std::uint32_t match_mask_portable(const std::uint32_t* words,
                                          std::uint32_t key) noexcept {
   std::uint32_t mask = 0;
   for (int w = 0; w < memory::kWordsPerSlab; ++w) {
-    mask |= static_cast<std::uint32_t>(words[w] == key) << w;
+    mask |= static_cast<std::uint32_t>(racy_load(words[w]) == key) << w;
   }
   return mask;
 }
@@ -100,7 +105,7 @@ inline SlabProbe probe_slab_portable(const std::uint32_t* words,
                                      std::uint32_t tombstone_key) noexcept {
   SlabProbe p;
   for (int w = 0; w < memory::kWordsPerSlab; ++w) {
-    const std::uint32_t v = words[w];
+    const std::uint32_t v = racy_load(words[w]);
     p.match |= static_cast<std::uint32_t>(v == key) << w;
     p.empty |= static_cast<std::uint32_t>(v == empty_key) << w;
     p.tombstone |= static_cast<std::uint32_t>(v == tombstone_key) << w;
@@ -205,7 +210,14 @@ constexpr std::uint32_t bits_below(int w) noexcept {
 /// shared words directly and skip the copy.
 inline void snapshot_slab(const memory::Slab& slab,
                           std::uint32_t* out) noexcept {
+#if SG_TSAN
+  // memcpy is TSan-intercepted; copy word-wise through the annotation.
+  for (int w = 0; w < memory::kWordsPerSlab; ++w) {
+    out[w] = racy_load(slab.words[w]);
+  }
+#else
   std::memcpy(out, slab.words, sizeof(slab.words));
+#endif
 }
 
 }  // namespace sg::simt

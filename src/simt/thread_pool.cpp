@@ -48,6 +48,7 @@ unsigned ThreadPool::default_thread_count() {
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = default_thread_count();
+  requested_ = num_threads;
   // A 1-thread pool runs jobs inline on the submitting thread: on
   // single-core hosts cross-thread handoff only adds scheduler stalls.
   if (num_threads <= 1) return;
@@ -68,6 +69,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::resize(unsigned num_threads) {
   if (num_threads == 0) num_threads = default_thread_count();
+  requested_ = num_threads;
   if (num_threads == size() || (num_threads <= 1 && workers_.empty())) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -142,7 +144,14 @@ ThreadPool::JobHandle ThreadPool::submit(
     std::lock_guard<std::mutex> lock(mutex_);
     jobs_.push_back(job);
   }
-  cv_work_.notify_all();
+  // A single-chunk job (e.g. one epoch's staging pass, which fans out again
+  // through a nested parallel_for) needs exactly one claimant; waking the
+  // whole pool for it just stampedes the mutex.
+  if (num_chunks == 1) {
+    cv_work_.notify_one();
+  } else {
+    cv_work_.notify_all();
+  }
   return job;
 }
 

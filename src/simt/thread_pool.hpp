@@ -10,6 +10,15 @@
 // double-buffered batch engine is built on. A 1-thread pool runs everything
 // inline on the submitting thread, which degenerates the pipeline to
 // stage-then-apply with identical results.
+//
+// Jobs NEST: a chunk body may itself call submit / parallel_for on the
+// same pool — chunk execution never holds the pool mutex, the nested job
+// just joins the round-robin dispatch list, and the nesting thread helps
+// run its own nested chunks before waiting. The staging passes of the
+// mutation and query pipelines rely on this: each epoch is ONE submitted
+// chunk that fans out across shards through a nested parallel_for (with a
+// count/place barrier between the two grouping passes), so a whole epoch
+// interleaves with the concurrently applying epoch as two peer jobs.
 #pragma once
 
 #include <condition_variable>
@@ -34,6 +43,12 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const noexcept { return static_cast<unsigned>(workers_.size()); }
+
+  /// Width the pool was configured for (constructor / resize argument after
+  /// the environment default resolves). Differs from size() for the inline
+  /// pool: requested() == 1, size() == 0. Lets callers save and restore the
+  /// width around a temporary resize.
+  unsigned requested() const noexcept { return requested_; }
 
   /// Rebuilds the pool with `num_threads` workers (0 = the SG_THREADS /
   /// hardware default). Must not be called while any job is in flight;
@@ -78,6 +93,7 @@ class ThreadPool {
   void finish_job(const JobHandle& job);
 
   std::vector<std::thread> workers_;
+  unsigned requested_ = 1;
   std::mutex mutex_;
   std::condition_variable cv_work_;
   std::condition_variable cv_done_;

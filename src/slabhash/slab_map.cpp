@@ -348,13 +348,16 @@ std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
 void map_bulk_search(const memory::SlabArena& arena, TableRef table,
                      std::uint32_t bucket, const std::uint32_t* keys,
                      std::uint32_t count, std::uint8_t* found,
-                     std::uint32_t* values) {
-  if (count == 1) {
+                     std::uint32_t* values, std::uint32_t* chain_slabs) {
+  if (count == 1 && chain_slabs == nullptr) {
     const MapFindResult r = search_in_bucket(arena, table, bucket, keys[0]);
     found[0] = r.found ? 1 : 0;
     if (values != nullptr && r.found) values[0] = r.value;
     return;
   }
+  // Chain depth is register-held and published once at exit, matching the
+  // bulk mutations' aliasing-safe feedback discipline.
+  std::uint32_t deepest = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
@@ -362,7 +365,9 @@ void map_bulk_search(const memory::SlabArena& arena, TableRef table,
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     for (std::uint32_t lane = 0; lane < wave; ++lane) found[base + lane] = 0;
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0 && handle != kNullSlab) {
+      ++depth;
       const Slab& slab = arena.resolve(handle);
       const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
       if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
@@ -393,7 +398,9 @@ void map_bulk_search(const memory::SlabArena& arena, TableRef table,
       if (empties != 0) break;  // empties only at the tail: the rest miss
       handle = next;
     }
+    if (depth > deepest) deepest = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = deepest;
 }
 
 void map_for_each(const memory::SlabArena& arena, TableRef table,

@@ -82,11 +82,15 @@ std::uint32_t map_bulk_erase(memory::SlabArena& arena, TableRef table,
 
 /// Bulk lookup of a run: found[i] = 1 iff keys[i] is live; when `values` is
 /// non-null, values[i] receives the stored value on a hit. Duplicate keys
-/// in the run are fine (lookups are independent).
+/// in the run are fine (lookups are independent). `chain_slabs`, when
+/// non-null, receives the deepest slab position the walk reached (1 = base
+/// slab only) — queries observe chain lengths for free exactly as the bulk
+/// mutations do, so search-heavy phases feed the §III rehash metric too.
 void map_bulk_search(const memory::SlabArena& arena, TableRef table,
                      std::uint32_t bucket, const std::uint32_t* keys,
                      std::uint32_t count, std::uint8_t* found,
-                     std::uint32_t* values);
+                     std::uint32_t* values,
+                     std::uint32_t* chain_slabs = nullptr);
 
 /// Calls fn(key, value) for every live pair. Phase-concurrent with queries.
 void map_for_each(const memory::SlabArena& arena, TableRef table,

@@ -270,11 +270,14 @@ std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
 
 void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
                        std::uint32_t bucket, const std::uint32_t* keys,
-                       std::uint32_t count, std::uint8_t* found) {
-  if (count == 1) {
+                       std::uint32_t count, std::uint8_t* found,
+                       std::uint32_t* chain_slabs) {
+  if (count == 1 && chain_slabs == nullptr) {
     found[0] = contains_in_bucket(arena, table, bucket, keys[0]) ? 1 : 0;
     return;
   }
+  // Register-held depth, published once at exit (aliasing-safe feedback).
+  std::uint32_t deepest = 0;
   for (std::uint32_t base = 0; base < count; base += simt::kWarpSize) {
     const std::uint32_t wave = count - base < simt::kWarpSize
                                    ? count - base
@@ -282,7 +285,9 @@ void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
     std::uint32_t pending = simt::lanemask_below(static_cast<int>(wave));
     for (std::uint32_t lane = 0; lane < wave; ++lane) found[base + lane] = 0;
     SlabHandle handle = table.bucket_head(bucket);
+    std::uint32_t depth = 0;
     while (pending != 0 && handle != kNullSlab) {
+      ++depth;
       const Slab& slab = arena.resolve(handle);
       const SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
       if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
@@ -309,7 +314,9 @@ void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
       if (empties != 0) break;  // empties only at the tail: rest miss
       handle = next;
     }
+    if (depth > deepest) deepest = depth;
   }
+  if (chain_slabs != nullptr) *chain_slabs = deepest;
 }
 
 void set_for_each(const memory::SlabArena& arena, TableRef table,

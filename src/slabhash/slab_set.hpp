@@ -46,9 +46,13 @@ std::uint32_t set_bulk_erase(memory::SlabArena& arena, TableRef table,
                              std::uint32_t* chain_slabs = nullptr);
 
 /// Bulk membership of a run: found[i] = 1 iff keys[i] is live.
+/// `chain_slabs`, when non-null, receives the deepest slab position the
+/// walk reached (1 = base slab only) — the same chain-length feedback the
+/// bulk mutations report, observed for free by query phases.
 void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
                        std::uint32_t bucket, const std::uint32_t* keys,
-                       std::uint32_t count, std::uint8_t* found);
+                       std::uint32_t count, std::uint8_t* found,
+                       std::uint32_t* chain_slabs = nullptr);
 
 /// Calls fn(key) for every live key.
 void set_for_each(const memory::SlabArena& arena, TableRef table,

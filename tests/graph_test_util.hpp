@@ -1,0 +1,75 @@
+// Shared helpers of the DynGraph differential suites (test_batch_engine,
+// test_pipeline, test_query_pipeline): the serial-oracle scope, the common
+// random batch generator, and the graph-equality predicates. Workload
+// shapes that differ per suite (skew profiles, hub batches, query mixes)
+// stay in their own files on purpose — merging them would change test
+// inputs.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "src/core/dyn_graph.hpp"
+#include "src/simt/thread_pool.hpp"
+#include "src/util/prng.hpp"
+
+namespace sg::core::testutil {
+
+/// Runs the scalar oracle's mutations on a temporarily 1-thread pool: the
+/// Algorithm-1 warp path resolves duplicate (src, dst) weights in warp
+/// execution order, which is nondeterministic across pool threads, whereas
+/// the engine guarantees most-recent-wins at any width. Sequential
+/// execution restores the semantics the oracle is meant to model.
+class SerialOracleScope {
+ public:
+  SerialOracleScope() : restore_(simt::ThreadPool::instance().requested()) {
+    simt::ThreadPool::instance().resize(1);
+  }
+  ~SerialOracleScope() { simt::ThreadPool::instance().resize(restore_); }
+
+ private:
+  unsigned restore_;
+};
+
+inline std::vector<WeightedEdge> random_batch(std::uint64_t seed,
+                                              std::size_t count,
+                                              std::uint32_t num_vertices) {
+  util::Xoshiro256 rng(seed);
+  std::vector<WeightedEdge> batch(count);
+  for (auto& e : batch) {
+    e = {static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<VertexId>(rng.below(num_vertices)),
+         static_cast<Weight>(rng.below(1u << 16))};
+  }
+  return batch;
+}
+
+template <class Policy>
+std::multiset<std::tuple<VertexId, VertexId, Weight>> graph_edges(
+    const DynGraph<Policy>& g) {
+  std::multiset<std::tuple<VertexId, VertexId, Weight>> edges;
+  for (VertexId u = 0; u < g.vertex_capacity(); ++u) {
+    g.for_each_neighbor(u, [&](VertexId v, Weight w) {
+      edges.insert({u, v, Policy::kHasValues ? w : Weight{0}});
+    });
+  }
+  return edges;
+}
+
+template <class Policy>
+void expect_identical(const DynGraph<Policy>& a, const DynGraph<Policy>& b) {
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId u = 0; u < std::max(a.vertex_capacity(), b.vertex_capacity());
+       ++u) {
+    const std::uint32_t da = u < a.vertex_capacity() ? a.degree(u) : 0;
+    const std::uint32_t db = u < b.vertex_capacity() ? b.degree(u) : 0;
+    ASSERT_EQ(da, db) << "degree mismatch at vertex " << u;
+  }
+  EXPECT_EQ(graph_edges(a), graph_edges(b));
+}
+
+}  // namespace sg::core::testutil

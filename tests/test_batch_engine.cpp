@@ -13,12 +13,16 @@
 
 #include "src/core/batch_engine.hpp"
 #include "src/core/dyn_graph.hpp"
+#include "src/simt/thread_pool.hpp"
 #include "src/slabhash/slab_map.hpp"
 #include "src/slabhash/slab_set.hpp"
 #include "src/util/prng.hpp"
+#include "tests/graph_test_util.hpp"
 
 namespace sg::core {
 namespace {
+
+using namespace testutil;
 
 GraphConfig engine_config(bool batch_engine, bool undirected = false,
                           std::uint32_t capacity = 256) {
@@ -27,18 +31,6 @@ GraphConfig engine_config(bool batch_engine, bool undirected = false,
   cfg.undirected = undirected;
   cfg.batch_engine = batch_engine;
   return cfg;
-}
-
-std::vector<WeightedEdge> random_batch(std::uint64_t seed, std::size_t count,
-                                       std::uint32_t num_vertices) {
-  util::Xoshiro256 rng(seed);
-  std::vector<WeightedEdge> batch(count);
-  for (auto& e : batch) {
-    e = {static_cast<VertexId>(rng.below(num_vertices)),
-         static_cast<VertexId>(rng.below(num_vertices)),
-         static_cast<Weight>(rng.below(1u << 16))};
-  }
-  return batch;
 }
 
 /// Skewed batch: a handful of hub sources own most of the edges (the
@@ -58,34 +50,6 @@ std::vector<WeightedEdge> skewed_batch(std::uint64_t seed, std::size_t count,
 }
 
 template <class Policy>
-std::multiset<std::tuple<VertexId, VertexId, Weight>> graph_edges(
-    const DynGraph<Policy>& g) {
-  std::multiset<std::tuple<VertexId, VertexId, Weight>> edges;
-  for (VertexId u = 0; u < g.vertex_capacity(); ++u) {
-    g.for_each_neighbor(u, [&](VertexId v, Weight w) {
-      edges.insert({u, v, Policy::kHasValues ? w : Weight{0}});
-    });
-  }
-  return edges;
-}
-
-template <class Policy>
-void expect_identical(const DynGraph<Policy>& bulk,
-                      const DynGraph<Policy>& scalar) {
-  EXPECT_EQ(bulk.num_edges(), scalar.num_edges());
-  for (VertexId u = 0; u < std::max(bulk.vertex_capacity(),
-                                    scalar.vertex_capacity());
-       ++u) {
-    const std::uint32_t bulk_degree =
-        u < bulk.vertex_capacity() ? bulk.degree(u) : 0;
-    const std::uint32_t scalar_degree =
-        u < scalar.vertex_capacity() ? scalar.degree(u) : 0;
-    ASSERT_EQ(bulk_degree, scalar_degree) << "degree mismatch at vertex " << u;
-  }
-  EXPECT_EQ(graph_edges(bulk), graph_edges(scalar));
-}
-
-template <class Policy>
 void run_differential(bool undirected, std::uint64_t seed) {
   DynGraph<Policy> bulk(engine_config(true, undirected));
   DynGraph<Policy> scalar(engine_config(false, undirected));
@@ -98,7 +62,11 @@ void run_differential(bool undirected, std::uint64_t seed) {
     const auto inserts = round % 2 == 0
                              ? random_batch(seed + round, 600, 180)
                              : skewed_batch(seed + round, 600, 180);
-    EXPECT_EQ(bulk.insert_edges(inserts), scalar.insert_edges(inserts));
+    const std::uint64_t added = bulk.insert_edges(inserts);
+    {
+      SerialOracleScope serial;
+      EXPECT_EQ(added, scalar.insert_edges(inserts));
+    }
     expect_identical(bulk, scalar);
 
     std::vector<Edge> erases;
@@ -146,7 +114,10 @@ TEST(BatchEngineDifferential, BulkBuildMatchesScalar) {
     DynGraphMap bulk(engine_config(true, undirected, 500));
     DynGraphMap scalar(engine_config(false, undirected, 500));
     bulk.bulk_build(edges);
-    scalar.bulk_build(edges);
+    {
+      SerialOracleScope serial;  // duplicate weights resolve in input order
+      scalar.bulk_build(edges);
+    }
     expect_identical(bulk, scalar);
   }
 }

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Tests for bench/compare_bench.py, the perf-trajectory gate.
+
+Runs under pytest (the CI path) or standalone: `python3
+tests/test_compare_bench.py` executes every test_* function directly, so
+containers without pytest still cover the gate through ctest.
+"""
+
+import importlib.util
+import json
+import os
+import sys
+import tempfile
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "compare_bench", os.path.join(_HERE, "..", "bench", "compare_bench.py"))
+compare_bench = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(compare_bench)
+
+
+def _point(pr, bench, metrics, tables=None):
+    return {
+        "pr": pr,
+        "benches": {
+            bench: {
+                "metrics": [
+                    {"name": name, "value": value, "labels": labels}
+                    for name, value, labels in metrics
+                ],
+                "tables": tables or [],
+            }
+        },
+    }
+
+
+def _run(points, argv_extra=()):
+    """Writes the points to temp files and runs compare_bench.main."""
+    with tempfile.TemporaryDirectory() as tmp:
+        paths = []
+        for i, point in enumerate(points):
+            path = os.path.join(tmp, f"BENCH_pr{point['pr']}_{i}.json")
+            with open(path, "w") as f:
+                json.dump(point, f)
+            paths.append(path)
+        return compare_bench.main(list(argv_extra) + paths)
+
+
+def test_flat_trajectory_passes():
+    points = [
+        _point(1, "micro_pipeline",
+               [("pipeline_overlap", 0.5, {"threads": "2"})]),
+        _point(2, "micro_pipeline",
+               [("pipeline_overlap", 0.52, {"threads": "2"})]),
+    ]
+    assert _run(points) == 0
+
+
+def test_regression_beyond_threshold_fails():
+    points = [
+        _point(1, "micro_query_pipeline",
+               [("query_overlap", 0.50, {"threads": "2"})]),
+        _point(2, "micro_query_pipeline",
+               [("query_overlap", 0.40, {"threads": "2"})]),  # -20%
+    ]
+    assert _run(points) == 1
+
+
+def test_drop_within_threshold_passes():
+    points = [
+        _point(1, "micro_query_pipeline",
+               [("query_rate", 100.0, {"threads": "2"})]),
+        _point(2, "micro_query_pipeline",
+               [("query_rate", 95.0, {"threads": "2"})]),  # -5% < 10%
+    ]
+    assert _run(points) == 0
+
+
+def test_new_metric_series_is_skipped_not_failed():
+    # A metric absent from the older point must not break the gate: newer
+    # series (query_overlap, auto_rehash_triggers) appear mid-trajectory.
+    points = [
+        _point(3, "micro_pipeline",
+               [("pipeline_overlap", 0.5, {"threads": "2"})]),
+        _point(4, "micro_query_pipeline",
+               [("query_overlap", 0.3, {"threads": "2"}),
+                ("auto_rehash_triggers", 2.0, {})]),
+    ]
+    assert _run(points) == 0
+
+
+def test_untracked_metric_never_gates():
+    points = [
+        _point(1, "micro_pipeline",
+               [("some_debug_number", 100.0, {})]),
+        _point(2, "micro_pipeline",
+               [("some_debug_number", 1.0, {})]),  # -99%, but untracked
+    ]
+    assert _run(points) == 0
+
+
+def test_tracked_query_metrics_are_in_the_default_set():
+    # The PR 4 series must actually gate: a silent drop from the default
+    # metric list is exactly the regression this file exists to prevent.
+    for name in ("query_overlap", "query_rate", "auto_rehash_triggers",
+                 "merge_free_insert_rate"):
+        assert name in compare_bench.DEFAULT_METRICS, name
+
+
+def test_series_split_by_labels():
+    # threads=1 may regress the day threads=4 improves; the gate must key
+    # series on their labels, not just the metric name.
+    points = [
+        _point(1, "micro_query_pipeline",
+               [("query_rate", 100.0, {"threads": "1"}),
+                ("query_rate", 100.0, {"threads": "4"})]),
+        _point(2, "micro_query_pipeline",
+               [("query_rate", 50.0, {"threads": "1"}),
+                ("query_rate", 120.0, {"threads": "4"})]),
+    ]
+    assert _run(points) == 1
+
+
+def test_custom_threshold_flag():
+    points = [
+        _point(1, "micro_pipeline",
+               [("pipeline_insert_rate", 100.0, {"threads": "2"})]),
+        _point(2, "micro_pipeline",
+               [("pipeline_insert_rate", 80.0, {"threads": "2"})]),  # -20%
+    ]
+    assert _run(points) == 1
+    assert _run(points, ["--threshold=0.25"]) == 0
+
+
+def test_table2_ours_backfill_from_table():
+    # Points that predate the ours_insert_rate series derive it from the
+    # Table II "Ours" column; a newer explicit series must compare against
+    # the derived one.
+    old = _point(1, "table2_edge_insertion", [], tables=[{
+        "title": "Table II",
+        "headers": ["Batch size", "Ours"],
+        "rows": [["2^14", "20.0"]],
+    }])
+    new = _point(2, "table2_edge_insertion",
+                 [("ours_insert_rate", 10.0, {"batch": "2^14"})])  # -50%
+    assert _run([old, new]) == 1
+
+
+def test_single_point_is_a_noop():
+    points = [_point(1, "micro_pipeline",
+                     [("pipeline_overlap", 0.5, {})])]
+    assert _run(points) == 0
+
+
+def _main():
+    failures = 0
+    for name, fn in sorted(globals().items()):
+        if name.startswith("test_") and callable(fn):
+            try:
+                fn()
+                print(f"  [ok]   {name}")
+            except AssertionError as err:
+                failures += 1
+                print(f"  [FAIL] {name}: {err}")
+    if failures:
+        print(f"{failures} test(s) failed", file=sys.stderr)
+        return 1
+    print("all compare_bench tests passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main())

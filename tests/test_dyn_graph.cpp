@@ -246,10 +246,14 @@ TEST(DynGraphMapBasics, BulkBuildSizesBucketsByDegree) {
 
 TEST(DynGraphMapBasics, IncrementalSingleBucketChains) {
   // Unknown degrees => 1 bucket; the same hub now chains heavily (the
-  // worst-case scenario of §VI-B2).
+  // worst-case scenario of §VI-B2). Auto-rehash must stay off here: the
+  // point is to observe the unmaintained chain, which the default policy
+  // would rebuild mid-batch.
   std::vector<WeightedEdge> edges;
   for (std::uint32_t v = 1; v <= 600; ++v) edges.push_back({0, v, 0});
-  DynGraphMap g(small_config());
+  GraphConfig cfg = small_config();
+  cfg.auto_rehash_p99_slabs = 0.0;
+  DynGraphMap g(cfg);
   g.insert_edges(edges);
   const GraphMemoryStats stats = g.memory_stats();
   EXPECT_GE(stats.overflow_slabs, 600 / 15 - 1);
@@ -289,10 +293,19 @@ TEST(DynGraphMapBasics, FlushAllTombstonesPreservesContent) {
   EXPECT_EQ(g.degree(0), 50u);
 }
 
+/// small_config with the automatic rehash policy off: these tests drive
+/// rehash_long_chains by hand and assert on what the manual call finds,
+/// so the trigger must not consume the long chains first.
+GraphConfig manual_rehash_config() {
+  GraphConfig cfg = small_config();
+  cfg.auto_rehash_p99_slabs = 0.0;
+  return cfg;
+}
+
 TEST(DynGraphMapBasics, RehashShortensLongChains) {
   // Incremental regime: hub with one bucket chains heavily; rehashing
   // rebuilds it to the configured load factor with identical content.
-  DynGraphMap g(small_config());
+  DynGraphMap g(manual_rehash_config());
   std::vector<WeightedEdge> batch;
   for (std::uint32_t v = 1; v <= 500; ++v) batch.push_back({0, v, v});
   g.insert_edges(batch);
@@ -310,7 +323,7 @@ TEST(DynGraphMapBasics, RehashShortensLongChains) {
 }
 
 TEST(DynGraphMapBasics, RehashDropsTombstones) {
-  DynGraphMap g(small_config());
+  DynGraphMap g(manual_rehash_config());
   std::vector<WeightedEdge> batch;
   for (std::uint32_t v = 1; v <= 300; ++v) batch.push_back({0, v, v});
   g.insert_edges(batch);
@@ -324,7 +337,7 @@ TEST(DynGraphMapBasics, RehashDropsTombstones) {
 }
 
 TEST(DynGraphMapBasics, RehashIsIdempotentAtThreshold) {
-  DynGraphMap g(small_config());
+  DynGraphMap g(manual_rehash_config());
   std::vector<WeightedEdge> batch;
   for (std::uint32_t v = 1; v <= 400; ++v) batch.push_back({0, v, v});
   g.insert_edges(batch);
@@ -338,7 +351,7 @@ TEST(DynGraphMapBasics, RehashInvalidThresholdThrows) {
 }
 
 TEST(DynGraphSetBasics, RehashWorksOnSetVariant) {
-  DynGraphSet g(small_config());
+  DynGraphSet g(manual_rehash_config());
   std::vector<WeightedEdge> batch;
   for (std::uint32_t v = 1; v <= 600; ++v) batch.push_back({0, v, 0});
   g.insert_edges(batch);

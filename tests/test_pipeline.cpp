@@ -17,9 +17,12 @@
 #include "src/core/dyn_graph.hpp"
 #include "src/simt/thread_pool.hpp"
 #include "src/util/prng.hpp"
+#include "tests/graph_test_util.hpp"
 
 namespace sg::core {
 namespace {
+
+using namespace testutil;
 
 GraphConfig pipeline_config(bool undirected, std::uint32_t shards,
                             std::uint32_t epoch_edges, bool double_buffer) {
@@ -41,18 +44,6 @@ GraphConfig oracle_config(bool undirected) {
   return cfg;
 }
 
-std::vector<WeightedEdge> random_batch(std::uint64_t seed, std::size_t count,
-                                       std::uint32_t num_vertices) {
-  util::Xoshiro256 rng(seed);
-  std::vector<WeightedEdge> batch(count);
-  for (auto& e : batch) {
-    e = {static_cast<VertexId>(rng.below(num_vertices)),
-         static_cast<VertexId>(rng.below(num_vertices)),
-         static_cast<Weight>(rng.below(1u << 16))};
-  }
-  return batch;
-}
-
 /// Skewed, duplicate-heavy batch: a few hub sources own most edges and the
 /// same (src, dst) pair recurs with different weights — the shard- and
 /// epoch-boundary dedup stress case.
@@ -68,30 +59,6 @@ std::vector<WeightedEdge> skewed_batch(std::uint64_t seed, std::size_t count,
          static_cast<Weight>(rng.below(1u << 16))};
   }
   return batch;
-}
-
-template <class Policy>
-std::multiset<std::tuple<VertexId, VertexId, Weight>> graph_edges(
-    const DynGraph<Policy>& g) {
-  std::multiset<std::tuple<VertexId, VertexId, Weight>> edges;
-  for (VertexId u = 0; u < g.vertex_capacity(); ++u) {
-    g.for_each_neighbor(u, [&](VertexId v, Weight w) {
-      edges.insert({u, v, Policy::kHasValues ? w : Weight{0}});
-    });
-  }
-  return edges;
-}
-
-template <class Policy>
-void expect_identical(const DynGraph<Policy>& a, const DynGraph<Policy>& b) {
-  ASSERT_EQ(a.num_edges(), b.num_edges());
-  for (VertexId u = 0;
-       u < std::max(a.vertex_capacity(), b.vertex_capacity()); ++u) {
-    const std::uint32_t da = u < a.vertex_capacity() ? a.degree(u) : 0;
-    const std::uint32_t db = u < b.vertex_capacity() ? b.degree(u) : 0;
-    ASSERT_EQ(da, db) << "degree mismatch at vertex " << u;
-  }
-  EXPECT_EQ(graph_edges(a), graph_edges(b));
 }
 
 /// Drives interleaved insert / delete / search rounds through three graphs
@@ -111,7 +78,10 @@ void run_pipeline_differential(bool undirected, std::uint32_t shards,
                              : random_batch(seed + round, 700, 180);
     const std::uint64_t added = pipelined.insert_edges(inserts);
     EXPECT_EQ(added, single_buffer.insert_edges(inserts));
-    EXPECT_EQ(added, oracle.insert_edges(inserts));
+    {
+      SerialOracleScope serial;
+      EXPECT_EQ(added, oracle.insert_edges(inserts));
+    }
     expect_identical(pipelined, oracle);
     expect_identical(pipelined, single_buffer);
 
@@ -211,16 +181,26 @@ TEST(PipelineStats, ForcedEpochsReportStageAndApplyTime) {
 
 TEST(ShardedStagingGuard, RunCrossingShardPartitionThrows) {
   // Staging a vertex into a shard that does not own it must be caught by
-  // the merge guard — this is the invariant that makes cross-shard dedup
-  // impossible to break silently.
+  // the partition guard — this is the invariant that makes cross-shard
+  // dedup impossible to break silently. finalize() runs the guard as a
+  // debug assertion; validate_partition() is its always-available form.
   ShardedStaging staged;
   staged.resize(2);
   const slabhash::TableRef table{0, 4};
   // Vertex 1 belongs to shard 1 (1 % 2); push it into shard 0.
   staged.shard(0).push(1, 7, table, 42);
-  staged.shard(0).group(true, false, false);
-  staged.shard(1).group(true, false, false);
-  EXPECT_THROW(staged.merge(false, false), std::logic_error);
+  staged.shard(0).group_prepare(true);
+  staged.shard(1).group_prepare(true);
+  EXPECT_THROW(staged.validate_partition(), std::logic_error);
+  // A correctly partitioned staging passes the guard and finalizes.
+  ShardedStaging ok;
+  ok.resize(2);
+  ok.shard(1).push(1, 7, table, 42);
+  ok.shard(0).group_prepare(true);
+  ok.shard(1).group_prepare(true);
+  EXPECT_NO_THROW(ok.validate_partition());
+  EXPECT_EQ(ok.finalize(/*merge_free=*/true, false, false), 0u);
+  EXPECT_EQ(ok.front().keys.size(), 1u);
 }
 
 // ---------------------------------------------------------------------------

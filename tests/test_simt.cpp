@@ -257,6 +257,51 @@ TEST(ThreadPool, SubmitExceptionRethrownByWait) {
   }
 }
 
+TEST(ThreadPool, NestedParallelForInsideSubmittedJob) {
+  // The epoch pipelines submit ONE chunk per staging pass which fans out
+  // again through a nested parallel_for (with a count/place barrier between
+  // the passes): chunks must be free to start jobs on their own pool, at
+  // every width including the inline pool.
+  for (const unsigned width : {1u, 2u, 8u}) {
+    ThreadPool pool(width);
+    std::atomic<int> inner_total{0};
+    std::atomic<int> barrier_order{0};
+    const auto job = pool.submit(1, [&](std::uint64_t) {
+      pool.parallel_for(16, [&](std::uint64_t) {
+        inner_total.fetch_add(1, std::memory_order_relaxed);
+      });
+      // parallel_for returned: all 16 nested chunks are complete — the
+      // barrier the two-pass staging relies on.
+      barrier_order.store(inner_total.load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+      pool.parallel_for(16, [&](std::uint64_t) {
+        inner_total.fetch_add(1, std::memory_order_relaxed);
+      });
+    });
+    // A foreground parallel_for shares the pool with the nested job.
+    std::atomic<int> foreground{0};
+    pool.parallel_for(64, [&](std::uint64_t) {
+      foreground.fetch_add(1, std::memory_order_relaxed);
+    });
+    pool.wait(job);
+    EXPECT_EQ(inner_total.load(), 32) << "width " << width;
+    EXPECT_EQ(barrier_order.load(), 16) << "width " << width;
+    EXPECT_EQ(foreground.load(), 64) << "width " << width;
+  }
+}
+
+TEST(ThreadPool, RequestedWidthSurvivesInlineResize) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.requested(), 4u);
+  EXPECT_EQ(pool.size(), 4u);
+  pool.resize(1);  // inline pool: no workers, but the width is remembered
+  EXPECT_EQ(pool.requested(), 1u);
+  EXPECT_EQ(pool.size(), 0u);
+  pool.resize(4);
+  EXPECT_EQ(pool.requested(), 4u);
+  EXPECT_EQ(pool.size(), 4u);
+}
+
 TEST(ThreadPool, ManyConcurrentSubmittedJobs) {
   ThreadPool pool(4);
   std::vector<ThreadPool::JobHandle> jobs;
