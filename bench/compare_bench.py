@@ -36,12 +36,21 @@ DEFAULT_METRICS = [
     "probe_avx2",
     "ours_insert_rate",
     "pipeline_insert_rate",
-    "pipeline_overlap",
     "rehash_targeted_vs_full",
     "query_rate",
-    "query_overlap",
     "merge_free_insert_rate",
     "auto_rehash_triggers",
+    "scheduled_mixed_rate",
+]
+
+# Recorded but NOT gated: stage/apply overlap on the 1-vCPU capture box is
+# scheduler-quantum interleaving and swings 0.0-0.38 run-to-run for an
+# unchanged binary (docs/PERF.md "One-vCPU caveat"; ROADMAP "Wider-box
+# validation"). Judge trajectory moves on the rate series; re-add these to
+# the gate once points are captured on a real multi-core box.
+UNGATED_NOISY_METRICS = [
+    "pipeline_overlap",
+    "query_overlap",
 ]
 DEFAULT_THRESHOLD = 0.10
 

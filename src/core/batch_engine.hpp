@@ -54,6 +54,13 @@
 // The engine owns the run partition: a (table, bucket) pair appears in at
 // most one run per epoch, which is the exclusivity contract the bulk slab
 // operations rely on to share one EMPTY scan per slab.
+//
+// The engine is still PHASE-concurrent: a mutation batch must never
+// overlap a query batch. On the synchronous API that contract is the
+// caller's obligation; the phase scheduler (src/core/phase_scheduler.hpp,
+// DynGraph::submit_*) enforces it for scheduled callers by fencing
+// mutation phases from query phases and feeding coalesced submissions
+// through this engine — see docs/ARCHITECTURE.md.
 #pragma once
 
 #include <array>

@@ -15,15 +15,24 @@
 //
 // The structure is phase-concurrent (§II-A): mutation batches and query
 // batches never overlap, but everything *within* a batch runs concurrently.
+// The synchronous API leaves that contract to the caller; the scheduled
+// API (submit_insert / submit_erase / submit_edges_exist /
+// submit_edge_weights, GraphConfig::phase_scheduler) enforces it through a
+// per-graph phase scheduler — see src/core/phase_scheduler.hpp and
+// docs/ARCHITECTURE.md.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <future>
+#include <memory>
 #include <mutex>
 #include <span>
 #include <vector>
 
 #include "src/core/batch_engine.hpp"
+#include "src/core/phase_scheduler.hpp"
 #include "src/core/types.hpp"
 #include "src/core/vertex_dictionary.hpp"
 #include "src/memory/slab_arena.hpp"
@@ -204,9 +213,20 @@ class EdgeSlabIterator {
   bool started_ = false;
 };
 
+/// The paper's slab-based dynamic graph (one SlabHash table per vertex),
+/// instantiated as DynGraphMap (per-edge weights) or DynGraphSet
+/// (destinations only). Batched mutations and queries run through the
+/// staged batch engine by default (GraphConfig::batch_engine); the
+/// phase-concurrent contract — mutation batches never overlap query
+/// batches — is the caller's responsibility on the synchronous API and is
+/// ENFORCED by the scheduled submit_* API.
 template <class Policy>
 class DynGraph {
  public:
+  /// \param config construction-time knobs (see docs/CONFIG.md for the
+  ///        full reference). \throws std::invalid_argument on out-of-range
+  ///        values (non-positive load_factor, auto_rehash_tail_frac
+  ///        outside (0, 1]).
   explicit DynGraph(GraphConfig config);
 
   DynGraph(const DynGraph&) = delete;
@@ -242,6 +262,8 @@ class DynGraph {
   void delete_vertices(std::span<const VertexId> ids);
 
   // ---- queries (§IV-B) -------------------------------------------------
+  /// Point lookup: true iff directed edge (u, v) is live. Never a false
+  /// positive after vertex deletion (Algorithm 2's cleanup guarantee).
   bool edge_exists(VertexId u, VertexId v) const;
 
   /// Batched edgeExist: out[i] = 1 iff queries[i] is present. Runs as a
@@ -261,6 +283,58 @@ class DynGraph {
                     std::uint8_t* found = nullptr) const
       requires Policy::kHasValues;
 
+  // ---- scheduled mode (src/core/phase_scheduler.hpp) -------------------
+  // The async entry points: safe to call from ANY thread, concurrently
+  // with each other. Submissions are classified by kind and run as fenced
+  // phases — mutation batches never overlap query batches, which the
+  // synchronous API above leaves to the caller. With
+  // GraphConfig::phase_scheduler = false they degrade to synchronous
+  // inline execution returning ready futures (the differential reference;
+  // no cross-thread safety). FIFO: one thread's submissions apply in its
+  // program order, and a query submitted after a mutation's future
+  // resolved is guaranteed to observe that mutation.
+
+  /// Scheduled insert_edges.
+  /// \param edges the batch (moved into the scheduler; duplicates and
+  ///        self-loops resolve exactly as in insert_edges).
+  /// \return future resolving, once the mutation phase committed, to the
+  ///         number of new unique directed edges the submission's
+  ///         COALESCED GROUP added: consecutive insert submissions
+  ///         admitted into one phase merge into a single engine batch
+  ///         (shared epochs), and every member observes the group total —
+  ///         a submission that ran alone gets its exact count.
+  std::future<std::uint64_t> submit_insert(std::vector<WeightedEdge> edges);
+
+  /// Scheduled delete_edges; group semantics as submit_insert.
+  /// \return future resolving to the edges removed by the coalesced group.
+  std::future<std::uint64_t> submit_erase(std::vector<Edge> edges);
+
+  /// Scheduled edges_exist.
+  /// \return future resolving to out[i] = 1 iff queries[i] was present in
+  ///         the phase-consistent state the query phase ran against. Query
+  ///         batches admitted into one phase run concurrently, each
+  ///         internally pipelined.
+  std::future<std::vector<std::uint8_t>> submit_edges_exist(
+      std::vector<Edge> queries);
+
+  /// Scheduled edge_weights (map variant only).
+  /// \return future resolving to {weights, found} for each query, with the
+  ///         same phase-consistency guarantee as submit_edges_exist.
+  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries)
+      requires Policy::kHasValues;
+
+  /// Blocks until every submission accepted so far has completed and no
+  /// phase is open. Call before destroying submitter state the futures
+  /// reference, or before ThreadPool::resize (which must not run while
+  /// jobs are in flight). A graph with no scheduler (never submitted, or
+  /// phase_scheduler = false) returns immediately.
+  void schedule_drain();
+
+  /// Counters of the scheduled stream: phase switches (each one paid a
+  /// fence), coalesced submissions, fence wait time, per-kind phase and
+  /// submission counts. All zeros when nothing was ever submitted.
+  PhaseScheduleStats last_schedule_stats() const;
+
   /// Visits every live neighbour of `u` (and weight; 0 for the set variant).
   void for_each_neighbor(VertexId u,
                          const std::function<void(VertexId, Weight)>& fn) const;
@@ -276,7 +350,9 @@ class DynGraph {
   /// Total live directed edges (undirected edges count twice).
   std::uint64_t num_edges() const { return dict_.total_edges(); }
 
+  /// Current vertex-dictionary capacity (ids below this are addressable).
   std::uint32_t vertex_capacity() const { return dict_.capacity(); }
+  /// True iff `u` has a table and is not marked deleted.
   bool vertex_live(VertexId u) const {
     return u < dict_.capacity() && dict_.has_table(u) && !dict_.deleted(u);
   }
@@ -344,9 +420,14 @@ class DynGraph {
     return auto_rehash_count_;
   }
 
+  /// Aggregated slab/occupancy accounting over all adjacency tables
+  /// (Figure 2's utilization and chain-length axes). Phase-serial.
   GraphMemoryStats memory_stats() const;
+  /// Allocator-level accounting (chunks, live slabs, bytes).
   memory::ArenaStats arena_stats() const { return arena_.stats(); }
+  /// The construction-time configuration in effect.
   const GraphConfig& config() const { return config_; }
+  /// Times the vertex dictionary grew (pointer-copy growth events).
   std::uint32_t dictionary_growths() const { return dict_.growth_count(); }
 
  private:
@@ -384,10 +465,14 @@ class DynGraph {
   /// into the caller's output arrays.
   void search_apply_runs(const BatchStaging& staged, std::uint8_t* found_out,
                          Weight* weights_out, bool overlapped) const;
-  /// The §III auto-rehash policy: fires rehash_long_chains when the p99 of
-  /// the live chain histogram crosses config_.auto_rehash_p99_slabs.
-  /// Called after every batched mutation, under batch_mutex_.
+  /// The §III auto-rehash policy: fires rehash_long_chains when more than
+  /// config_.auto_rehash_tail_frac of the live chain histogram sits
+  /// at/above config_.auto_rehash_p99_slabs. Called after every batched
+  /// mutation, under batch_mutex_.
   void maybe_auto_rehash();
+  /// Creates the phase scheduler on first use (thread-safe; the conductor
+  /// thread is only ever paid by graphs that actually submit).
+  PhaseScheduler& ensure_scheduler();
   /// Shared stage-3 driver: runs scheduled by query count, head slabs
   /// software-pipelined, per-source counter deltas aggregated before the
   /// atomic. `erase` flips between bulk_insert/counter-add and
@@ -454,6 +539,15 @@ class DynGraph {
   mutable std::mutex feedback_mutex_;
   RehashStats last_rehash_stats_;
   std::uint64_t auto_rehash_count_ = 0;
+  /// Scheduled mode (GraphConfig::phase_scheduler): created on the first
+  /// submit_* call under scheduler_once_ and published through the atomic
+  /// pointer (schedule_drain / last_schedule_stats read it without racing
+  /// the creation). LAST members on purpose — destroyed FIRST, so the
+  /// conductor drains and joins while every member its Ops callbacks reach
+  /// is still alive.
+  std::once_flag scheduler_once_;
+  std::unique_ptr<PhaseScheduler> scheduler_;
+  std::atomic<PhaseScheduler*> scheduler_ptr_{nullptr};
 };
 
 using DynGraphMap = DynGraph<MapPolicy>;

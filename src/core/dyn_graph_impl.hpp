@@ -54,6 +54,10 @@ DynGraph<Policy>::DynGraph(GraphConfig config)
   if (config_.load_factor <= 0.0) {
     throw std::invalid_argument("load_factor must be positive");
   }
+  if (config_.auto_rehash_tail_frac <= 0.0 ||
+      config_.auto_rehash_tail_frac > 1.0) {
+    throw std::invalid_argument("auto_rehash_tail_frac must be in (0, 1]");
+  }
 }
 
 template <class Policy>
@@ -451,10 +455,11 @@ std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
 // and periodically perform rehashing if it exceeds a given threshold". The
 // bulk operations already histogram every run's chain length for free
 // (ChainFeedback); after a mutation batch commits, fire rehash_long_chains
-// when the tail at/above the configured chain threshold exceeds 1% of the
-// runs observed since the last rehash — i.e. the p99 chain length crossed
-// it. Runs under batch_mutex_, after apply: the accumulated feedback is
-// stable, and the phase-concurrent model keeps queries out of the phase.
+// when the tail at/above the configured chain threshold exceeds
+// auto_rehash_tail_frac of the runs observed since the last rehash — at
+// the default 0.01, when the p99 chain length crossed it. Runs under
+// batch_mutex_, after apply: the accumulated feedback is stable, and the
+// phase-concurrent model keeps queries out of the phase.
 template <class Policy>
 void DynGraph<Policy>::maybe_auto_rehash() {
   const double threshold = config_.auto_rehash_p99_slabs;
@@ -476,7 +481,11 @@ void DynGraph<Policy>::maybe_auto_rehash() {
   for (std::uint32_t b = first_bin; b < ChainFeedback::kHistBuckets; ++b) {
     tail += feedback_.hist[b];
   }
-  if (tail * 100 > feedback_.runs_observed) {  // p99 crossed the threshold
+  // Tail fraction crossed (p99 at the default 0.01): integer-exact at the
+  // default, and any frac in (0, 1] compares without overflow.
+  if (static_cast<double>(tail) >
+      static_cast<double>(feedback_.runs_observed) *
+          config_.auto_rehash_tail_frac) {
     ++auto_rehash_count_;
     rehash_long_chains(1.0);  // targeted: consumes the candidate list
   }
@@ -702,6 +711,117 @@ template <class Policy>
 void DynGraph<Policy>::exist_batched(std::span<const Edge> queries,
                                      std::uint8_t* out) const {
   search_batched(queries, out, /*weights_out=*/nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Scheduled mode (src/core/phase_scheduler.hpp): the async submit_* entry
+// points route through a per-graph conductor that fences mutation phases
+// from query phases and coalesces same-kind submissions. The conductor is
+// the serialization point for scheduled mutations; batch_mutex_ stays
+// armed for direct synchronous calls and is uncontended under the
+// scheduler.
+// --------------------------------------------------------------------------
+
+/// Ready-future wrapper of the inline reference mode (phase_scheduler =
+/// false): runs `op` synchronously on the calling thread, capturing its
+/// result or exception — the same future surface as scheduled mode, with
+/// none of its cross-thread phase safety.
+template <typename T, typename Fn>
+std::future<T> inline_submit(Fn&& op) {
+  std::promise<T> done;
+  std::future<T> f = done.get_future();
+  try {
+    done.set_value(op());
+  } catch (...) {
+    done.set_exception(std::current_exception());
+  }
+  return f;
+}
+
+template <class Policy>
+PhaseScheduler& DynGraph<Policy>::ensure_scheduler() {
+  std::call_once(scheduler_once_, [this] {
+    PhaseScheduler::Ops ops;
+    ops.insert_edges = [this](std::span<const WeightedEdge> edges) {
+      return insert_edges(edges);
+    };
+    ops.delete_edges = [this](std::span<const Edge> edges) {
+      return delete_edges(edges);
+    };
+    ops.edges_exist = [this](std::span<const Edge> queries,
+                             std::uint8_t* out) { edges_exist(queries, out); };
+    if constexpr (Policy::kHasValues) {
+      ops.edge_weights = [this](std::span<const Edge> queries, Weight* weights,
+                                std::uint8_t* found) {
+        edge_weights(queries, weights, found);
+      };
+    }
+    scheduler_ = std::make_unique<PhaseScheduler>(std::move(ops));
+    scheduler_ptr_.store(scheduler_.get(), std::memory_order_release);
+  });
+  return *scheduler_ptr_.load(std::memory_order_acquire);
+}
+
+template <class Policy>
+std::future<std::uint64_t> DynGraph<Policy>::submit_insert(
+    std::vector<WeightedEdge> edges) {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::uint64_t>([&] { return insert_edges(edges); });
+  }
+  return ensure_scheduler().submit_insert(std::move(edges));
+}
+
+template <class Policy>
+std::future<std::uint64_t> DynGraph<Policy>::submit_erase(
+    std::vector<Edge> edges) {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::uint64_t>([&] { return delete_edges(edges); });
+  }
+  return ensure_scheduler().submit_erase(std::move(edges));
+}
+
+template <class Policy>
+std::future<std::vector<std::uint8_t>> DynGraph<Policy>::submit_edges_exist(
+    std::vector<Edge> queries) {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::vector<std::uint8_t>>([&] {
+      std::vector<std::uint8_t> out(queries.size(), 0);
+      edges_exist(queries, out.data());
+      return out;
+    });
+  }
+  return ensure_scheduler().submit_edges_exist(std::move(queries));
+}
+
+template <class Policy>
+std::future<EdgeWeightBatch> DynGraph<Policy>::submit_edge_weights(
+    std::vector<Edge> queries)
+    requires Policy::kHasValues {
+  if (!config_.phase_scheduler) {
+    return inline_submit<EdgeWeightBatch>([&] {
+      EdgeWeightBatch result;
+      result.weights.assign(queries.size(), Weight{0});
+      result.found.assign(queries.size(), 0);
+      edge_weights(queries, result.weights.data(), result.found.data());
+      return result;
+    });
+  }
+  return ensure_scheduler().submit_edge_weights(std::move(queries));
+}
+
+template <class Policy>
+void DynGraph<Policy>::schedule_drain() {
+  if (PhaseScheduler* s = scheduler_ptr_.load(std::memory_order_acquire)) {
+    s->drain();
+  }
+}
+
+template <class Policy>
+PhaseScheduleStats DynGraph<Policy>::last_schedule_stats() const {
+  if (PhaseScheduler* s = scheduler_ptr_.load(std::memory_order_acquire)) {
+    return s->stats();
+  }
+  return {};
 }
 
 // --------------------------------------------------------------------------

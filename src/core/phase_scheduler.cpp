@@ -1,0 +1,284 @@
+#include "src/core/phase_scheduler.hpp"
+
+#include <chrono>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "src/simt/thread_pool.hpp"
+#include "src/util/timer.hpp"
+
+namespace sg::core {
+
+PhaseScheduler::PhaseScheduler(Ops ops) : ops_(std::move(ops)) {
+  conductor_ = std::thread([this] { conductor_loop(); });
+}
+
+PhaseScheduler::~PhaseScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_submit_.notify_all();
+  conductor_.join();  // drains the queue before exiting
+}
+
+void PhaseScheduler::enqueue(Submission&& s) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      throw std::runtime_error("PhaseScheduler: submit after shutdown");
+    }
+    if (s.kind == Kind::kMutation) {
+      ++stats_.submitted_mutations;
+    } else {
+      ++stats_.submitted_queries;
+    }
+    queue_.push_back(std::move(s));
+  }
+  cv_submit_.notify_one();
+}
+
+std::future<std::uint64_t> PhaseScheduler::submit_insert(
+    std::vector<WeightedEdge> edges) {
+  Submission s;
+  s.kind = Kind::kMutation;
+  s.erase = false;
+  s.inserts = std::move(edges);
+  std::future<std::uint64_t> f = s.mutation_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<std::uint64_t> PhaseScheduler::submit_erase(
+    std::vector<Edge> edges) {
+  Submission s;
+  s.kind = Kind::kMutation;
+  s.erase = true;
+  s.edges = std::move(edges);
+  std::future<std::uint64_t> f = s.mutation_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<std::vector<std::uint8_t>> PhaseScheduler::submit_edges_exist(
+    std::vector<Edge> queries) {
+  Submission s;
+  s.kind = Kind::kQuery;
+  s.weighted = false;
+  s.edges = std::move(queries);
+  std::future<std::vector<std::uint8_t>> f = s.exist_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<EdgeWeightBatch> PhaseScheduler::submit_edge_weights(
+    std::vector<Edge> queries) {
+  if (!ops_.edge_weights) {
+    throw std::logic_error(
+        "PhaseScheduler: this graph has no edge_weights operation");
+  }
+  Submission s;
+  s.kind = Kind::kQuery;
+  s.weighted = true;
+  s.edges = std::move(queries);
+  std::future<EdgeWeightBatch> f = s.weight_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+void PhaseScheduler::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_drained_.wait(lock, [this] { return queue_.empty() && !phase_open_; });
+}
+
+PhaseScheduleStats PhaseScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PhaseScheduler::conductor_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    cv_submit_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    // Admit the longest same-kind PREFIX of the queue into one phase.
+    // Taking a prefix (never cherry-picking around an opposite-kind
+    // submission) preserves global FIFO order — the guarantee that a
+    // thread's own submissions apply in its program order — while still
+    // coalescing every burst of same-kind submissions into a shared phase.
+    // FIFO admission is also the fairness policy: neither kind can starve
+    // the other, because the queue head always opens the next phase.
+    const Kind kind = queue_.front().kind;
+    std::size_t count = 1;
+    while (count < queue_.size() && queue_[count].kind == kind) ++count;
+    std::vector<Submission> batch;
+    batch.reserve(count);
+    batch.insert(batch.end(),
+                 std::make_move_iterator(queue_.begin()),
+                 std::make_move_iterator(queue_.begin() +
+                                         static_cast<std::ptrdiff_t>(count)));
+    queue_.erase(queue_.begin(),
+                 queue_.begin() + static_cast<std::ptrdiff_t>(count));
+    phase_open_ = true;
+    if (have_last_kind_ && kind != last_kind_) ++stats_.phase_switches;
+    have_last_kind_ = true;
+    last_kind_ = kind;
+    if (kind == Kind::kMutation) {
+      ++stats_.mutation_phases;
+    } else {
+      ++stats_.query_phases;
+    }
+    stats_.coalesced_batches += batch.size() - 1;
+
+    lock.unlock();
+    double fence_seconds = 0.0;
+    try {
+      fence_seconds = kind == Kind::kMutation ? run_mutation_phase(batch)
+                                              : run_query_phase(batch);
+    } catch (...) {
+      // The phase runners route per-submission errors to the futures; what
+      // lands here is infrastructure failure (e.g. bad_alloc submitting a
+      // job). The conductor must survive it — fail the batch's unresolved
+      // promises instead of escaping the thread into std::terminate.
+      fail_batch(batch, std::current_exception());
+    }
+    lock.lock();
+    stats_.fence_wait_seconds += fence_seconds;
+    phase_open_ = false;
+    cv_drained_.notify_all();
+  }
+}
+
+void PhaseScheduler::fail_batch(std::vector<Submission>& batch,
+                                std::exception_ptr error) {
+  for (Submission& s : batch) {
+    try {
+      if (s.kind == Kind::kMutation) {
+        s.mutation_result.set_exception(error);
+      } else if (s.weighted) {
+        s.weight_result.set_exception(error);
+      } else {
+        s.exist_result.set_exception(error);
+      }
+    } catch (const std::future_error&) {
+      // Already satisfied before the failure: keep its real result.
+    }
+  }
+}
+
+double PhaseScheduler::run_mutation_phase(std::vector<Submission>& batch) {
+  // Consecutive same-operation submissions merge into ONE engine batch:
+  // concatenation preserves submission order, and the engine's
+  // most-recent-wins dedup (sequence = position) resolves cross-submission
+  // duplicates exactly as applying the submissions back to back would.
+  // The merged batch rides the engine's double-buffered epoch pipeline, so
+  // many small ingest submissions stage and apply like one large batch.
+  std::size_t i = 0;
+  while (i < batch.size()) {
+    std::size_t j = i + 1;
+    while (j < batch.size() && batch[j].erase == batch[i].erase) ++j;
+    try {
+      std::uint64_t applied = 0;
+      if (batch[i].erase) {
+        if (j - i == 1) {
+          applied = ops_.delete_edges(batch[i].edges);
+        } else {
+          std::vector<Edge> merged;
+          std::size_t total = 0;
+          for (std::size_t k = i; k < j; ++k) total += batch[k].edges.size();
+          merged.reserve(total);
+          for (std::size_t k = i; k < j; ++k) {
+            merged.insert(merged.end(), batch[k].edges.begin(),
+                          batch[k].edges.end());
+          }
+          applied = ops_.delete_edges(merged);
+        }
+      } else {
+        if (j - i == 1) {
+          applied = ops_.insert_edges(batch[i].inserts);
+        } else {
+          std::vector<WeightedEdge> merged;
+          std::size_t total = 0;
+          for (std::size_t k = i; k < j; ++k) total += batch[k].inserts.size();
+          merged.reserve(total);
+          for (std::size_t k = i; k < j; ++k) {
+            merged.insert(merged.end(), batch[k].inserts.begin(),
+                          batch[k].inserts.end());
+          }
+          applied = ops_.insert_edges(merged);
+        }
+      }
+      // Every member of the group observes the group total (documented in
+      // submit_insert): per-submission counts are not separable once the
+      // group applied as one deduped batch.
+      for (std::size_t k = i; k < j; ++k) {
+        batch[k].mutation_result.set_value(applied);
+      }
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      for (std::size_t k = i; k < j; ++k) {
+        batch[k].mutation_result.set_exception(err);
+      }
+    }
+    i = j;
+  }
+  // Mutation groups run inline on the conductor (the engine parallelizes
+  // internally through the shared pool): the phase closes the moment the
+  // last group returns, so there is no residual fence to wait out.
+  return 0.0;
+}
+
+double PhaseScheduler::run_query_phase(std::vector<Submission>& batch) {
+  // Every admitted query batch runs as its own pool job, concurrently with
+  // the others (query batches are phase-concurrent by design; each batch
+  // is internally pipelined as usual). The wait_all is the phase fence: the
+  // next phase cannot open until every search of this one has completed.
+  auto& pool = simt::ThreadPool::instance();
+  std::vector<simt::ThreadPool::JobHandle> jobs;
+  jobs.reserve(batch.size());
+  const auto submit_one = [this, &pool, &jobs](Submission& s) {
+    jobs.push_back(pool.submit(1, [this, &s](std::uint64_t) {
+      if (s.weighted) {
+        try {
+          EdgeWeightBatch result;
+          result.weights.assign(s.edges.size(), Weight{0});
+          result.found.assign(s.edges.size(), 0);
+          ops_.edge_weights(s.edges, result.weights.data(),
+                            result.found.data());
+          s.weight_result.set_value(std::move(result));
+        } catch (...) {
+          s.weight_result.set_exception(std::current_exception());
+        }
+      } else {
+        try {
+          std::vector<std::uint8_t> out(s.edges.size(), 0);
+          ops_.edges_exist(s.edges, out.data());
+          s.exist_result.set_value(std::move(out));
+        } catch (...) {
+          s.exist_result.set_exception(std::current_exception());
+        }
+      }
+    }));
+  };
+  try {
+    for (Submission& s : batch) submit_one(s);
+  } catch (...) {
+    // A failed submit (allocation) must not unwind past jobs already in
+    // flight — they reference `batch`. Wait them out, then let the
+    // conductor fail the unresolved promises.
+    try {
+      pool.wait_all(jobs);
+    } catch (...) {
+    }
+    throw;
+  }
+  util::Timer fence_timer;
+  pool.wait_all(jobs);  // the query->next-phase fence
+  return fence_timer.seconds();
+}
+
+}  // namespace sg::core

@@ -1,0 +1,183 @@
+// Epoch-based phase scheduler: makes the phase-concurrent contract (§II-A)
+// enforceable instead of advisory.
+//
+// The structure is phase-concurrent: mutation batches and query batches are
+// each internally parallel, but a mutation batch must never overlap a query
+// batch. Until now that interleaving was the CALLER's problem — the graph's
+// batch_mutex_ only serializes mutations against each other, and nothing
+// stops a thread from calling edges_exist while another thread's
+// insert_edges is mid-apply. DynoGraph-style streaming workloads (ingest
+// interleaved with analytics epochs) need that contract enforced by the
+// structure itself.
+//
+// The scheduler accepts mutation and query batches from ANY thread,
+// classifies each submission by kind, and runs the stream as alternating
+// PHASES:
+//
+//   * every submission queued at a phase boundary of the same kind is
+//     admitted into the shared phase — small submissions coalesce;
+//   * within a MUTATION phase, consecutive same-operation submissions are
+//     concatenated (submission order preserved) and applied as ONE engine
+//     batch, riding the engine's double-buffered epoch pipeline — the
+//     "shared epochs" that make many small ingest calls cost like one big
+//     one;
+//   * within a QUERY phase, every admitted batch runs CONCURRENTLY as its
+//     own ThreadPool job (query batches are safely concurrent with each
+//     other; each is internally pipelined as before);
+//   * between phases of different kinds the conductor FENCES: the next
+//     phase opens only after every task of the open phase has completed.
+//
+// A single conductor thread owns phase selection, so mutation batches are
+// serialized by construction — in scheduled mode the conductor, not the
+// graph's raw batch_mutex_, is the serialization point (the mutex remains
+// armed for direct synchronous calls and is uncontended under the
+// scheduler). Submission order is FIFO: a thread that submits A before B
+// observes A applied before B, and a thread that waits on a mutation's
+// future before submitting a query is guaranteed the query sees that
+// mutation.
+//
+// Fairness: a phase admits the longest same-kind PREFIX of the FIFO queue
+// — never cherry-picking around an opposite-kind submission — so the queue
+// head always opens the next phase and neither kind can starve the other,
+// while every burst of same-kind submissions still coalesces. Stats (phase
+// switches, coalesced submissions, fence wait time) are exposed through
+// stats() / DynGraph::last_schedule_stats().
+//
+// The scheduler is type-erased over the graph: DynGraph<Policy> hands it
+// four callbacks (PhaseScheduler::Ops) bound to its existing batched entry
+// points, so one non-templated conductor serves both the map and set
+// variants.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::core {
+
+/// Result of a scheduled batched weight lookup (DynGraphMap only):
+/// weights[i] is the stored weight of queries[i] (0 on a miss) and
+/// found[i] = 1 iff the edge is present.
+struct EdgeWeightBatch {
+  std::vector<Weight> weights;
+  std::vector<std::uint8_t> found;
+};
+
+/// Counters of the scheduled stream since construction. Snapshot via
+/// PhaseScheduler::stats() (or DynGraph::last_schedule_stats()).
+struct PhaseScheduleStats {
+  std::uint64_t submitted_mutations = 0;  ///< insert/erase submissions
+  std::uint64_t submitted_queries = 0;    ///< exist/weight submissions
+  std::uint64_t mutation_phases = 0;      ///< phases that ran mutations
+  std::uint64_t query_phases = 0;         ///< phases that ran queries
+  /// Mutation->query / query->mutation transitions: each one paid a fence.
+  std::uint64_t phase_switches = 0;
+  /// Submissions beyond the first admitted into each phase — batches that
+  /// shared a phase (and, for consecutive same-op mutations, a single
+  /// engine batch / epoch pipeline) instead of paying their own fence.
+  std::uint64_t coalesced_batches = 0;
+  /// Conductor wall-clock spent blocked on an open phase's outstanding
+  /// tasks before the next phase could open (the fence cost).
+  double fence_wait_seconds = 0.0;
+};
+
+/// The conductor. One per scheduled graph; owns a single thread that
+/// drains the submission queue phase by phase (see file comment).
+class PhaseScheduler {
+ public:
+  /// Graph entry points the phases execute through, type-erased so one
+  /// scheduler serves DynGraphMap and DynGraphSet. `edge_weights` may be
+  /// empty (the set variant never submits weighted queries).
+  struct Ops {
+    std::function<std::uint64_t(std::span<const WeightedEdge>)> insert_edges;
+    std::function<std::uint64_t(std::span<const Edge>)> delete_edges;
+    std::function<void(std::span<const Edge>, std::uint8_t*)> edges_exist;
+    std::function<void(std::span<const Edge>, Weight*, std::uint8_t*)>
+        edge_weights;
+  };
+
+  explicit PhaseScheduler(Ops ops);
+
+  /// Drains every pending submission, then joins the conductor.
+  ~PhaseScheduler();
+
+  PhaseScheduler(const PhaseScheduler&) = delete;
+  PhaseScheduler& operator=(const PhaseScheduler&) = delete;
+
+  // ---- submission (any thread) -----------------------------------------
+  /// The future resolves once the submission's mutation phase committed,
+  /// to the number of edges its COALESCED GROUP applied: consecutive
+  /// same-op submissions admitted into one phase merge into a single
+  /// engine batch, and every member of the group observes the group
+  /// total (a submission that ran alone gets its exact count).
+  std::future<std::uint64_t> submit_insert(std::vector<WeightedEdge> edges);
+  std::future<std::uint64_t> submit_erase(std::vector<Edge> edges);
+
+  /// The future resolves to out[i] = 1 iff queries[i] was present in the
+  /// phase-consistent state the query phase ran against.
+  std::future<std::vector<std::uint8_t>> submit_edges_exist(
+      std::vector<Edge> queries);
+
+  /// Batched weight lookup (map graphs only; requires Ops::edge_weights).
+  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries);
+
+  /// Blocks until every submission accepted so far has completed and no
+  /// phase is open. New submissions may arrive while draining; they are
+  /// drained too.
+  void drain();
+
+  PhaseScheduleStats stats() const;
+
+ private:
+  enum class Kind : std::uint8_t { kMutation, kQuery };
+
+  /// One queued submission. Mutations carry edges (insert) or plain edges
+  /// (erase); queries carry probes. Exactly one payload is active.
+  struct Submission {
+    Kind kind = Kind::kMutation;
+    bool erase = false;     ///< mutations: erase vs insert
+    bool weighted = false;  ///< queries: edge_weights vs edges_exist
+    std::vector<WeightedEdge> inserts;
+    std::vector<Edge> edges;  ///< erase targets or query probes
+    std::promise<std::uint64_t> mutation_result;
+    std::promise<std::vector<std::uint8_t>> exist_result;
+    std::promise<EdgeWeightBatch> weight_result;
+  };
+
+  void enqueue(Submission&& s);
+  void conductor_loop();
+  /// Runs one phase over `batch` (all the same kind). Called with mutex_
+  /// UNLOCKED; returns the conductor time spent fenced on the phase's
+  /// outstanding tasks before it could close (0 for mutation phases, which
+  /// run inline on the conductor).
+  double run_mutation_phase(std::vector<Submission>& batch);
+  double run_query_phase(std::vector<Submission>& batch);
+  /// Fails every promise of `batch` not already satisfied with `error` —
+  /// the conductor's last line of defense when a phase runner throws
+  /// outside the per-submission try blocks (infrastructure failure, e.g.
+  /// bad_alloc): pending futures must resolve, and the conductor thread
+  /// must survive.
+  static void fail_batch(std::vector<Submission>& batch,
+                         std::exception_ptr error);
+
+  Ops ops_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_submit_;  ///< wakes the conductor
+  std::condition_variable cv_drained_;  ///< wakes drain()ers
+  std::vector<Submission> queue_;      ///< FIFO; conductor snapshots runs
+  bool phase_open_ = false;  ///< conductor is executing a snapshot
+  bool stop_ = false;
+  bool have_last_kind_ = false;
+  Kind last_kind_ = Kind::kMutation;
+  PhaseScheduleStats stats_;
+  std::thread conductor_;  ///< last member: joins before state dies
+};
+
+}  // namespace sg::core

@@ -96,6 +96,28 @@ struct GraphConfig {
   /// histogram too, but only mutation batches may fire (the
   /// phase-concurrent model keeps query phases read-only).
   double auto_rehash_p99_slabs = 4.0;
+
+  /// Tail fraction of the automatic rehash trigger: the policy fires when
+  /// MORE than this fraction of observed runs walked chains at/above
+  /// auto_rehash_p99_slabs. The default 0.01 is the "p99" in the knob
+  /// above; smaller values rehash more eagerly (p99.9 at 0.001), larger
+  /// ones tolerate a fatter tail before paying a rebuild. Must be in
+  /// (0, 1]; use auto_rehash_p99_slabs = 0 to disable the policy.
+  double auto_rehash_tail_frac = 0.01;
+
+  /// Scheduled mode (src/core/phase_scheduler.hpp): the async submit_*
+  /// entry points (submit_insert / submit_erase / submit_edges_exist /
+  /// submit_edge_weights) route through a per-graph phase scheduler that
+  /// fences mutation phases from query phases, coalesces small same-kind
+  /// submissions into shared engine batches, and runs concurrent query
+  /// batches as parallel pool jobs — making the phase-concurrent contract
+  /// enforceable when batches arrive from many threads. The conductor
+  /// thread starts lazily on the first submit_* call, so graphs that only
+  /// use the synchronous API never pay for it. `false` degrades submit_*
+  /// to synchronous inline execution (the differential reference; no
+  /// cross-thread phase safety). Synchronous calls (insert_edges,
+  /// edges_exist, ...) bypass the scheduler either way.
+  bool phase_scheduler = true;
 };
 
 /// The graph's construction-time configuration under its public name.

@@ -177,6 +177,25 @@ void ThreadPool::wait(const JobHandle& job) {
   finish_job(job);
 }
 
+void ThreadPool::wait_all(std::span<const JobHandle> jobs) {
+  // Help every job first (any order: chunks are claimed from atomic
+  // cursors), then settle completion; a throw from one job must not leave
+  // another in flight, so the first error is held until all have finished.
+  for (const JobHandle& job : jobs) {
+    if (job && job->num_chunks != 0) job->run_chunks();
+  }
+  std::exception_ptr first_error;
+  for (const JobHandle& job : jobs) {
+    if (!job || job->num_chunks == 0) continue;
+    try {
+      finish_job(job);
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::parallel_for(std::uint64_t num_chunks,
                               const std::function<void(std::uint64_t)>& fn) {
   if (num_chunks == 0) return;

@@ -26,6 +26,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -34,8 +35,9 @@ namespace sg::simt {
 class ThreadPool {
  public:
   /// `num_threads == 0` selects the environment default: SG_THREADS if set,
-  /// otherwise max(2, hardware_concurrency) so concurrency is exercised
-  /// even on single-core hosts.
+  /// otherwise hardware_concurrency (minimum 1 — on a single-core host the
+  /// default pool runs inline; set SG_THREADS=2+ to force real
+  /// concurrency there).
   explicit ThreadPool(unsigned num_threads = 0);
   ~ThreadPool();
 
@@ -72,6 +74,14 @@ class ThreadPool {
   /// run remaining chunks rather than idling. Rethrows the job's first
   /// exception. Idempotent.
   void wait(const JobHandle& job);
+
+  /// Blocks until EVERY job in `jobs` has completed, helping run remaining
+  /// chunks of each (the phase scheduler's query fence: all batches of a
+  /// query phase must finish before a mutation phase may open). Waits out
+  /// every job even when one throws; the first exception is rethrown after
+  /// the last job finishes, so no job is ever left in flight behind an
+  /// unwinding caller. Null handles are skipped.
+  void wait_all(std::span<const JobHandle> jobs);
 
   /// Runs fn(chunk_index) for chunk_index in [0, num_chunks), distributing
   /// chunks over the pool with a shared atomic cursor; blocks until all

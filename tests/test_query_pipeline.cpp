@@ -359,6 +359,40 @@ TEST(AutoRehash, FiresWithoutUserCallsAndPreservesContent) {
             manual_graph.memory_stats().avg_chain_length());
 }
 
+TEST(AutoRehash, TailFractionKnobControlsTheTrigger) {
+  // Same skewed stream as FiresWithoutUserCalls: 40 hub runs out of ~240
+  // walk >= 4-slab chains, a tail fraction of roughly 1/6. The default
+  // 0.01 (p99) must fire, and a tolerance ABOVE the actual tail must not
+  // — the knob, not a hard-wired 1%, decides.
+  const auto edges = hub_batch(40, 80, 200);
+  for (const double frac : {0.01, 0.5}) {
+    GraphConfig cfg = engine_config(2, 0, true);
+    cfg.vertex_capacity = 2048;
+    cfg.auto_rehash_p99_slabs = 4.0;
+    cfg.auto_rehash_tail_frac = frac;
+    DynGraphMap g(cfg);
+    g.insert_edges(edges);
+    if (frac <= 0.01) {
+      EXPECT_GE(g.auto_rehash_triggers(), 1u) << "frac=" << frac;
+    } else {
+      EXPECT_EQ(g.auto_rehash_triggers(), 0u) << "frac=" << frac;
+    }
+  }
+}
+
+TEST(AutoRehash, TailFractionIsValidatedAtConstruction) {
+  GraphConfig cfg;
+  cfg.auto_rehash_tail_frac = 0.0;  // "fire on any tail" is frac -> 0+,
+  EXPECT_THROW(DynGraphMap{cfg}, std::invalid_argument);  // not 0
+  cfg.auto_rehash_tail_frac = -0.5;
+  EXPECT_THROW(DynGraphMap{cfg}, std::invalid_argument);
+  cfg.auto_rehash_tail_frac = 1.5;
+  EXPECT_THROW(DynGraphMap{cfg}, std::invalid_argument);
+  cfg.auto_rehash_tail_frac = 1.0;  // the permissive extreme is legal
+  DynGraphMap ok(cfg);
+  EXPECT_EQ(ok.config().auto_rehash_tail_frac, 1.0);
+}
+
 TEST(AutoRehash, StaysQuietOnUniformWorkloads) {
   GraphConfig cfg = engine_config(2, 0, true);
   cfg.auto_rehash_p99_slabs = 4.0;
