@@ -51,6 +51,35 @@ DEFAULT_METRICS = [
 UNGATED_NOISY_METRICS = [
     "pipeline_overlap",
     "query_overlap",
+    # micro_scheduler backpressure section: latency percentiles and
+    # admission-control counters under deliberate open-loop overload.
+    # Lower-is-better (the gate assumes higher-is-better rates) and
+    # load-timing dependent, so tracked for trend only.
+    "scheduler_latency_p50_us_unbounded",
+    "scheduler_latency_p99_us_unbounded",
+    "scheduler_latency_p999_us_unbounded",
+    "scheduler_latency_p50_us_bounded",
+    "scheduler_latency_p99_us_bounded",
+    "scheduler_latency_p999_us_bounded",
+    "scheduler_latency_p50_us_reject",
+    "scheduler_latency_p99_us_reject",
+    "scheduler_latency_p999_us_reject",
+    "scheduler_latency_p50_us_shed",
+    "scheduler_latency_p99_us_shed",
+    "scheduler_latency_p999_us_shed",
+    "scheduler_queue_depth_unbounded",
+    "scheduler_queue_depth_bounded",
+    "scheduler_queue_depth_reject",
+    "scheduler_queue_depth_shed",
+    "scheduler_blocked_ms_bounded",
+    "scheduler_blocked_ms_reject",
+    "scheduler_blocked_ms_shed",
+    "scheduler_rejected_bounded",
+    "scheduler_rejected_reject",
+    "scheduler_rejected_shed",
+    "scheduler_shed_bounded",
+    "scheduler_shed_reject",
+    "scheduler_shed_shed",
 ]
 DEFAULT_THRESHOLD = 0.10
 

@@ -20,15 +20,28 @@
 //             hand-off), the price of fine-grained interleaving the mixed
 //             section's coalescing avoids.
 //
+//   backpressure  open-loop overload (submitters fire without pacing)
+//             against the four admission-control modes: unbounded, bounded
+//             kBlock, kReject, kShedOldestQueries. Reports p50/p99/p999
+//             per-submission latency plus blocked/rejected/shed/max-depth
+//             counters — recorded in JSON but NOT gated (latency on a
+//             shared box is noisy; see compare_bench.py).
+//
 // JSON metrics (tracked by bench/compare_bench.py):
 //   scheduled_mixed_rate{threads=T}   Mop/s through the scheduled API
+//   scheduler_latency_p{50,99,999}_us_MODE, scheduler_queue_depth_MODE,
+//   scheduler_{blocked_ms,rejected,shed}_MODE   recorded, ungated
 //
 //   ./build/micro_scheduler --json=BENCH_scheduler.json
 //   flags: --batches=N --batch_exp=E --vertices_exp=E --threads=1,2,4 --quick
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <future>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench/bench_common.hpp"
@@ -182,6 +195,187 @@ void run_mixed(const bench::BenchContext& ctx,
       "sharing phases instead of each paying a fence");
 }
 
+// ---------------------------------------------------------------------------
+// Backpressure: open-loop overload with and without bounded queues
+// ---------------------------------------------------------------------------
+
+double percentile_us(std::vector<double>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  std::size_t idx = static_cast<std::size_t>(q * double(sorted_us.size()));
+  if (idx >= sorted_us.size()) idx = sorted_us.size() - 1;
+  return sorted_us[idx];
+}
+
+/// Open-loop mixed load: submitters fire without pacing (a sliding window
+/// of outstanding futures keeps memory bounded and measures latency close
+/// to actual resolution), so the queue is permanently overloaded. Reports
+/// p50/p99/p999 per-submission latency (submit -> future resolved) and the
+/// admission-control counters across policies:
+///
+///   unbounded   the historical behavior: queue grows without limit;
+///   bounded     max_pending_submissions + kBlock: submitters absorb the
+///               overload as blocked_ns, queue depth stays capped;
+///   reject      kReject: overload becomes typed SubmitRejected errors;
+///   shed        kShedOldestQueries: overload evicts stale analytics,
+///               mutations always land.
+///
+/// Latency series are recorded but NOT gated (lower-is-better and noisy on
+/// a 1-vCPU box; see compare_bench.py UNGATED_NOISY_METRICS).
+void run_backpressure(const bench::BenchContext& ctx, int vertices_exp,
+                      int batch_exp, int num_batches) {
+  const std::uint32_t num_vertices = 1u << vertices_exp;
+  const std::size_t batch_size =
+      std::max<std::size_t>(64, (std::size_t{1} << batch_exp) / 16);
+  const int per_submitter = num_batches * 8;
+  // Analytics-heavy mix: mutation phases are the slow ones, so an even mix
+  // fills the bounded queue with mutations alone and the shed policy never
+  // finds a query to evict. Three analytics submitters keep queries resident
+  // in the queue when overload hits.
+  constexpr int kIngest = 1;
+  constexpr int kAnalytics = 3;
+  // Small per-submitter window: each submitter keeps up to kWindow futures
+  // outstanding before reaping the oldest. 4 submitters x 4 outstanding vs a
+  // queue cap of 4 is still ~4x overload, but reaping paces the flood enough
+  // that the conductor actually interleaves — an infinite-rate burst just
+  // freezes the first queue-full snapshot for the whole run.
+  constexpr std::size_t kWindow = 4;  // outstanding futures per submitter
+  // Analytics arrive in bursts wider than the queue cap, with a short gap
+  // between bursts — the bursty-dashboard shape kShedOldestQueries exists
+  // for: the tail of a burst evicts the stale head instead of stalling.
+  constexpr int kQueryBurst = 6;
+
+  struct Mode {
+    const char* key;
+    core::BackpressurePolicy policy;
+    std::uint32_t cap;
+  };
+  const Mode modes[] = {
+      {"unbounded", core::BackpressurePolicy::kBlock, 0},
+      {"bounded", core::BackpressurePolicy::kBlock, 4},
+      {"reject", core::BackpressurePolicy::kReject, 4},
+      {"shed", core::BackpressurePolicy::kShedOldestQueries, 4},
+  };
+
+  util::Table table({"Mode", "p50 (us)", "p99 (us)", "p999 (us)",
+                     "Blocked (ms)", "Rejected", "Shed", "Max depth"});
+  simt::ThreadPool::instance().resize(4);
+  for (const Mode& mode : modes) {
+    core::GraphConfig cfg;
+    cfg.vertex_capacity = num_vertices;
+    cfg.max_pending_submissions = mode.cap;
+    cfg.backpressure = mode.policy;
+
+    std::vector<double> latencies_us;
+    core::PhaseScheduleStats stats;
+    {
+      core::DynGraphMap g(cfg);
+      g.insert_edges(random_edges(ctx.seed, batch_size * 2, num_vertices));
+      std::vector<std::vector<double>> per_thread(kIngest + kAnalytics);
+      std::vector<std::thread> submitters;
+      for (int s = 0; s < kIngest + kAnalytics; ++s) {
+        submitters.emplace_back([&, s] {
+          const bool ingest = s < kIngest;
+          using Clock = std::chrono::steady_clock;
+          std::vector<std::pair<Clock::time_point,
+                                std::future<std::uint64_t>>> mut_window;
+          std::vector<std::pair<Clock::time_point,
+                                std::future<std::vector<std::uint8_t>>>>
+              query_window;
+          const auto settle = [&](bool all) {
+            // Drain the oldest outstanding futures (FIFO: they resolve in
+            // submission order), stamping resolution latency.
+            while (mut_window.size() > (all ? 0 : kWindow)) {
+              auto& [t0, f] = mut_window.front();
+              try {
+                f.get();
+                per_thread[s].push_back(
+                    std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              t0)
+                        .count());
+              } catch (const core::SubmitRejected&) {
+              } catch (const core::PartialBatchError&) {
+              }
+              mut_window.erase(mut_window.begin());
+            }
+            while (query_window.size() > (all ? 0 : kWindow)) {
+              auto& [t0, f] = query_window.front();
+              try {
+                f.get();
+                per_thread[s].push_back(
+                    std::chrono::duration<double, std::micro>(Clock::now() -
+                                                              t0)
+                        .count());
+              } catch (const core::SubmitRejected&) {
+              }
+              query_window.erase(query_window.begin());
+            }
+          };
+          for (int b = 0; b < per_submitter; ++b) {
+            if (ingest) {
+              auto batch = random_edges(ctx.seed + 17 + s * 1000 + b,
+                                        batch_size, num_vertices);
+              const auto t0 = Clock::now();
+              mut_window.emplace_back(t0, g.submit_insert(std::move(batch)));
+            } else {
+              for (int q = 0; q < kQueryBurst; ++q) {
+                auto probes =
+                    query_probes(ctx.seed + 900 + s * 10000 + b * 16 + q,
+                                 batch_size, num_vertices);
+                const auto t0 = Clock::now();
+                query_window.emplace_back(
+                    t0, g.submit_edges_exist(std::move(probes)));
+              }
+            }
+            settle(/*all=*/false);
+            if (!ingest) {
+              std::this_thread::sleep_for(std::chrono::microseconds(100));
+            }
+          }
+          settle(/*all=*/true);
+        });
+      }
+      for (auto& th : submitters) th.join();
+      g.schedule_drain();
+      stats = g.last_schedule_stats();
+      for (auto& v : per_thread) {
+        latencies_us.insert(latencies_us.end(), v.begin(), v.end());
+      }
+    }
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const double p50 = percentile_us(latencies_us, 0.50);
+    const double p99 = percentile_us(latencies_us, 0.99);
+    const double p999 = percentile_us(latencies_us, 0.999);
+    const double blocked_ms = double(stats.blocked_ns) * 1e-6;
+
+    table.add_row({mode.key, util::Table::fmt(p50), util::Table::fmt(p99),
+                   util::Table::fmt(p999), util::Table::fmt(blocked_ms),
+                   std::to_string(stats.rejected_submissions),
+                   std::to_string(stats.shed_queries),
+                   std::to_string(stats.max_queue_depth)});
+    const std::string suffix = std::string("_") + mode.key;
+    ctx.record("scheduler_latency_p50_us" + suffix, p50, "us", {});
+    ctx.record("scheduler_latency_p99_us" + suffix, p99, "us", {});
+    ctx.record("scheduler_latency_p999_us" + suffix, p999, "us", {});
+    ctx.record("scheduler_queue_depth" + suffix,
+               double(stats.max_queue_depth), "submissions", {});
+    if (mode.cap != 0) {
+      ctx.record("scheduler_blocked_ms" + suffix, blocked_ms, "ms", {});
+      ctx.record("scheduler_rejected" + suffix,
+                 double(stats.rejected_submissions), "submissions", {});
+      ctx.record("scheduler_shed" + suffix, double(stats.shed_queries),
+                 "submissions", {});
+    }
+  }
+  simt::ThreadPool::instance().resize(0);
+  ctx.emit(table,
+           "Open-loop overload: per-submission latency percentiles and "
+           "admission-control counters by backpressure policy (cap 4)");
+  bench::paper_shape_note(
+      "bounded queues trade unbounded latency for explicit backpressure: "
+      "kBlock converts overload to submitter blocked_ns at capped depth, "
+      "kReject/kShed convert it to typed, countable refusals");
+}
+
 void run_switch_overhead(const bench::BenchContext& ctx, int num_pairs) {
   core::GraphConfig cfg;
   cfg.vertex_capacity = 1024;
@@ -236,6 +430,7 @@ int main(int argc, char** argv) {
   const int num_batches = cli.get_int("batches", ctx.quick ? 3 : 6);
   sg::run_mixed(ctx, sg::parse_thread_list(cli), vertices_exp, batch_exp,
                 num_batches);
+  sg::run_backpressure(ctx, vertices_exp, batch_exp, num_batches);
   sg::run_switch_overhead(ctx, ctx.quick ? 100 : 400);
   ctx.write_json();
   return 0;

@@ -66,6 +66,7 @@
 #include <array>
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "src/core/types.hpp"
@@ -74,6 +75,28 @@
 #include "src/sort/segmented_sort.hpp"
 
 namespace sg::core {
+
+/// Internal abort signal of one epoch's apply stage: the arena ran dry (or
+/// a fault was injected) while applying staged runs. Carries the epoch's
+/// exact outcome — what was applied (and therefore counted) and which
+/// staged (src, dst) pairs were not — so the pipeline driver can fold it
+/// into a caller-facing PartialBatchError together with the epochs that
+/// never applied. Never escapes DynGraph.
+struct MutationAbort {
+  std::uint64_t applied = 0;        ///< keys applied (and counted) this epoch
+  std::vector<Edge> unapplied;      ///< staged pairs of this epoch not applied
+};
+
+/// Internal wrapper the epoch pipeline throws after catching a
+/// MutationAbort from the apply stage: adds which input items the failing
+/// epoch covered, so the caller can extend the unapplied set with every
+/// later epoch's raw input. Never escapes DynGraph.
+struct PipelineAbort {
+  MutationAbort epoch;               ///< the failing epoch's outcome
+  std::uint64_t epoch_begin_item = 0;  ///< first input item of that epoch
+  std::uint64_t epoch_end_item = 0;    ///< one past its last input item
+  std::uint64_t applied_before = 0;    ///< keys applied by earlier epochs
+};
 
 /// Runs this many positions ahead of the probe loop when prefetching head
 /// slabs (stage 3's software-pipeline depth).
@@ -362,6 +385,16 @@ struct BatchPipelineStats {
   /// 0 under merge-free staging (shards emit straight into the presized
   /// global slices), > 0 only on the legacy copying merge.
   std::uint64_t merge_copy_bytes = 0;
+  /// Input items per epoch of the last batch's epoch plan (== the batch
+  /// size when it ran as one epoch). With epochs_applied below, failure
+  /// paths reconstruct which raw input items never reached the apply stage.
+  std::uint64_t epoch_items = 0;
+  /// Epochs whose apply stage COMMITTED (completed without abort). Equals
+  /// `epochs` after a clean batch.
+  std::uint32_t epochs_applied = 0;
+  /// Keys applied (new-unique inserted or erased) by the committed epochs —
+  /// the running total failure paths report when a later stage dies.
+  std::uint64_t applied_total = 0;
 };
 
 /// Stage-1 helpers shared by DynGraph's batched paths. `table_of(src)`

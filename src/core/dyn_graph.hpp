@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "src/core/batch_engine.hpp"
+#include "src/core/errors.hpp"
 #include "src/core/phase_scheduler.hpp"
 #include "src/core/types.hpp"
 #include "src/core/vertex_dictionary.hpp"
@@ -87,9 +88,10 @@ struct MapPolicy {
                                    const std::uint32_t* values,
                                    std::uint32_t count,
                                    std::uint32_t alloc_seed,
-                                   std::uint32_t* chain_slabs) {
+                                   std::uint32_t* chain_slabs,
+                                   slabhash::BulkStatus* status) {
     return slabhash::map_bulk_replace(arena, t, bucket, keys, values, count,
-                                      alloc_seed, chain_slabs);
+                                      alloc_seed, chain_slabs, status);
   }
   static std::uint32_t bulk_erase(memory::SlabArena& arena,
                                   slabhash::TableRef t, std::uint32_t bucket,
@@ -161,9 +163,10 @@ struct SetPolicy {
                                    const std::uint32_t* /*values*/,
                                    std::uint32_t count,
                                    std::uint32_t alloc_seed,
-                                   std::uint32_t* chain_slabs) {
+                                   std::uint32_t* chain_slabs,
+                                   slabhash::BulkStatus* status) {
     return slabhash::set_bulk_insert(arena, t, bucket, keys, count, alloc_seed,
-                                     chain_slabs);
+                                     chain_slabs, status);
   }
   static std::uint32_t bulk_erase(memory::SlabArena& arena,
                                   slabhash::TableRef t, std::uint32_t bucket,
@@ -244,9 +247,18 @@ class DynGraph {
   /// Algorithm 1. Duplicates within the batch and against the graph are
   /// tolerated; self-loops are dropped; the most recent weight wins.
   /// Returns the number of *new* unique directed edges added.
+  ///
+  /// Failure (docs/ROBUSTNESS.md): if the arena runs dry mid-batch (chunk
+  /// limit, injected fault) the engine path aborts CLEANLY — committed
+  /// epochs stay applied, counters stay exact, and the call throws
+  /// core::PartialBatchError carrying the applied count and the unapplied
+  /// remainder; GraphConfig::on_pressure fires first. The graph remains
+  /// consistent and keeps serving.
   std::uint64_t insert_edges(std::span<const WeightedEdge> edges);
 
   /// Batched deletion; returns the number of edges actually removed.
+  /// Failure semantics as insert_edges (deletion never allocates, so only
+  /// staging faults can abort it).
   std::uint64_t delete_edges(std::span<const Edge> edges);
 
   // ---- vertex operations (§IV-D) --------------------------------------
@@ -293,6 +305,15 @@ class DynGraph {
   // no cross-thread safety). FIFO: one thread's submissions apply in its
   // program order, and a query submitted after a mutation's future
   // resolved is guaranteed to observe that mutation.
+  //
+  // Admission control (docs/ROBUSTNESS.md): with
+  // GraphConfig::max_pending_submissions / max_pending_edges set, the
+  // pending queue is bounded and GraphConfig::backpressure selects what
+  // happens at the cap — block the submitter (optionally bounded by
+  // submit_timeout_ms), reject the newcomer, or shed the oldest pending
+  // queries. Refused submissions resolve their future to
+  // core::SubmitRejected with a typed reason; submitting to a destroyed
+  // (stopping) graph throws it synchronously.
 
   /// Scheduled insert_edges.
   /// \param edges the batch (moved into the scheduler; duplicates and
@@ -310,17 +331,24 @@ class DynGraph {
   std::future<std::uint64_t> submit_erase(std::vector<Edge> edges);
 
   /// Scheduled edges_exist.
+  /// \param deadline_ms staleness bound (0 = none): if the phase that
+  ///        would run the query opens later than deadline_ms after
+  ///        submission, the conductor rejects it at admission and the
+  ///        future resolves to SubmitRejected{kDeadlineExpired}. Ignored
+  ///        in inline mode (the query runs immediately).
   /// \return future resolving to out[i] = 1 iff queries[i] was present in
   ///         the phase-consistent state the query phase ran against. Query
   ///         batches admitted into one phase run concurrently, each
   ///         internally pipelined.
   std::future<std::vector<std::uint8_t>> submit_edges_exist(
-      std::vector<Edge> queries);
+      std::vector<Edge> queries, std::uint32_t deadline_ms = 0);
 
   /// Scheduled edge_weights (map variant only).
   /// \return future resolving to {weights, found} for each query, with the
-  ///         same phase-consistency guarantee as submit_edges_exist.
-  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries)
+  ///         same phase-consistency guarantee (and deadline semantics) as
+  ///         submit_edges_exist.
+  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries,
+                                                   std::uint32_t deadline_ms = 0)
       requires Policy::kHasValues;
 
   /// Blocks until every submission accepted so far has completed and no

@@ -8,14 +8,17 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_set>
 #include <vector>
 
 #include "src/core/batch_engine.hpp"
 #include "src/core/batch_utils.hpp"
 #include "src/core/dyn_graph.hpp"
+#include "src/core/errors.hpp"
 #include "src/simt/atomics.hpp"
 #include "src/simt/grid.hpp"
 #include "src/simt/thread_pool.hpp"
+#include "src/util/fault_injection.hpp"
 
 namespace sg::core {
 
@@ -58,6 +61,10 @@ DynGraph<Policy>::DynGraph(GraphConfig config)
       config_.auto_rehash_tail_frac > 1.0) {
     throw std::invalid_argument("auto_rehash_tail_frac must be in (0, 1]");
   }
+  if (config_.max_arena_chunks != 0) {
+    arena_.set_chunk_limit(config_.max_arena_chunks);
+  }
+  arena_.set_checks(config_.arena_checks);
 }
 
 template <class Policy>
@@ -258,6 +265,61 @@ std::uint32_t DynGraph<Policy>::stage_shard_count(std::uint64_t items) const {
   return shards > kMaxStageShards ? kMaxStageShards : shards;
 }
 
+/// Packs a directed pair for the unapplied-set membership tests below.
+inline std::uint64_t edge_key(VertexId src, VertexId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+
+/// Builds a PartialBatchError's unapplied list from a PipelineAbort: the
+/// raw input items of the failing epoch whose staged pair (or its mirror,
+/// when undirected) went unapplied — reported in input order and input
+/// orientation, deduplicated — followed by every raw input item of the
+/// epochs that never reached the apply stage.
+template <typename EdgeT>
+std::vector<Edge> unapplied_from_abort(std::span<const EdgeT> edges,
+                                       bool undirected,
+                                       const PipelineAbort& abort) {
+  std::unordered_set<std::uint64_t> missed;
+  missed.reserve(abort.epoch.unapplied.size());
+  for (const Edge& e : abort.epoch.unapplied) {
+    missed.insert(edge_key(e.src, e.dst));
+  }
+  std::vector<Edge> unapplied;
+  std::unordered_set<std::uint64_t> reported;
+  for (std::uint64_t i = abort.epoch_begin_item;
+       i < abort.epoch_end_item && i < edges.size(); ++i) {
+    const VertexId src = edges[i].src;
+    const VertexId dst = edges[i].dst;
+    if (src == dst) continue;  // self-loops are dropped, never staged
+    const bool hit = missed.count(edge_key(src, dst)) != 0 ||
+                     (undirected && missed.count(edge_key(dst, src)) != 0);
+    if (hit && reported.insert(edge_key(src, dst)).second) {
+      unapplied.push_back(Edge{src, dst});
+    }
+  }
+  for (std::uint64_t i = abort.epoch_end_item; i < edges.size(); ++i) {
+    unapplied.push_back(Edge{edges[i].src, edges[i].dst});
+  }
+  return unapplied;
+}
+
+/// Fallback unapplied list for failures carrying no per-pair detail (a
+/// staging job died): every raw input item from the first epoch that did
+/// not commit its apply stage.
+template <typename EdgeT>
+std::vector<Edge> unapplied_from_epoch(std::span<const EdgeT> edges,
+                                       const BatchPipelineStats& stats) {
+  std::uint64_t begin =
+      static_cast<std::uint64_t>(stats.epochs_applied) * stats.epoch_items;
+  if (begin > edges.size()) begin = edges.size();
+  std::vector<Edge> unapplied;
+  unapplied.reserve(edges.size() - begin);
+  for (std::uint64_t i = begin; i < edges.size(); ++i) {
+    unapplied.push_back(Edge{edges[i].src, edges[i].dst});
+  }
+  return unapplied;
+}
+
 /// Steady-clock nanoseconds (the pipeline window timestamps).
 inline std::int64_t pipeline_now_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -296,6 +358,7 @@ std::uint64_t DynGraph<Policy>::run_epoch_pipeline(
 
   stats.epochs = static_cast<std::uint32_t>(num_epochs);
   stats.shards = shards;
+  stats.epoch_items = epoch_items;
   cur->resize(shards);
   nxt->resize(shards);
 
@@ -331,6 +394,20 @@ std::uint64_t DynGraph<Policy>::run_epoch_pipeline(
     const std::int64_t apply_begin = pipeline_now_ns();
     try {
       total += apply(cur->front(), /*overlapped=*/job != nullptr);
+    } catch (MutationAbort& abort) {
+      // The apply stage died mid-epoch (arena exhaustion / injected
+      // fault). Wait out the staging job, then hand the caller the failing
+      // epoch's exact outcome plus its input bounds so it can extend the
+      // unapplied set with every later epoch's raw input.
+      if (job) {
+        try {
+          pool.wait(job);
+        } catch (...) {
+        }
+      }
+      const std::uint64_t end_item =
+          next_begin < num_items ? next_begin : num_items;
+      throw PipelineAbort{std::move(abort), e * epoch_items, end_item, total};
     } catch (...) {
       if (job) {
         try {
@@ -341,6 +418,8 @@ std::uint64_t DynGraph<Policy>::run_epoch_pipeline(
       throw;
     }
     const std::int64_t apply_end = pipeline_now_ns();
+    ++stats.epochs_applied;
+    stats.applied_total = total;
     stats.apply_seconds +=
         static_cast<double>(apply_end - apply_begin) * 1e-9;
     if (job) {
@@ -379,6 +458,10 @@ std::uint64_t DynGraph<Policy>::run_mutation_pipeline(
                                               std::uint64_t begin,
                                               std::uint64_t end,
                                               std::uint32_t shards) {
+    SG_FAULT_DELAY(kStageJob);
+    if (SG_FAULT_FIRE(kStageJob)) {
+      throw std::runtime_error("slabgraph: injected stage-job fault");
+    }
     const std::int64_t t0 = pipeline_now_ns();
     pool.parallel_for(shards, [&, buf, begin, end, shards](std::uint64_t s) {
       BatchStaging& st = buf->shard(static_cast<std::uint32_t>(s));
@@ -418,15 +501,46 @@ std::uint64_t DynGraph<Policy>::insert_batched(
     if (dict_.deleted(u)) dict_.set_deleted(u, false);  // source revival
     return dict_.table(u);
   };
-  const std::uint64_t added = run_mutation_pipeline(
-      edges.size(), /*gather_values=*/Policy::kHasValues, /*erase=*/false,
-      [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
-          std::uint32_t num_shards, BatchStaging& st) {
-        stage_weighted_edges_shard(edges.subspan(begin, end - begin),
-                                   config_.undirected, Policy::kHasValues,
-                                   config_.hash_seed, shard, num_shards,
-                                   table_of, st);
-      });
+  std::uint64_t added = 0;
+  try {
+    added = run_mutation_pipeline(
+        edges.size(), /*gather_values=*/Policy::kHasValues, /*erase=*/false,
+        [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
+            std::uint32_t num_shards, BatchStaging& st) {
+          stage_weighted_edges_shard(edges.subspan(begin, end - begin),
+                                     config_.undirected, Policy::kHasValues,
+                                     config_.hash_seed, shard, num_shards,
+                                     table_of, st);
+        });
+  } catch (PipelineAbort& abort) {
+    // Arena exhaustion mid-apply: committed epochs stay applied, counters
+    // are exact, and the caller gets the precise unapplied remainder.
+    // maybe_auto_rehash is skipped on purpose — rebuilding tables allocates,
+    // the one thing the arena just refused to do.
+    if (config_.on_pressure) config_.on_pressure();
+    throw PartialBatchError(
+        abort.applied_before + abort.epoch.applied,
+        unapplied_from_abort(edges, config_.undirected, abort),
+        std::make_exception_ptr(memory::ArenaExhausted(
+            "SlabArena: dynamic slab allocation failed mid-batch")),
+        "insert_edges aborted: arena exhausted");
+  } catch (const memory::ArenaExhausted&) {
+    // Exhaustion outside the bulk path (first-touch table creation during
+    // staging): only epoch granularity is known.
+    if (config_.on_pressure) config_.on_pressure();
+    throw PartialBatchError(pipeline_stats_.applied_total,
+                            unapplied_from_epoch(edges, pipeline_stats_),
+                            std::current_exception(),
+                            "insert_edges aborted: arena exhausted");
+  } catch (const std::bad_alloc&) {
+    throw;  // host heap exhausted: building a partial report could too
+  } catch (...) {
+    // A staging job died (e.g. injected fault): committed epochs stand,
+    // everything from the first uncommitted epoch on is unapplied.
+    throw PartialBatchError(pipeline_stats_.applied_total,
+                            unapplied_from_epoch(edges, pipeline_stats_),
+                            std::current_exception(), "insert_edges aborted");
+  }
   maybe_auto_rehash();
   return added;
 }
@@ -439,14 +553,25 @@ std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
     return u < capacity && dict_.has_table(u) ? dict_.table(u)
                                               : slabhash::TableRef{};
   };
-  const std::uint64_t removed = run_mutation_pipeline(
-      edges.size(), /*gather_values=*/false, /*erase=*/true,
-      [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
-          std::uint32_t num_shards, BatchStaging& st) {
-        stage_edges_shard(edges.subspan(begin, end - begin),
-                          config_.undirected, config_.hash_seed, shard,
-                          num_shards, table_of, st);
-      });
+  std::uint64_t removed = 0;
+  try {
+    removed = run_mutation_pipeline(
+        edges.size(), /*gather_values=*/false, /*erase=*/true,
+        [&](std::uint64_t begin, std::uint64_t end, std::uint32_t shard,
+            std::uint32_t num_shards, BatchStaging& st) {
+          stage_edges_shard(edges.subspan(begin, end - begin),
+                            config_.undirected, config_.hash_seed, shard,
+                            num_shards, table_of, st);
+        });
+  } catch (const std::bad_alloc&) {
+    throw;  // host heap exhausted: building a partial report could too
+  } catch (...) {
+    // Deletion never allocates slabs, so only a dying staging job lands
+    // here; committed epochs stand, the rest is unapplied.
+    throw PartialBatchError(pipeline_stats_.applied_total,
+                            unapplied_from_epoch(edges, pipeline_stats_),
+                            std::current_exception(), "delete_edges aborted");
+  }
   maybe_auto_rehash();
   return removed;
 }
@@ -487,7 +612,15 @@ void DynGraph<Policy>::maybe_auto_rehash() {
       static_cast<double>(feedback_.runs_observed) *
           config_.auto_rehash_tail_frac) {
     ++auto_rehash_count_;
-    rehash_long_chains(1.0);  // targeted: consumes the candidate list
+    try {
+      rehash_long_chains(1.0);  // targeted: consumes the candidate list
+    } catch (const memory::ArenaExhausted&) {
+      // Opportunistic maintenance must never fail a batch that already
+      // committed: report the pressure and leave the long chains for a
+      // roomier moment. A table caught mid-move stays on its old (intact)
+      // table — only the abandoned fresh slabs are lost until then.
+      if (config_.on_pressure) config_.on_pressure();
+    }
   }
 }
 
@@ -497,6 +630,15 @@ std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
                                                     bool overlapped) {
   if (staged.runs.empty()) return 0;
   std::atomic<std::uint64_t> total{0};
+  // Abort machinery (inserts only — erase never allocates): the first
+  // chunk whose bulk op hits arena exhaustion flips the flag; every chunk
+  // then stops applying and records its remaining staged pairs instead, so
+  // the MutationAbort thrown after the launch carries exactly the pairs
+  // that were NOT applied. Counters stay exact throughout: the bulk ops
+  // return the precise applied count even on the failing call.
+  std::atomic<bool> abort_flag{false};
+  std::mutex abort_mutex;
+  std::vector<Edge> abort_unapplied;
   simt::LaunchConfig launch_cfg;
   // While a staging job shares the pool, smaller chunks let the scheduler
   // interleave the two jobs instead of parking workers on one of them.
@@ -508,6 +650,7 @@ std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
         VertexId counter_src = 0;
         std::uint32_t counter_delta = 0;
         bool counting = false;
+        std::vector<Edge> chunk_unapplied;
         ChainFeedback chunk_feedback;
         // Runs are sorted by source (within a shard's range), so one atomic
         // counter update covers every consecutive run of the same vertex.
@@ -533,27 +676,53 @@ std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
             },
             [&](std::uint64_t i) {
               const QueryRun& run = staged.runs[first + i];
+              const std::uint64_t begin = staged.run_offsets[first + i];
+              const std::uint64_t end = staged.run_offsets[first + i + 1];
+              if (abort_flag.load(std::memory_order_relaxed)) {
+                // A peer chunk aborted: record this run untouched.
+                for (std::uint64_t k = begin; k < end; ++k) {
+                  chunk_unapplied.push_back(Edge{run.src, staged.keys[k]});
+                }
+                return;
+              }
               if (!counting || run.src != counter_src) {
                 flush_counter();
                 counter_src = run.src;
                 counting = true;
               }
-              const std::uint64_t begin = staged.run_offsets[first + i];
-              const std::uint64_t end = staged.run_offsets[first + i + 1];
               const auto count = static_cast<std::uint32_t>(end - begin);
               const slabhash::TableRef table = dict_.table(run.src);
               std::uint32_t chain_slabs = 0;
-              counter_delta +=
-                  erase ? Policy::bulk_erase(arena_, table, run.bucket,
-                                             staged.keys.data() + begin, count,
-                                             &chain_slabs)
-                        : Policy::bulk_insert(
-                              arena_, table, run.bucket,
-                              staged.keys.data() + begin,
-                              staged.values.empty()
-                                  ? nullptr
-                                  : staged.values.data() + begin,
-                              count, run.src, &chain_slabs);
+              if (erase) {
+                counter_delta += Policy::bulk_erase(
+                    arena_, table, run.bucket, staged.keys.data() + begin,
+                    count, &chain_slabs);
+              } else {
+                slabhash::BulkStatus status;
+                counter_delta += Policy::bulk_insert(
+                    arena_, table, run.bucket, staged.keys.data() + begin,
+                    staged.values.empty() ? nullptr
+                                          : staged.values.data() + begin,
+                    count, run.src, &chain_slabs, &status);
+                if (!status.ok) {
+                  // Arena ran dry mid-run. The failure is not a prefix of
+                  // the run (see BulkStatus): the failing wave's
+                  // still-pending lanes plus every later key went
+                  // unapplied.
+                  for (std::uint32_t m = status.fail_pending; m; m &= m - 1) {
+                    const std::uint64_t k =
+                        begin + status.fail_base +
+                        static_cast<std::uint32_t>(std::countr_zero(m));
+                    chunk_unapplied.push_back(Edge{run.src, staged.keys[k]});
+                  }
+                  for (std::uint64_t k = begin + status.fail_base +
+                                         simt::kWarpSize;
+                       k < end; ++k) {
+                    chunk_unapplied.push_back(Edge{run.src, staged.keys[k]});
+                  }
+                  abort_flag.store(true, std::memory_order_relaxed);
+                }
+              }
               if (chain_slabs > 1) {
                 chunk_feedback.note_long(run.src, chain_slabs);
               }
@@ -567,8 +736,20 @@ std::uint64_t DynGraph<Policy>::apply_mutation_runs(const BatchStaging& staged,
           std::lock_guard<std::mutex> lock(feedback_mutex_);
           feedback_.merge_from(chunk_feedback);
         }
+        if (!chunk_unapplied.empty()) {
+          std::lock_guard<std::mutex> lock(abort_mutex);
+          abort_unapplied.insert(abort_unapplied.end(),
+                                 chunk_unapplied.begin(),
+                                 chunk_unapplied.end());
+        }
       },
       launch_cfg);
+  if (abort_flag.load(std::memory_order_relaxed)) {
+    MutationAbort abort;
+    abort.applied = total.load(std::memory_order_relaxed);
+    abort.unapplied = std::move(abort_unapplied);
+    throw abort;
+  }
   return total.load(std::memory_order_relaxed);
 }
 
@@ -756,7 +937,12 @@ PhaseScheduler& DynGraph<Policy>::ensure_scheduler() {
         edge_weights(queries, weights, found);
       };
     }
-    scheduler_ = std::make_unique<PhaseScheduler>(std::move(ops));
+    PhaseScheduler::Limits limits;
+    limits.max_pending_submissions = config_.max_pending_submissions;
+    limits.max_pending_edges = config_.max_pending_edges;
+    limits.backpressure = config_.backpressure;
+    limits.submit_timeout_ms = config_.submit_timeout_ms;
+    scheduler_ = std::make_unique<PhaseScheduler>(std::move(ops), limits);
     scheduler_ptr_.store(scheduler_.get(), std::memory_order_release);
   });
   return *scheduler_ptr_.load(std::memory_order_acquire);
@@ -782,20 +968,22 @@ std::future<std::uint64_t> DynGraph<Policy>::submit_erase(
 
 template <class Policy>
 std::future<std::vector<std::uint8_t>> DynGraph<Policy>::submit_edges_exist(
-    std::vector<Edge> queries) {
+    std::vector<Edge> queries, std::uint32_t deadline_ms) {
   if (!config_.phase_scheduler) {
+    // Inline mode runs the query immediately: a deadline cannot expire.
     return inline_submit<std::vector<std::uint8_t>>([&] {
       std::vector<std::uint8_t> out(queries.size(), 0);
       edges_exist(queries, out.data());
       return out;
     });
   }
-  return ensure_scheduler().submit_edges_exist(std::move(queries));
+  return ensure_scheduler().submit_edges_exist(std::move(queries),
+                                               deadline_ms);
 }
 
 template <class Policy>
 std::future<EdgeWeightBatch> DynGraph<Policy>::submit_edge_weights(
-    std::vector<Edge> queries)
+    std::vector<Edge> queries, std::uint32_t deadline_ms)
     requires Policy::kHasValues {
   if (!config_.phase_scheduler) {
     return inline_submit<EdgeWeightBatch>([&] {
@@ -806,7 +994,8 @@ std::future<EdgeWeightBatch> DynGraph<Policy>::submit_edge_weights(
       return result;
     });
   }
-  return ensure_scheduler().submit_edge_weights(std::move(queries));
+  return ensure_scheduler().submit_edge_weights(std::move(queries),
+                                                deadline_ms);
 }
 
 template <class Policy>

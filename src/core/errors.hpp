@@ -1,0 +1,98 @@
+// Typed failures of the serving path (docs/ROBUSTNESS.md).
+//
+// Two families:
+//  * SubmitRejected — admission control refused (or revoked) a scheduled
+//    submission; delivered through the submission's future, or thrown
+//    synchronously when submitting to a stopped scheduler.
+//  * PartialBatchError — a batched mutation aborted mid-flight (arena
+//    exhaustion, injected fault, staging failure) after part of the batch
+//    had already been applied; carries exactly what was applied and what
+//    was not, so a caller can retry the remainder or reconcile.
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/core/types.hpp"
+
+namespace sg::core {
+
+/// Why admission control refused a submission.
+enum class RejectReason : std::uint8_t {
+  kQueueFull,        ///< pending caps hit under BackpressurePolicy::kReject
+  kTimeout,          ///< kBlock wait exceeded GraphConfig::submit_timeout_ms
+  kDeadlineExpired,  ///< the submission's deadline passed before admission
+  kShutdown,         ///< scheduler stopping; queued work is rejected, not run
+  kShed,             ///< evicted by kShedOldestQueries to admit newer work
+};
+
+inline const char* to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kQueueFull: return "queue full";
+    case RejectReason::kTimeout: return "submit timeout";
+    case RejectReason::kDeadlineExpired: return "deadline expired";
+    case RejectReason::kShutdown: return "scheduler shutdown";
+    case RejectReason::kShed: return "shed under backpressure";
+  }
+  return "unknown";
+}
+
+/// A scheduled submission was refused or revoked; resolves the submission's
+/// future. The work was NOT applied (rejection is all-or-nothing — contrast
+/// PartialBatchError).
+class SubmitRejected : public std::runtime_error {
+ public:
+  explicit SubmitRejected(RejectReason reason)
+      : std::runtime_error(std::string("submission rejected: ") +
+                           to_string(reason)),
+        reason_(reason) {}
+
+  RejectReason reason() const noexcept { return reason_; }
+
+ private:
+  RejectReason reason_;
+};
+
+/// A batched mutation aborted after applying part of the batch. The graph
+/// is consistent: it equals the same batch applied WITHOUT the `unapplied`
+/// edges (counters exact, no torn slabs), the underlying cause is preserved
+/// in `cause`, and the graph keeps serving — this is graceful degradation,
+/// not corruption.
+///
+/// `unapplied` lists (src, dst) pairs in input order: the not-yet-applied
+/// remainder of the epoch that failed (deduplicated pairs — a pair staged
+/// twice in that epoch appears once) followed by every raw input edge of
+/// the epochs that never reached the apply stage. For undirected graphs
+/// pairs are reported in input orientation only.
+class PartialBatchError : public std::runtime_error {
+ public:
+  PartialBatchError(std::uint64_t applied, std::vector<Edge> unapplied,
+                    std::exception_ptr cause, const std::string& what)
+      : std::runtime_error(what + " (" + std::to_string(applied) +
+                           " applied, " + std::to_string(unapplied.size()) +
+                           " unapplied)"),
+        applied_(applied),
+        unapplied_(std::move(unapplied)),
+        cause_(std::move(cause)) {}
+
+  /// New keys actually inserted (or keys erased) before the abort — the
+  /// value the call would have returned had it stopped there cleanly.
+  std::uint64_t applied() const noexcept { return applied_; }
+
+  /// Edges staged but never applied; retry these.
+  const std::vector<Edge>& unapplied() const noexcept { return unapplied_; }
+
+  /// The failure that aborted the batch (e.g. memory::ArenaExhausted).
+  std::exception_ptr cause() const noexcept { return cause_; }
+
+ private:
+  std::uint64_t applied_;
+  std::vector<Edge> unapplied_;
+  std::exception_ptr cause_;
+};
+
+}  // namespace sg::core

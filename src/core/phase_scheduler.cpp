@@ -6,11 +6,22 @@
 #include <utility>
 
 #include "src/simt/thread_pool.hpp"
+#include "src/util/fault_injection.hpp"
 #include "src/util/timer.hpp"
 
 namespace sg::core {
 
-PhaseScheduler::PhaseScheduler(Ops ops) : ops_(std::move(ops)) {
+namespace {
+std::exception_ptr rejection(RejectReason reason) {
+  return std::make_exception_ptr(SubmitRejected(reason));
+}
+}  // namespace
+
+PhaseScheduler::PhaseScheduler(Ops ops)
+    : PhaseScheduler(std::move(ops), Limits{}) {}
+
+PhaseScheduler::PhaseScheduler(Ops ops, Limits limits)
+    : ops_(std::move(ops)), limits_(limits) {
   conductor_ = std::thread([this] { conductor_loop(); });
 }
 
@@ -20,21 +31,127 @@ PhaseScheduler::~PhaseScheduler() {
     stop_ = true;
   }
   cv_submit_.notify_all();
-  conductor_.join();  // drains the queue before exiting
+  cv_space_.notify_all();  // blocked submitters resolve to kShutdown
+  conductor_.join();       // finishes the open phase, rejects the rest
+}
+
+std::uint64_t PhaseScheduler::submission_items(const Submission& s) {
+  return s.inserts.size() + s.edges.size();
+}
+
+void PhaseScheduler::reject_submission(Submission& s, RejectReason reason) {
+  const std::exception_ptr err = rejection(reason);
+  if (s.kind == Kind::kMutation) {
+    s.mutation_result.set_exception(err);
+  } else if (s.weighted) {
+    s.weight_result.set_exception(err);
+  } else {
+    s.exist_result.set_exception(err);
+  }
+}
+
+bool PhaseScheduler::fits_locked(std::uint64_t items) const {
+  // An empty queue always admits: a single submission larger than
+  // max_pending_edges must not wedge forever (GraphConfig documents this).
+  if (queue_.empty()) return true;
+  if (limits_.max_pending_submissions != 0 &&
+      queue_.size() >= limits_.max_pending_submissions) {
+    return false;
+  }
+  if (limits_.max_pending_edges != 0 &&
+      pending_edges_ + items > limits_.max_pending_edges) {
+    return false;
+  }
+  return true;
+}
+
+bool PhaseScheduler::admit_locked(std::unique_lock<std::mutex>& lock,
+                                  Submission& s, std::uint64_t items) {
+  while (!fits_locked(items)) {
+    switch (limits_.backpressure) {
+      case BackpressurePolicy::kReject:
+        ++stats_.rejected_submissions;
+        reject_submission(s, RejectReason::kQueueFull);
+        return false;
+      case BackpressurePolicy::kShedOldestQueries: {
+        // Evict the oldest pending QUERIES until the newcomer fits.
+        // Mutations are never shed: dropping one would silently change the
+        // state every later submission runs against.
+        bool shed_any = false;
+        for (auto it = queue_.begin();
+             it != queue_.end() && !fits_locked(items);) {
+          if (it->kind != Kind::kQuery) {
+            ++it;
+            continue;
+          }
+          pending_edges_ -= submission_items(*it);
+          ++stats_.shed_queries;
+          reject_submission(*it, RejectReason::kShed);
+          it = queue_.erase(it);
+          shed_any = true;
+        }
+        if (shed_any) cv_space_.notify_all();
+        if (!fits_locked(items)) {
+          // Nothing sheddable left (the queue is all mutations).
+          ++stats_.rejected_submissions;
+          reject_submission(s, RejectReason::kQueueFull);
+          return false;
+        }
+        break;
+      }
+      case BackpressurePolicy::kBlock: {
+        const auto wait_begin = std::chrono::steady_clock::now();
+        const auto pred = [this, items] { return stop_ || fits_locked(items); };
+        bool woke = true;
+        if (limits_.submit_timeout_ms != 0) {
+          woke = cv_space_.wait_until(
+              lock,
+              wait_begin + std::chrono::milliseconds(limits_.submit_timeout_ms),
+              pred);
+        } else {
+          cv_space_.wait(lock, pred);
+        }
+        stats_.blocked_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_begin)
+                .count());
+        if (stop_) {
+          ++stats_.rejected_submissions;
+          reject_submission(s, RejectReason::kShutdown);
+          return false;
+        }
+        if (!woke) {
+          ++stats_.rejected_submissions;
+          reject_submission(s, RejectReason::kTimeout);
+          return false;
+        }
+        break;
+      }
+    }
+  }
+  return true;
 }
 
 void PhaseScheduler::enqueue(Submission&& s) {
+  const std::uint64_t items = submission_items(s);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     if (stop_) {
-      throw std::runtime_error("PhaseScheduler: submit after shutdown");
+      throw SubmitRejected(RejectReason::kShutdown);
     }
+    // Admission control: on rejection the submission's future has already
+    // been resolved to SubmitRejected — nothing more to do here.
+    if (!admit_locked(lock, s, items)) return;
     if (s.kind == Kind::kMutation) {
       ++stats_.submitted_mutations;
     } else {
       ++stats_.submitted_queries;
     }
     queue_.push_back(std::move(s));
+    pending_edges_ += items;
+    if (queue_.size() > stats_.max_queue_depth) {
+      stats_.max_queue_depth = queue_.size();
+    }
   }
   cv_submit_.notify_one();
 }
@@ -62,10 +179,15 @@ std::future<std::uint64_t> PhaseScheduler::submit_erase(
 }
 
 std::future<std::vector<std::uint8_t>> PhaseScheduler::submit_edges_exist(
-    std::vector<Edge> queries) {
+    std::vector<Edge> queries, std::uint32_t deadline_ms) {
   Submission s;
   s.kind = Kind::kQuery;
   s.weighted = false;
+  if (deadline_ms != 0) {
+    s.has_deadline = true;
+    s.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+  }
   s.edges = std::move(queries);
   std::future<std::vector<std::uint8_t>> f = s.exist_result.get_future();
   enqueue(std::move(s));
@@ -73,7 +195,7 @@ std::future<std::vector<std::uint8_t>> PhaseScheduler::submit_edges_exist(
 }
 
 std::future<EdgeWeightBatch> PhaseScheduler::submit_edge_weights(
-    std::vector<Edge> queries) {
+    std::vector<Edge> queries, std::uint32_t deadline_ms) {
   if (!ops_.edge_weights) {
     throw std::logic_error(
         "PhaseScheduler: this graph has no edge_weights operation");
@@ -81,6 +203,11 @@ std::future<EdgeWeightBatch> PhaseScheduler::submit_edge_weights(
   Submission s;
   s.kind = Kind::kQuery;
   s.weighted = true;
+  if (deadline_ms != 0) {
+    s.has_deadline = true;
+    s.deadline = std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(deadline_ms);
+  }
   s.edges = std::move(queries);
   std::future<EdgeWeightBatch> f = s.weight_result.get_future();
   enqueue(std::move(s));
@@ -101,9 +228,19 @@ void PhaseScheduler::conductor_loop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     cv_submit_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      if (stop_) return;
-      continue;
+    if (stop_) {
+      // Shutdown REJECTS pending work instead of silently dropping it (or
+      // running it against a graph mid-destruction): every still-queued
+      // future resolves to SubmitRejected{kShutdown}.
+      std::vector<Submission> doomed;
+      doomed.swap(queue_);
+      pending_edges_ = 0;
+      stats_.rejected_submissions += doomed.size();
+      lock.unlock();
+      fail_batch(doomed, rejection(RejectReason::kShutdown));
+      lock.lock();
+      cv_drained_.notify_all();
+      return;
     }
     // Admit the longest same-kind PREFIX of the queue into one phase.
     // Taking a prefix (never cherry-picking around an opposite-kind
@@ -123,6 +260,29 @@ void PhaseScheduler::conductor_loop() {
                                          static_cast<std::ptrdiff_t>(count)));
     queue_.erase(queue_.begin(),
                  queue_.begin() + static_cast<std::ptrdiff_t>(count));
+    for (const Submission& s : batch) pending_edges_ -= submission_items(s);
+    cv_space_.notify_all();  // the admitted prefix freed queue space
+    if (kind == Kind::kQuery) {
+      // Deadline sweep at phase admission: a query whose deadline passed
+      // while it sat behind earlier phases is rejected, not run — its
+      // phase-consistent answer would arrive too late to matter.
+      const auto now = std::chrono::steady_clock::now();
+      std::size_t kept = 0;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        if (batch[i].has_deadline && batch[i].deadline <= now) {
+          ++stats_.expired_queries;
+          reject_submission(batch[i], RejectReason::kDeadlineExpired);
+        } else {
+          if (kept != i) batch[kept] = std::move(batch[i]);
+          ++kept;
+        }
+      }
+      batch.resize(kept);
+      if (batch.empty()) {
+        cv_drained_.notify_all();
+        continue;
+      }
+    }
     phase_open_ = true;
     if (have_last_kind_ && kind != last_kind_) ++stats_.phase_switches;
     have_last_kind_ = true;
@@ -135,6 +295,7 @@ void PhaseScheduler::conductor_loop() {
     stats_.coalesced_batches += batch.size() - 1;
 
     lock.unlock();
+    SG_FAULT_DELAY(kConductorPhase);
     double fence_seconds = 0.0;
     try {
       fence_seconds = kind == Kind::kMutation ? run_mutation_phase(batch)

@@ -43,12 +43,24 @@
 // switches, coalesced submissions, fence wait time) are exposed through
 // stats() / DynGraph::last_schedule_stats().
 //
+// Admission control (docs/ROBUSTNESS.md): the pending queue can be bounded
+// (Limits / GraphConfig::max_pending_submissions, max_pending_edges), with
+// the overflow behavior selected by BackpressurePolicy — block the
+// submitter (optionally with a timeout), reject the newcomer, or shed the
+// oldest pending queries (mutations are never shed). Queries may carry a
+// deadline; the conductor rejects expired ones at phase admission instead
+// of running them. Every refused submission resolves its future to
+// core::SubmitRejected with a typed reason — nothing is silently dropped,
+// including at shutdown, where the destructor rejects (not runs) whatever
+// is still queued.
+//
 // The scheduler is type-erased over the graph: DynGraph<Policy> hands it
 // four callbacks (PhaseScheduler::Ops) bound to its existing batched entry
 // points, so one non-templated conductor serves both the map and set
 // variants.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -58,6 +70,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/core/errors.hpp"
 #include "src/core/types.hpp"
 
 namespace sg::core {
@@ -86,6 +99,20 @@ struct PhaseScheduleStats {
   /// Conductor wall-clock spent blocked on an open phase's outstanding
   /// tasks before the next phase could open (the fence cost).
   double fence_wait_seconds = 0.0;
+  // ---- admission control (docs/ROBUSTNESS.md) --------------------------
+  /// Submissions refused outright: queue full under kReject (or with
+  /// nothing sheddable under kShedOldestQueries), kBlock timeout, or
+  /// submit/shutdown races. Each resolved its future to SubmitRejected.
+  std::uint64_t rejected_submissions = 0;
+  /// Pending queries evicted by kShedOldestQueries to admit newer work.
+  std::uint64_t shed_queries = 0;
+  /// Queries whose deadline had passed when their phase opened; rejected
+  /// at admission instead of run.
+  std::uint64_t expired_queries = 0;
+  /// Total submitter wall-clock spent blocked by kBlock backpressure.
+  std::uint64_t blocked_ns = 0;
+  /// High-water mark of pending (queued, not yet admitted) submissions.
+  std::uint64_t max_queue_depth = 0;
 };
 
 /// The conductor. One per scheduled graph; owns a single thread that
@@ -103,9 +130,22 @@ class PhaseScheduler {
         edge_weights;
   };
 
-  explicit PhaseScheduler(Ops ops);
+  /// Admission-control knobs (mirrors the GraphConfig fields of the same
+  /// names; all zero = unbounded, the historical behavior).
+  struct Limits {
+    std::uint32_t max_pending_submissions = 0;  ///< queued-submission cap
+    std::uint64_t max_pending_edges = 0;        ///< queued-item cap
+    BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+    std::uint32_t submit_timeout_ms = 0;  ///< kBlock wait bound (0 = forever)
+  };
 
-  /// Drains every pending submission, then joins the conductor.
+  explicit PhaseScheduler(Ops ops);  ///< unbounded (default Limits)
+  PhaseScheduler(Ops ops, Limits limits);
+
+  /// Finishes the phase in flight, REJECTS every still-queued submission
+  /// (its future resolves to SubmitRejected{kShutdown} — queued work is
+  /// never silently dropped, and never run against a dying graph), then
+  /// joins the conductor. Call drain() first for the run-everything exit.
   ~PhaseScheduler();
 
   PhaseScheduler(const PhaseScheduler&) = delete;
@@ -122,11 +162,19 @@ class PhaseScheduler {
 
   /// The future resolves to out[i] = 1 iff queries[i] was present in the
   /// phase-consistent state the query phase ran against.
+  ///
+  /// `deadline_ms` (0 = none) bounds the query's staleness: if the phase
+  /// that would run it opens after submission + deadline_ms, the conductor
+  /// rejects it at admission (future resolves to
+  /// SubmitRejected{kDeadlineExpired}) instead of computing an answer
+  /// nobody is waiting for. Mutations never expire — they carry state.
   std::future<std::vector<std::uint8_t>> submit_edges_exist(
-      std::vector<Edge> queries);
+      std::vector<Edge> queries, std::uint32_t deadline_ms = 0);
 
   /// Batched weight lookup (map graphs only; requires Ops::edge_weights).
-  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries);
+  /// `deadline_ms` as in submit_edges_exist.
+  std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries,
+                                                   std::uint32_t deadline_ms = 0);
 
   /// Blocks until every submission accepted so far has completed and no
   /// phase is open. New submissions may arrive while draining; they are
@@ -144,6 +192,8 @@ class PhaseScheduler {
     Kind kind = Kind::kMutation;
     bool erase = false;     ///< mutations: erase vs insert
     bool weighted = false;  ///< queries: edge_weights vs edges_exist
+    bool has_deadline = false;  ///< queries: reject if admitted past deadline
+    std::chrono::steady_clock::time_point deadline;
     std::vector<WeightedEdge> inserts;
     std::vector<Edge> edges;  ///< erase targets or query probes
     std::promise<std::uint64_t> mutation_result;
@@ -152,6 +202,19 @@ class PhaseScheduler {
   };
 
   void enqueue(Submission&& s);
+  /// Items (edges or probes) a submission would add to the pending queue.
+  static std::uint64_t submission_items(const Submission& s);
+  /// Resolves the submission's future to SubmitRejected{reason}.
+  static void reject_submission(Submission& s, RejectReason reason);
+  /// True iff a submission of `items` items fits under limits_ right now.
+  /// An empty queue always admits: a single submission larger than
+  /// max_pending_edges must not wedge forever.
+  bool fits_locked(std::uint64_t items) const;
+  /// Runs the configured backpressure policy until `s` fits (or resolves
+  /// its future to SubmitRejected and returns false). kBlock waits on
+  /// cv_space_, charging the wait to stats_.blocked_ns.
+  bool admit_locked(std::unique_lock<std::mutex>& lock, Submission& s,
+                    std::uint64_t items);
   void conductor_loop();
   /// Runs one phase over `batch` (all the same kind). Called with mutex_
   /// UNLOCKED; returns the conductor time spent fenced on the phase's
@@ -168,10 +231,13 @@ class PhaseScheduler {
                          std::exception_ptr error);
 
   Ops ops_;
+  Limits limits_;
   mutable std::mutex mutex_;
   std::condition_variable cv_submit_;  ///< wakes the conductor
   std::condition_variable cv_drained_;  ///< wakes drain()ers
+  std::condition_variable cv_space_;  ///< wakes kBlock-ed submitters
   std::vector<Submission> queue_;      ///< FIFO; conductor snapshots runs
+  std::uint64_t pending_edges_ = 0;    ///< items queued, not yet admitted
   bool phase_open_ = false;  ///< conductor is executing a snapshot
   bool stop_ = false;
   bool have_last_kind_ = false;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 
 namespace sg::core {
 
@@ -27,6 +28,24 @@ struct WeightedEdge {
   Weight weight = 0;
 
   friend bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+/// What submit_* does when the scheduler's submission queue is full
+/// (GraphConfig::max_pending_submissions / max_pending_edges;
+/// docs/ROBUSTNESS.md).
+enum class BackpressurePolicy : std::uint8_t {
+  /// Block the submitting thread until space frees (optionally bounded by
+  /// GraphConfig::submit_timeout_ms, after which the future resolves to
+  /// SubmitRejected{kTimeout}). The default: lossless, paces producers.
+  kBlock,
+  /// Never block: the future resolves immediately to
+  /// SubmitRejected{kQueueFull}. For callers with their own retry loop.
+  kReject,
+  /// Drop the oldest *queued* query (its future resolves to
+  /// SubmitRejected{kShed}) to admit the new submission. Mutations are
+  /// never shed — losing one would silently fork the graph's history — so
+  /// a queue full of mutations rejects the newcomer instead.
+  kShedOldestQueries,
 };
 
 /// Construction-time knobs (§III, §IV-A).
@@ -118,6 +137,45 @@ struct GraphConfig {
   /// cross-thread phase safety). Synchronous calls (insert_edges,
   /// edges_exist, ...) bypass the scheduler either way.
   bool phase_scheduler = true;
+
+  /// Cap on queued (not-yet-admitted) submissions in the phase scheduler.
+  /// 0 = unbounded (the pre-admission-control behavior). When the cap is
+  /// hit, submit_* applies `backpressure`.
+  std::uint32_t max_pending_submissions = 0;
+
+  /// Cap on the total edges/queries carried by queued submissions; a finer
+  /// bound than the count above when submission sizes vary. 0 = unbounded.
+  /// A single submission larger than the cap is admitted when the queue is
+  /// empty (it could never fit otherwise) — the cap bounds queue growth,
+  /// not the largest batch.
+  std::uint64_t max_pending_edges = 0;
+
+  /// Policy applied by submit_* when either pending cap is hit.
+  BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+
+  /// Upper bound, in milliseconds, a kBlock submit_* waits for queue space
+  /// before its future resolves to SubmitRejected{kTimeout}. 0 = wait
+  /// forever.
+  std::uint32_t submit_timeout_ms = 0;
+
+  /// Cap on SlabArena growth in 1 MiB chunks (8192 slabs each); when the
+  /// arena is full, batched mutations abort cleanly with PartialBatchError
+  /// instead of the process dying in std::bad_alloc (docs/ROBUSTNESS.md).
+  /// 0 = the 32 GiB address-space limit.
+  std::uint32_t max_arena_chunks = 0;
+
+  /// Always-on misuse checks in SlabArena::free (double free, free of a
+  /// base slab) raising memory::ArenaFault instead of release-build UB.
+  /// Costs one bitmap load plus a <= 32-entry cache scan per free; disable
+  /// only if profiling shows it on a hot path.
+  bool arena_checks = true;
+
+  /// Invoked (on the mutating thread, with the batch lock held) after a
+  /// batched mutation aborts on arena exhaustion — the hook point for
+  /// memory-pressure reactions such as flush_all_tombstones() or an
+  /// operator alert. Must not submit or apply mutations on this graph
+  /// (deadlock); tombstone flush and rehash entry points are safe.
+  std::function<void()> on_pressure;
 };
 
 /// The graph's construction-time configuration under its public name.

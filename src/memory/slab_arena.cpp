@@ -1,8 +1,10 @@
 #include "src/memory/slab_arena.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
+#include "src/util/fault_injection.hpp"
 #include "src/util/prng.hpp"
 
 namespace sg::memory {
@@ -57,14 +59,20 @@ SlabArena::SlabArena()
   }
 }
 
-bool SlabArena::cache_push(SlabHandle handle) noexcept {
+bool SlabArena::cache_push(SlabHandle handle) {
   FreeCache& cache = free_caches_[thread_cache_index()];
   if (!cache.try_lock()) return false;
-#ifndef NDEBUG
-  for (std::uint32_t i = 0; i < cache.count; ++i) {
-    assert(cache.slots[i] != handle && "double free (handle already cached)");
+  // Same-thread double free of a cached handle: the bitmap bit is still
+  // set, so only this scan can catch it before the slab is handed out
+  // twice. 32 slots — cheap enough to keep on in release builds.
+  if (checks_) {
+    for (std::uint32_t i = 0; i < cache.count; ++i) {
+      if (cache.slots[i] == handle) {
+        cache.unlock();
+        throw ArenaFault("SlabArena::free: double free (handle in cache)");
+      }
+    }
   }
-#endif
   const bool pushed = cache.count < kFreeCacheSlots;
   if (pushed) cache.slots[cache.count++] = handle;
   cache.unlock();
@@ -91,9 +99,18 @@ SlabArena::Chunk* SlabArena::chunk_at(std::uint32_t index) const {
   return chunks_[index].load(std::memory_order_acquire);
 }
 
+void SlabArena::set_chunk_limit(std::uint32_t max_chunks) noexcept {
+  chunk_limit_.store(std::clamp(max_chunks, 1u, kMaxChunks),
+                     std::memory_order_relaxed);
+}
+
 std::uint32_t SlabArena::add_chunk(bool dynamic) {
   const std::uint32_t index = num_chunks_.load(std::memory_order_acquire);
-  if (index >= kMaxChunks) throw std::bad_alloc();
+  if (index >= chunk_limit_.load(std::memory_order_relaxed)) {
+    throw ArenaExhausted("SlabArena: chunk limit reached (" +
+                         std::to_string(index) + " chunks of " +
+                         std::to_string(kChunkSlabs) + " slabs)");
+  }
   auto* chunk = new Chunk(dynamic);
   chunks_[index].store(chunk, std::memory_order_release);
   num_chunks_.store(index + 1, std::memory_order_release);
@@ -104,6 +121,9 @@ SlabHandle SlabArena::allocate_contiguous(std::uint32_t count,
                                           std::uint32_t fill_word) {
   if (count == 0 || count > kChunkSlabs) {
     throw std::invalid_argument("allocate_contiguous: bad slab count");
+  }
+  if (SG_FAULT_FIRE(kArenaContiguous)) {
+    throw ArenaExhausted("SlabArena: injected contiguous-allocation fault");
   }
   SlabHandle first;
   Chunk* chunk;
@@ -127,6 +147,22 @@ SlabHandle SlabArena::allocate_contiguous(std::uint32_t count,
 }
 
 SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
+  const SlabHandle handle = try_allocate(fill_word, seed);
+  if (handle == kNullSlab) {
+    throw ArenaExhausted("SlabArena: dynamic slab allocation failed (" +
+                         std::to_string(num_chunks_.load(
+                             std::memory_order_relaxed)) +
+                         " chunks, limit " +
+                         std::to_string(chunk_limit_.load(
+                             std::memory_order_relaxed)) +
+                         ")");
+  }
+  return handle;
+}
+
+SlabHandle SlabArena::try_allocate(std::uint32_t fill_word,
+                                   std::uint32_t seed) {
+  if (SG_FAULT_FIRE(kArenaAllocate)) return kNullSlab;
   // Fast path: a slab this thread recently freed. Its bitmap bit is still
   // set, so no other thread can hand it out; no shared state is touched.
   const SlabHandle cached = cache_pop();
@@ -191,7 +227,15 @@ SlabHandle SlabArena::allocate(std::uint32_t fill_word, std::uint32_t seed) {
           break;
         }
       }
-      if (!has_space) add_chunk(/*dynamic=*/true);
+      if (!has_space) {
+        // Exhaustion is a status here, not an exception: the chunk limit is
+        // reached and every dynamic chunk is full (slabs parked in other
+        // threads' free caches stay invisible — their bitmap bits are set).
+        if (m >= chunk_limit_.load(std::memory_order_relaxed)) {
+          return kNullSlab;
+        }
+        add_chunk(/*dynamic=*/true);
+      }
     }
   }
 }
@@ -201,16 +245,31 @@ void SlabArena::free(SlabHandle handle) {
   const std::uint32_t slot = handle & kOffsetMask;
   Chunk* chunk = chunk_at(ci);
   assert(chunk != nullptr && chunk->dynamic && "free of a non-dynamic slab");
-  if (chunk == nullptr || !chunk->dynamic) return;
+  if (chunk == nullptr || !chunk->dynamic) {
+    // UB in waiting (a bulk slab "freed" here would be handed out again by
+    // the bump allocator while a chain still points at it): raise a typed
+    // error in release builds too while checks are on.
+    if (checks_) {
+      throw ArenaFault("SlabArena::free: handle " + std::to_string(handle) +
+                       " does not address a dynamic slab");
+    }
+    return;
+  }
   const std::uint64_t mask = std::uint64_t{1} << (slot % 64);
   // A clear bitmap bit means the slab is already free (double free of a
   // bitmap-freed handle): reject it before it can enter a cache and be
-  // handed out twice. Cached double frees are caught by the debug scan in
+  // handed out twice. Cached double frees are caught by the scan in
   // cache_push (same thread) but not across threads.
   const std::uint64_t live =
       chunk->bitmap[slot / 64].load(std::memory_order_acquire);
   assert((live & mask) != 0 && "double free");
-  if ((live & mask) == 0) return;
+  if ((live & mask) == 0) {
+    if (checks_) {
+      throw ArenaFault("SlabArena::free: double free of handle " +
+                       std::to_string(handle));
+    }
+    return;
+  }
   // Fast path: park the handle in this thread's cache (bitmap bit stays
   // set, so the slab stays invisible to other allocators). Spill to the
   // shared bitmap when the cache is full or contended.
@@ -227,6 +286,11 @@ void SlabArena::free(SlabHandle handle) {
     // Point the cold-scan cursor at the word that just gained a free bit so
     // the next allocation finds it without walking the filled prefix.
     chunk->scan_hint.store(slot / 64, std::memory_order_relaxed);
+  } else if (checks_) {
+    // Lost a race against another free of the same handle: the fetch_and is
+    // the authoritative arbiter, so this caller is the duplicate.
+    throw ArenaFault("SlabArena::free: concurrent double free of handle " +
+                     std::to_string(handle));
   }
 }
 

@@ -24,8 +24,33 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
 
 namespace sg::memory {
+
+/// The arena cannot grow: the chunk limit (set_chunk_limit, default the
+/// 32 GiB address-space cap) is reached and no dynamic chunk has a free
+/// slab. Derives std::bad_alloc so pre-existing callers that handled
+/// allocation failure generically keep working; the batch engine catches it
+/// specifically to abort a batch cleanly (docs/ROBUSTNESS.md).
+class ArenaExhausted : public std::bad_alloc {
+ public:
+  explicit ArenaExhausted(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// A caller violated the arena contract: freeing a bulk (non-dynamic) slab,
+/// or freeing a handle that is already free. Raised instead of silent UB
+/// when checks are on (the default; see set_checks / GraphConfig::arena_checks).
+class ArenaFault : public std::logic_error {
+ public:
+  explicit ArenaFault(const std::string& what) : std::logic_error(what) {}
+};
 
 /// 32-bit slab address; kNullSlab terminates bucket chains.
 using SlabHandle = std::uint32_t;
@@ -73,13 +98,33 @@ class SlabArena {
   /// mirroring SlabAlloc's per-warp super-block hashing. Thread-safe.
   /// Fast path: a handle recycled through the calling thread's free-slab
   /// cache — no bitmap scan, no shared-state contention.
+  /// Throws ArenaExhausted when the chunk limit is reached and no dynamic
+  /// chunk has space.
   SlabHandle allocate(std::uint32_t fill_word, std::uint32_t seed = 0);
 
-  /// Returns a dynamic slab to the arena. Freeing a bulk slab is invalid
-  /// (asserts in debug builds); the paper never reclaims base slabs.
+  /// Like allocate(), but reports exhaustion by returning kNullSlab instead
+  /// of throwing — the batch engine's bulk ops use this so a failure deep
+  /// inside an epoch is a status it can act on, not an exception unwinding
+  /// through a pool job.
+  SlabHandle try_allocate(std::uint32_t fill_word, std::uint32_t seed = 0);
+
+  /// Returns a dynamic slab to the arena. Freeing a bulk slab or an
+  /// already-free handle raises ArenaFault while checks are on (the
+  /// default); with checks off the call is ignored (and still asserts in
+  /// debug builds). The paper never reclaims base slabs.
   /// Fast path: the handle parks in the calling thread's free-slab cache
   /// for the next allocate(); the cache spills to the shared bitmap.
   void free(SlabHandle handle);
+
+  /// Caps growth at `max_chunks` chunks (1 MiB each), clamped to
+  /// [1, kMaxChunks]. Existing chunks beyond a lowered limit stay usable;
+  /// only further growth is refused. Call while quiescent.
+  void set_chunk_limit(std::uint32_t max_chunks) noexcept;
+
+  /// Enables/disables the always-on misuse checks in free() (double free,
+  /// free of a non-dynamic slab). On by default; GraphConfig::arena_checks
+  /// threads through here. Call while quiescent.
+  void set_checks(bool enabled) noexcept { checks_ = enabled; }
 
   /// Handle -> storage. Valid for any live handle; lock-free.
   Slab& resolve(SlabHandle handle) const;
@@ -115,12 +160,14 @@ class SlabArena {
 
   Chunk* chunk_at(std::uint32_t index) const;
   std::uint32_t add_chunk(bool dynamic);  // returns chunk index
-  bool cache_push(SlabHandle handle) noexcept;
+  bool cache_push(SlabHandle handle);     // throws ArenaFault on cached dup
   SlabHandle cache_pop() noexcept;  // kNullSlab when empty/contended
 
   std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
   std::atomic<std::uint32_t> num_chunks_{0};
   std::unique_ptr<FreeCache[]> free_caches_;
+  std::atomic<std::uint32_t> chunk_limit_{kMaxChunks};
+  bool checks_ = true;
 
   // Bulk (base-slab) bump state.
   std::mutex bulk_mutex_;

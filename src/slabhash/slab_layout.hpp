@@ -81,6 +81,21 @@ inline std::uint32_t buckets_for(std::uint64_t expected_keys, double load_factor
   return static_cast<std::uint32_t>(clamped);
 }
 
+/// Outcome of an allocating bulk operation (map_bulk_replace /
+/// set_bulk_insert) when the caller opts into status reporting. The wave
+/// structure applies keys out of order within a 32-key window, so a failure
+/// is not a prefix: `fail_base` is the index of the failing wave's first
+/// key and `fail_pending` the lane mask (bit i = keys[fail_base + i]) of
+/// keys in that wave still unapplied when the chain could not grow. Every
+/// key at index >= fail_base + 32 is also unapplied. Keys outside that set
+/// were fully applied and ARE counted in the operation's return value, so
+/// per-vertex counters stay exact across an abort.
+struct BulkStatus {
+  bool ok = true;
+  std::uint32_t fail_base = 0;
+  std::uint32_t fail_pending = 0;
+};
+
 /// Occupancy of one table, used by the Figure 2 memory-utilization series.
 struct TableOccupancy {
   std::uint64_t live_keys = 0;

@@ -27,11 +27,14 @@ using simt::atomic_store;
 namespace {
 
 /// Appends a fresh slab after `slab` if it has no successor; returns the
-/// successor either way. Losing the publication race frees the new slab and
-/// follows the winner, exactly as slab hash does on the GPU.
+/// successor either way, or kNullSlab when the arena is exhausted (the
+/// chain is untouched in that case — callers surface the failure). Losing
+/// the publication race frees the new slab and follows the winner, exactly
+/// as slab hash does on the GPU.
 SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
                         std::uint32_t alloc_seed) {
-  const SlabHandle fresh = arena.allocate(kEmptyKey, alloc_seed);
+  const SlabHandle fresh = arena.try_allocate(kEmptyKey, alloc_seed);
+  if (fresh == kNullSlab) return kNullSlab;
   // A fresh slab is all kEmptyKey; kEmptyKey == kNullSlab, so its next
   // pointer is already "null".
   const std::uint32_t observed =
@@ -39,6 +42,13 @@ SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
   if (observed == kNullSlab) return fresh;
   arena.free(fresh);
   return observed;
+}
+
+/// Shared exhaustion exit of the scalar mutation paths (status == nullptr):
+/// preserves the historical throwing contract.
+[[noreturn]] void throw_exhausted() {
+  throw memory::ArenaExhausted(
+      "slabhash: cannot extend bucket chain: arena exhausted");
 }
 
 struct PairClaim {
@@ -81,10 +91,13 @@ namespace {
 /// map_replace after hashing: shared by the scalar entry point and the bulk
 /// path's singleton runs (which arrive pre-hashed). `chain_slabs`, when
 /// non-null, receives how deep into the chain the walk went (1 = base).
+/// On arena exhaustion: records the failure into `status` when given (the
+/// key is then NOT inserted and not counted), else throws ArenaExhausted.
 bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
                        std::uint32_t bucket, std::uint32_t key,
                        std::uint32_t value, std::uint32_t alloc_seed,
-                       std::uint32_t* chain_slabs = nullptr) {
+                       std::uint32_t* chain_slabs = nullptr,
+                       BulkStatus* status = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
   // The walked depth is kept in a register and published only at the exits:
   // a per-slab store through chain_slabs could alias slab words and force
@@ -120,7 +133,17 @@ bool replace_in_bucket(memory::SlabArena& arena, TableRef table,
       empties &= empties - 1;  // a different key claimed the slot
     }
     SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
-    if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
+    if (next == kNullSlab) {
+      next = extend_chain(arena, slab, alloc_seed + key);
+      if (next == kNullSlab) {
+        if (chain_slabs != nullptr) *chain_slabs = depth;
+        if (status == nullptr) throw_exhausted();
+        status->ok = false;
+        status->fail_base = 0;
+        status->fail_pending = 1u;  // the lone key of this singleton run
+        return false;
+      }
+    }
     handle = next;
   }
 }
@@ -206,10 +229,11 @@ std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
                                std::uint32_t bucket, const std::uint32_t* keys,
                                const std::uint32_t* values, std::uint32_t count,
                                std::uint32_t alloc_seed,
-                               std::uint32_t* chain_slabs) {
+                               std::uint32_t* chain_slabs,
+                               BulkStatus* status) {
   if (count == 1) {  // singleton run: sparse batches are mostly these
     return replace_in_bucket(arena, table, bucket, keys[0], values[0],
-                             alloc_seed, chain_slabs)
+                             alloc_seed, chain_slabs, status)
                ? 1u
                : 0u;
   }
@@ -279,6 +303,18 @@ std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
       if (next == kNullSlab) {
         next = extend_chain(arena, slab,
                             alloc_seed + keys[base + std::countr_zero(pending)]);
+        if (next == kNullSlab) {
+          // Arena exhausted mid-wave. Keys already applied (this wave's
+          // cleared lanes, and every earlier wave) stay applied and stay
+          // counted in `added`; the failure report covers the rest.
+          if (depth > max_depth) max_depth = depth;
+          if (chain_slabs != nullptr) *chain_slabs = max_depth;
+          if (status == nullptr) throw_exhausted();
+          status->ok = false;
+          status->fail_base = base;
+          status->fail_pending = pending;
+          return added;
+        }
       }
       handle = next;
     }

@@ -67,11 +67,16 @@ MapFindResult map_search(const memory::SlabArena& arena, TableRef table,
 /// deepest slab position the walk reached (1 = base slab only), including
 /// slabs appended by this call — the §III chain-length metric the batch
 /// engine feeds back to targeted rehashing, observed for free.
+/// Arena exhaustion: with `status` non-null the call stops, records the
+/// failing wave into *status (see BulkStatus), and returns the exact count
+/// of keys applied so far; with `status` null it throws
+/// memory::ArenaExhausted (the historical contract of the scalar paths).
 std::uint32_t map_bulk_replace(memory::SlabArena& arena, TableRef table,
                                std::uint32_t bucket, const std::uint32_t* keys,
                                const std::uint32_t* values, std::uint32_t count,
                                std::uint32_t alloc_seed = 0,
-                               std::uint32_t* chain_slabs = nullptr);
+                               std::uint32_t* chain_slabs = nullptr,
+                               BulkStatus* status = nullptr);
 
 /// Bulk erase of a run; returns the number of keys that were present.
 /// `chain_slabs` as in map_bulk_replace (erase never extends the chain).

@@ -22,9 +22,12 @@ using simt::atomic_load;
 
 namespace {
 
+/// As in slab_map.cpp: returns the successor, or kNullSlab when the arena
+/// is exhausted (chain untouched; callers surface the failure).
 SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
                         std::uint32_t alloc_seed) {
-  const SlabHandle fresh = arena.allocate(kEmptyKey, alloc_seed);
+  const SlabHandle fresh = arena.try_allocate(kEmptyKey, alloc_seed);
+  if (fresh == kNullSlab) return kNullSlab;
   const std::uint32_t observed =
       atomic_cas(slab.words[kNextPtrWord], kNullSlab, fresh);
   if (observed == kNullSlab) return fresh;
@@ -32,16 +35,24 @@ SlabHandle extend_chain(memory::SlabArena& arena, Slab& slab,
   return observed;
 }
 
+/// Scalar paths (status == nullptr) keep the throwing contract.
+[[noreturn]] void throw_exhausted() {
+  throw memory::ArenaExhausted(
+      "slabhash: cannot extend bucket chain: arena exhausted");
+}
+
 }  // namespace
 
 namespace {
 
 /// set_insert after hashing: shared by the scalar entry point and the bulk
-/// path's singleton runs (which arrive pre-hashed).
+/// path's singleton runs (which arrive pre-hashed). On arena exhaustion:
+/// records into `status` when given (key NOT inserted), else throws.
 bool insert_in_bucket(memory::SlabArena& arena, TableRef table,
                       std::uint32_t bucket, std::uint32_t key,
                       std::uint32_t alloc_seed,
-                      std::uint32_t* chain_slabs = nullptr) {
+                      std::uint32_t* chain_slabs = nullptr,
+                      BulkStatus* status = nullptr) {
   SlabHandle handle = table.bucket_head(bucket);
   // Depth stays in a register and publishes only at the exits: a per-slab
   // store through chain_slabs could alias slab words and force reloads.
@@ -67,7 +78,17 @@ bool insert_in_bucket(memory::SlabArena& arena, TableRef table,
       empties &= empties - 1;  // a different key won the slot; keep going
     }
     SlabHandle next = atomic_load(slab.words[kNextPtrWord]);
-    if (next == kNullSlab) next = extend_chain(arena, slab, alloc_seed + key);
+    if (next == kNullSlab) {
+      next = extend_chain(arena, slab, alloc_seed + key);
+      if (next == kNullSlab) {
+        if (chain_slabs != nullptr) *chain_slabs = depth;
+        if (status == nullptr) throw_exhausted();
+        status->ok = false;
+        status->fail_base = 0;
+        status->fail_pending = 1u;  // the lone key of this singleton run
+        return false;
+      }
+    }
     handle = next;
   }
 }
@@ -138,10 +159,10 @@ bool set_contains(const memory::SlabArena& arena, TableRef table,
 std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
                               std::uint32_t bucket, const std::uint32_t* keys,
                               std::uint32_t count, std::uint32_t alloc_seed,
-                              std::uint32_t* chain_slabs) {
+                              std::uint32_t* chain_slabs, BulkStatus* status) {
   if (count == 1) {  // singleton run: sparse batches are mostly these
     return insert_in_bucket(arena, table, bucket, keys[0], alloc_seed,
-                            chain_slabs)
+                            chain_slabs, status)
                ? 1u
                : 0u;
   }
@@ -205,6 +226,17 @@ std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
       if (next == kNullSlab) {
         next = extend_chain(arena, slab,
                             alloc_seed + keys[base + std::countr_zero(pending)]);
+        if (next == kNullSlab) {
+          // Arena exhausted mid-wave: applied keys stay applied and counted;
+          // the status reports the failing wave (see BulkStatus).
+          if (depth > max_depth) max_depth = depth;
+          if (chain_slabs != nullptr) *chain_slabs = max_depth;
+          if (status == nullptr) throw_exhausted();
+          status->ok = false;
+          status->fail_base = base;
+          status->fail_pending = pending;
+          return added;
+        }
       }
       handle = next;
     }

@@ -33,10 +33,14 @@ bool set_contains(const memory::SlabArena& arena, TableRef table,
 /// NEW keys. `chain_slabs`, when non-null, receives the deepest slab
 /// position the walk reached (1 = base slab only, including slabs appended
 /// by this call) — the chain-length feedback targeted rehashing consumes.
+/// Arena exhaustion: with `status` non-null the call stops, records the
+/// failing wave into *status (see BulkStatus), and returns the exact count
+/// of keys applied; with `status` null it throws memory::ArenaExhausted.
 std::uint32_t set_bulk_insert(memory::SlabArena& arena, TableRef table,
                               std::uint32_t bucket, const std::uint32_t* keys,
                               std::uint32_t count, std::uint32_t alloc_seed = 0,
-                              std::uint32_t* chain_slabs = nullptr);
+                              std::uint32_t* chain_slabs = nullptr,
+                              BulkStatus* status = nullptr);
 
 /// Bulk erase of a run; returns the number of keys that were present.
 /// `chain_slabs` as in set_bulk_insert.

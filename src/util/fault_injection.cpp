@@ -1,0 +1,95 @@
+#include "src/util/fault_injection.hpp"
+
+#ifdef SLABGRAPH_FAULTS
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/util/prng.hpp"
+
+namespace sg::util {
+
+/// Counters are atomic (hot paths arrive concurrently); the spec words are
+/// plain and must only change from a quiescent thread (arm/disarm), which is
+/// the documented contract — tests arm before launching work.
+struct FaultInjector::SiteState {
+  std::atomic<std::uint64_t> arrivals{0};
+  std::atomic<std::uint64_t> fired{0};
+  FaultSpec spec;
+};
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+FaultInjector::SiteState& FaultInjector::state(FaultSite site) const noexcept {
+  // Function-local so the (private) nested type never needs a namespace-
+  // scope definition; initialized on first use, before any test arms it.
+  static SiteState sites[kNumFaultSites];
+  return sites[static_cast<std::uint32_t>(site)];
+}
+
+void FaultInjector::arm(FaultSite site, FaultSpec spec) {
+  SiteState& s = state(site);
+  s.spec = spec;
+  s.arrivals.store(0, std::memory_order_relaxed);
+  s.fired.store(0, std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm_all() {
+  for (std::uint32_t i = 0; i < kNumFaultSites; ++i) {
+    arm(static_cast<FaultSite>(i), FaultSpec{});
+  }
+}
+
+void FaultInjector::arm_random_schedule(std::uint64_t seed,
+                                        std::uint64_t max_fire_after) {
+  Xoshiro256 rng(seed);
+  for (std::uint32_t i = 0; i < kNumFaultSites; ++i) {
+    FaultSpec spec;
+    // Half the draws leave the site disarmed: schedules where only a subset
+    // of sites fail are the common production shape.
+    if (rng.below(2) == 0) {
+      spec.fire_after = 1 + rng.below(max_fire_after);
+      if (rng.below(4) == 0) spec.period = 1 + rng.below(max_fire_after);
+    }
+    if (static_cast<FaultSite>(i) == FaultSite::kConductorPhase &&
+        rng.below(2) == 0) {
+      spec.delay_us = static_cast<std::uint32_t>(rng.below(500));
+    }
+    arm(static_cast<FaultSite>(i), spec);
+  }
+}
+
+bool FaultInjector::should_fire(FaultSite site) noexcept {
+  SiteState& s = state(site);
+  if (s.spec.fire_after == 0) return false;
+  const std::uint64_t n = s.arrivals.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = n == s.spec.fire_after;
+  if (!fire && s.spec.period != 0 && n > s.spec.fire_after) {
+    fire = (n - s.spec.fire_after) % s.spec.period == 0;
+  }
+  if (fire) s.fired.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+void FaultInjector::maybe_delay(FaultSite site) noexcept {
+  const SiteState& s = state(site);
+  if (s.spec.delay_us != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(s.spec.delay_us));
+  }
+}
+
+std::uint64_t FaultInjector::arrivals(FaultSite site) const noexcept {
+  return state(site).arrivals.load(std::memory_order_relaxed);
+}
+
+std::uint64_t FaultInjector::fired(FaultSite site) const noexcept {
+  return state(site).fired.load(std::memory_order_relaxed);
+}
+
+}  // namespace sg::util
+
+#endif  // SLABGRAPH_FAULTS

@@ -1,0 +1,92 @@
+// Seeded, site-tagged fault injector for the robustness test harness.
+//
+// Production code marks its failure points with SG_FAULT_FIRE(site) /
+// SG_FAULT_DELAY(site). When the library is built with -DSLABGRAPH_FAULTS=ON
+// the macros consult the process-wide FaultInjector, which tests arm with a
+// deterministic schedule ("fail the 7th arena allocation", "delay every
+// staging job by 2ms", "stall the conductor before each phase"). In normal
+// builds the macros compile to `(false)` / `((void)0)` — zero code, zero
+// branches, zero data — so the hooks cost nothing in release binaries.
+//
+// Sites are coarse by design: each names one class of failure the recovery
+// machinery must survive, not one call site. Schedules are seeded
+// (arm_random_schedule) so CI can sweep seeds and a failure reproduces from
+// its seed alone (SG_FAULT_SEED in the fault-injection CI job).
+#pragma once
+
+#include <cstdint>
+
+namespace sg::util {
+
+/// Failure classes the robustness layer must recover from.
+enum class FaultSite : std::uint32_t {
+  kArenaAllocate = 0,    ///< dynamic slab allocation reports exhaustion
+  kArenaContiguous = 1,  ///< bulk (base-slab) allocation reports exhaustion
+  kStageJob = 2,         ///< background staging job throws / stalls
+  kConductorPhase = 3,   ///< conductor stalls before admitting a phase
+};
+inline constexpr std::uint32_t kNumFaultSites = 4;
+
+#ifdef SLABGRAPH_FAULTS
+
+/// One site's schedule. `fire_after == 0` disarms the site.
+struct FaultSpec {
+  /// Fire on the Nth arrival at the site (1-based). 0 = never.
+  std::uint64_t fire_after = 0;
+  /// After the first firing, fire again every `period` arrivals. 0 = once.
+  std::uint64_t period = 0;
+  /// Microseconds SG_FAULT_DELAY sleeps on every arrival while armed.
+  std::uint32_t delay_us = 0;
+};
+
+/// Process-wide injector. Arm/disarm from a quiescent test thread; the
+/// arrival counters are atomic so hot paths may query concurrently.
+class FaultInjector {
+ public:
+  static FaultInjector& instance();
+
+  /// Installs `spec` for `site` and resets the site's counters.
+  void arm(FaultSite site, FaultSpec spec);
+
+  /// Disarms every site and zeroes all counters.
+  void disarm_all();
+
+  /// Seeds a randomized schedule: each site is independently armed with a
+  /// pseudorandom fire_after in [1, max_fire_after] (some sites may stay
+  /// disarmed — that is part of the schedule space). Deterministic in
+  /// `seed`, so any CI failure replays from the seed alone.
+  void arm_random_schedule(std::uint64_t seed, std::uint64_t max_fire_after);
+
+  /// Counts an arrival; true when the schedule says this one fails.
+  bool should_fire(FaultSite site) noexcept;
+
+  /// Sleeps delay_us if the site is armed with a delay. Counts nothing.
+  void maybe_delay(FaultSite site) noexcept;
+
+  /// Total arrivals at `site` since it was last armed.
+  std::uint64_t arrivals(FaultSite site) const noexcept;
+
+  /// Total firings at `site` since it was last armed.
+  std::uint64_t fired(FaultSite site) const noexcept;
+
+ private:
+  FaultInjector() = default;
+  struct SiteState;
+  SiteState& state(FaultSite site) const noexcept;
+};
+
+#define SG_FAULT_FIRE(site)                     \
+  (::sg::util::FaultInjector::instance().should_fire( \
+      ::sg::util::FaultSite::site))
+#define SG_FAULT_DELAY(site)                    \
+  (::sg::util::FaultInjector::instance().maybe_delay( \
+      ::sg::util::FaultSite::site))
+
+#else  // !SLABGRAPH_FAULTS
+
+#define SG_FAULT_FIRE(site) (false)
+#define SG_FAULT_DELAY(site) ((void)0)
+
+#endif  // SLABGRAPH_FAULTS
+
+}  // namespace sg::util

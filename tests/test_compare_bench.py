@@ -141,6 +141,13 @@ def test_tracked_query_metrics_are_in_the_default_set():
     for name in ("query_overlap", "pipeline_overlap"):
         assert name in compare_bench.UNGATED_NOISY_METRICS, name
         assert name not in compare_bench.DEFAULT_METRICS, name
+    # Likewise the backpressure latency/counter series (micro_scheduler):
+    # lower-is-better, so putting them in the gate (which assumes rates)
+    # would fail on an improvement.
+    for name in ("scheduler_latency_p99_us_bounded", "scheduler_blocked_ms_bounded",
+                 "scheduler_rejected_reject", "scheduler_shed_shed"):
+        assert name in compare_bench.UNGATED_NOISY_METRICS, name
+        assert name not in compare_bench.DEFAULT_METRICS, name
 
 
 def test_series_split_by_labels():

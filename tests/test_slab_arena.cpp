@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <type_traits>
 #include <vector>
 
 #include "src/memory/slab_arena.hpp"
@@ -264,6 +265,99 @@ TEST(SlabArena, ColdScanResumesAfterHeavyChurn) {
   // Free capacity was reused rather than growing the arena.
   EXPECT_EQ(arena.stats().reserved_slabs, reserved_before);
   EXPECT_EQ(arena.stats().dynamic_slabs, static_cast<std::uint64_t>(kSlabs));
+}
+
+// --------------------------------------------------------------------------
+// Robustness: misuse checks and graceful exhaustion (docs/ROBUSTNESS.md)
+// --------------------------------------------------------------------------
+
+TEST(SlabArenaChecks, DoubleFreeRaisesArenaFault) {
+  SlabArena arena;
+  const SlabHandle h = arena.allocate(0, 0);
+  arena.free(h);
+  EXPECT_THROW(arena.free(h), ArenaFault);
+}
+
+TEST(SlabArenaChecks, DoubleFreeCaughtThroughTheCacheToo) {
+  // The first free parks the handle in the per-thread cache; the second
+  // free must be rejected from the CACHED state as well, not only after
+  // the handle spilled to the shared bitmap.
+  SlabArena arena;
+  std::vector<SlabHandle> burst;
+  for (std::uint32_t i = 0; i < 4; ++i) burst.push_back(arena.allocate(i, 0));
+  arena.free(burst[2]);
+  EXPECT_THROW(arena.free(burst[2]), ArenaFault);
+  // The arena survives the fault: the rest of the burst frees cleanly.
+  arena.free(burst[0]);
+  arena.free(burst[1]);
+  arena.free(burst[3]);
+}
+
+TEST(SlabArenaChecks, FreeingBulkSlabRaisesArenaFault) {
+  SlabArena arena;
+  const SlabHandle bulk = arena.allocate_contiguous(4, 0);
+  EXPECT_THROW(arena.free(bulk), ArenaFault);
+  // Base slabs are never reclaimed (§IV-D2): the fault left them intact.
+  EXPECT_EQ(arena.stats().bulk_slabs, 4u);
+}
+
+TEST(SlabArenaChecks, ChecksOffIgnoresMisuseInsteadOfThrowing) {
+  SlabArena arena;
+  arena.set_checks(false);
+  const SlabHandle bulk = arena.allocate_contiguous(1, 0);
+  EXPECT_NO_THROW(arena.free(bulk));
+#ifdef NDEBUG
+  // Double free of a bitmap-resident dynamic slab: ignored when checks are
+  // off (release builds only; debug builds still assert).
+  const SlabHandle h = arena.allocate(0, 0);
+  arena.free(h);
+  EXPECT_NO_THROW(arena.free(h));
+#endif
+}
+
+TEST(SlabArenaLimits, AllocateThrowsArenaExhaustedAtChunkLimit) {
+  SlabArena arena;
+  arena.set_chunk_limit(1);  // one 8192-slab chunk, then hard stop
+  std::vector<SlabHandle> handles;
+  try {
+    for (std::uint64_t i = 0; i <= SlabArena::kChunkSlabs; ++i) {
+      handles.push_back(arena.allocate(0, 0));
+    }
+    FAIL() << "allocation past the chunk limit must throw";
+  } catch (const ArenaExhausted&) {
+  }
+  EXPECT_EQ(handles.size(), SlabArena::kChunkSlabs);
+  // ArenaExhausted derives bad_alloc for generic handlers.
+  static_assert(std::is_base_of_v<std::bad_alloc, ArenaExhausted>);
+  // Freeing makes room again: exhaustion is a state, not a poisoning.
+  arena.free(handles.back());
+  EXPECT_NO_THROW(arena.allocate(0, 0));
+}
+
+TEST(SlabArenaLimits, TryAllocateReportsExhaustionAsNullSlab) {
+  SlabArena arena;
+  arena.set_chunk_limit(1);
+  std::uint64_t granted = 0;
+  while (arena.try_allocate(0, 0) != kNullSlab) ++granted;
+  EXPECT_EQ(granted, SlabArena::kChunkSlabs);
+  // The status-returning path must not disturb counters on failure.
+  EXPECT_EQ(arena.stats().dynamic_slabs, granted);
+}
+
+TEST(SlabArenaLimits, ContiguousAllocationRespectsChunkLimit) {
+  SlabArena arena;
+  arena.set_chunk_limit(1);
+  EXPECT_NO_THROW(arena.allocate_contiguous(SlabArena::kChunkSlabs, 0));
+  EXPECT_THROW(arena.allocate_contiguous(1, 0), ArenaExhausted);
+}
+
+TEST(SlabArenaLimits, RaisingTheLimitResumesGrowth) {
+  SlabArena arena;
+  arena.set_chunk_limit(1);
+  arena.allocate_contiguous(SlabArena::kChunkSlabs, 0);
+  EXPECT_THROW(arena.allocate(0, 0), ArenaExhausted);
+  arena.set_chunk_limit(2);
+  EXPECT_NO_THROW(arena.allocate(0, 0));
 }
 
 TEST(SlabArena, MixedBulkAndDynamicCoexist) {
