@@ -41,6 +41,16 @@ DEFAULT_METRICS = [
     "merge_free_insert_rate",
     "auto_rehash_triggers",
     "scheduled_mixed_rate",
+    # micro_analytics (PR 7): bulk-wave traversal and TC throughputs plus
+    # the delta pipeline's per-batch rate (flat across graph sizes by
+    # design — a drop means the epoch cost picked up a graph-sized term).
+    "bfs_rate",
+    "static_tc_rate",
+    "dynamic_tc_delta_rate",
+    # Acceptance ratios for the bulk/delta paths (table7 / table9): both
+    # gate >= 2x in the PR 7 criteria, so a sustained slide matters.
+    "static_tc_bulk_speedup",
+    "dynamic_tc_incr_speedup",
 ]
 
 # Recorded but NOT gated: stage/apply overlap on the 1-vCPU capture box is

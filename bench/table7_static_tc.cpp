@@ -3,6 +3,12 @@
 // variant. Sorting the baselines' lists happens *before* the timer, exactly
 // as in the paper ("the sort ... is not counted in the results above" —
 // Table VIII prices it separately).
+//
+// "Ours bulk" is the bulk-engine path (tc_slabgraph_bulk): ONE
+// gather_neighbors wave over the whole vertex set feeds sorted-intersect —
+// its in-timer slice sort is the honest price of leaving the hash layout,
+// the analog of the baselines' (untimed) sort maintenance. The Vs-probe
+// column gates ≥2x over the probing path in compare_bench.py.
 #include "bench/bench_common.hpp"
 
 #include "src/analytics/triangle_count.hpp"
@@ -15,10 +21,11 @@ namespace {
 void run(const bench::BenchContext& ctx) {
   const auto names = ctx.quick ? datasets::small_suite_names()
                                : datasets::suite_names();
-  util::Table table({"Dataset", "Hornet", "faimGraph", "Ours", "Triangles"});
+  util::Table table({"Dataset", "Hornet", "faimGraph", "Ours", "Ours bulk",
+                     "Vs-probe", "Triangles"});
   for (const auto& name : names) {
     const datasets::Coo coo = datasets::make_dataset(name, ctx.scale, ctx.seed);
-    double hornet_ms = 0.0, faim_ms = 0.0, ours_ms = 0.0;
+    double hornet_ms = 0.0, faim_ms = 0.0, ours_ms = 0.0, bulk_ms = 0.0;
     std::uint64_t triangles = 0;
     {
       baselines::hornet::HornetGraph hornet(coo.num_vertices);
@@ -40,20 +47,39 @@ void run(const bench::BenchContext& ctx) {
     {
       core::DynGraphSet ours(bench::graph_config(coo));
       ours.bulk_build(coo.edges);
-      util::Timer timer;
-      const std::uint64_t t = analytics::tc_slabgraph(ours);
-      ours_ms = timer.milliseconds();
-      if (t != triangles) std::printf("!! ours TC mismatch on %s\n", name.c_str());
+      {
+        util::Timer timer;
+        const std::uint64_t t = analytics::tc_slabgraph(ours);
+        ours_ms = timer.milliseconds();
+        if (t != triangles) {
+          std::printf("!! ours TC mismatch on %s\n", name.c_str());
+        }
+      }
+      {
+        // Gather + slice sort + intersect, all inside the timer.
+        util::Timer timer;
+        const std::uint64_t t = analytics::tc_slabgraph_bulk(ours);
+        bulk_ms = timer.milliseconds();
+        if (t != triangles) {
+          std::printf("!! bulk TC mismatch on %s\n", name.c_str());
+        }
+      }
     }
+    const double vs_probe = bulk_ms > 0.0 ? ours_ms / bulk_ms : 0.0;
     table.add_row({name, util::Table::fmt(hornet_ms, 2),
                    util::Table::fmt(faim_ms, 2), util::Table::fmt(ours_ms, 2),
+                   util::Table::fmt(bulk_ms, 2),
+                   util::Table::fmt(vs_probe, 2) + "x",
                    util::Table::fmt_int(static_cast<long long>(triangles))});
+    ctx.record("static_tc_bulk_speedup", vs_probe, "x", {{"dataset", name}});
   }
   ctx.emit(table, "Table VII: static triangle counting time (ms)");
   bench::paper_shape_note(
-      "on most datasets ours is SLOWER than the sorted-intersect baselines "
-      "(serial two-pointer walks beat per-wedge hash probes); the paper "
-      "reports the same and prices the baselines' sort in Table VIII");
+      "on most datasets the probing path is SLOWER than the sorted-intersect "
+      "baselines (serial two-pointer walks beat per-wedge hash probes) — the "
+      "paper reports the same and prices the baselines' sort in Table VIII; "
+      "the bulk path closes that gap by gathering once and intersecting "
+      "sorted slices (expect Vs-probe >= 2x on the denser datasets)");
 }
 
 }  // namespace

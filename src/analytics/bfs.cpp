@@ -25,4 +25,24 @@ std::vector<std::uint32_t> bfs(std::uint32_t num_vertices,
   return dist;
 }
 
+std::vector<std::uint32_t> bfs_bulk(std::uint32_t num_vertices,
+                                    const BulkNeighborFn& gather,
+                                    core::VertexId source) {
+  std::vector<std::uint32_t> dist(num_vertices, kUnreached);
+  if (source >= num_vertices) return dist;
+  dist[source] = 0;
+  Frontier frontier({source});
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    frontier = advance_bulk(frontier, gather,
+                            [&](core::VertexId, core::VertexId dst) {
+                              std::uint32_t expected = kUnreached;
+                              return simt::atomic_cas(dist[dst], expected,
+                                                      level) == kUnreached;
+                            });
+  }
+  return dist;
+}
+
 }  // namespace sg::analytics

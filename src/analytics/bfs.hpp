@@ -17,4 +17,11 @@ std::vector<std::uint32_t> bfs(std::uint32_t num_vertices,
                                const NeighborFn& neighbors,
                                core::VertexId source);
 
+/// BFS on bulk waves: each level gathers the whole frontier's adjacency in
+/// ONE pass (advance_bulk) instead of a callback per vertex. Identical
+/// output to bfs(); pair with bulk_neighbors(graph).
+std::vector<std::uint32_t> bfs_bulk(std::uint32_t num_vertices,
+                                    const BulkNeighborFn& gather,
+                                    core::VertexId source);
+
 }  // namespace sg::analytics

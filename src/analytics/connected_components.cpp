@@ -26,6 +26,24 @@ std::vector<std::uint32_t> connected_components(std::uint32_t num_vertices,
   return label;
 }
 
+std::vector<std::uint32_t> connected_components_bulk(
+    std::uint32_t num_vertices, const BulkNeighborFn& gather) {
+  std::vector<std::uint32_t> label(num_vertices);
+  for (std::uint32_t v = 0; v < num_vertices; ++v) label[v] = v;
+  Frontier frontier;
+  for (std::uint32_t v = 0; v < num_vertices; ++v) frontier.push(v);
+  while (!frontier.empty()) {
+    frontier = advance_bulk(frontier, gather,
+                            [&](core::VertexId src, core::VertexId dst) {
+                              const std::uint32_t src_label =
+                                  simt::atomic_load(label[src]);
+                              return simt::atomic_min(label[dst], src_label) >
+                                     src_label;
+                            });
+  }
+  return label;
+}
+
 std::uint32_t count_components(const std::vector<std::uint32_t>& labels) {
   std::unordered_set<std::uint32_t> distinct(labels.begin(), labels.end());
   return static_cast<std::uint32_t>(distinct.size());

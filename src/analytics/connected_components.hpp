@@ -15,6 +15,12 @@ namespace sg::analytics {
 std::vector<std::uint32_t> connected_components(std::uint32_t num_vertices,
                                                 const NeighborFn& neighbors);
 
+/// Label propagation on bulk waves: every round gathers the whole
+/// frontier's adjacency in ONE pass (advance_bulk). Identical labels to
+/// connected_components(); pair with bulk_neighbors(graph).
+std::vector<std::uint32_t> connected_components_bulk(
+    std::uint32_t num_vertices, const BulkNeighborFn& gather);
+
 /// Number of distinct labels among `labels`.
 std::uint32_t count_components(const std::vector<std::uint32_t>& labels);
 

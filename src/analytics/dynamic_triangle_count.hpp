@@ -1,9 +1,19 @@
-// Dynamic triangle counting (§V-C, Table IX): insert a batch, recount
-// triangles, repeat — the end-to-end dynamic application. The harness runs
-// the same edge stream through the hash-based structure (probing TC) and
-// through Hornet (insert + re-sort + intersect TC; re-sorting after every
-// batch is "the overhead of maintaining a sorted Hornet ... in order to
-// perform a dynamic application that requires a sorted list").
+// Dynamic triangle counting (§V-C, Table IX): stream edge batches, keep a
+// triangle count current after every batch. The harness runs the same
+// unique undirected edge stream (u < v, shuffled) three ways:
+//
+//   * ours/incremental — the delta pipeline: each batch rides one fenced
+//     exist → insert → analytics epoch (IncrementalTriangleCounter), and
+//     the analytics pass counts only triangles the batch CLOSES. Per-epoch
+//     cost follows the batch, not the graph.
+//   * recount — the paper's original regime on the same structure: insert
+//     the batch synchronously, rehash long chains, recount from scratch
+//     with edgeExist probing. The scalar-adjacency baseline the delta
+//     pipeline is measured against.
+//   * hornet — insert (both directions) + re-sort + intersect TC; the
+//     re-sort after every batch is "the overhead of maintaining a sorted
+//     Hornet ... in order to perform a dynamic application that requires a
+//     sorted list".
 #pragma once
 
 #include <cstdint>
@@ -22,12 +32,23 @@ struct DynamicTcRow {
 };
 
 struct DynamicTcResult {
+  /// Delta pipeline. The fenced epoch interleaves the insert and the delta
+  /// pass, so the split is not observable from outside: insert_ms is 0 and
+  /// tc_ms holds the whole epoch (submit_batch → future resolved).
   std::vector<DynamicTcRow> ours;
+  /// Full recount on the same structure (probing TC) — insert_ms covers
+  /// insert + chain maintenance, tc_ms the recount.
+  std::vector<DynamicTcRow> recount;
   std::vector<DynamicTcRow> hornet;
 };
 
-/// Streams `graph`'s edges in `iterations` equal batches (capped at
-/// `batch_cap` directed edges per batch) through both structures.
+/// Preloads HALF of the graph's unique undirected edges (normalized
+/// u < v, deduplicated, shuffled) into every structure untimed — the
+/// dynamic application starts from an existing graph, as a streaming
+/// system would — then streams the rest in `iterations` equal batches
+/// capped at `batch_cap` unique edges. Every row's `triangles` is the
+/// absolute running total after that batch; the three series agree
+/// row-for-row.
 DynamicTcResult run_dynamic_tc(const datasets::Coo& graph, int iterations,
                                std::size_t batch_cap);
 

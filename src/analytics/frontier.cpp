@@ -37,6 +37,42 @@ Frontier advance(const Frontier& input, const NeighborFn& neighbors,
   return out;
 }
 
+Frontier advance_bulk(
+    const Frontier& input, const BulkNeighborFn& gather,
+    const std::function<bool(core::VertexId, core::VertexId)>& accept) {
+  const auto& sources = input.vertices();
+  // One wave pass gathers every source's adjacency into disjoint slices of
+  // a single buffer; the accept sweep then runs over source chunks with
+  // the same local-accumulate / publish-once pattern as advance().
+  std::vector<std::uint64_t> offsets;
+  std::vector<core::VertexId> neighbors;
+  gather(sources, offsets, neighbors);
+  std::vector<std::vector<core::VertexId>> partials;
+  std::mutex partials_mutex;
+  constexpr std::size_t kChunk = 64;
+  const std::size_t num_chunks = (sources.size() + kChunk - 1) / kChunk;
+  simt::ThreadPool::instance().parallel_for(num_chunks, [&](std::uint64_t c) {
+    std::vector<core::VertexId> local;
+    const std::size_t begin = static_cast<std::size_t>(c) * kChunk;
+    const std::size_t end = std::min(begin + kChunk, sources.size());
+    for (std::size_t i = begin; i < end; ++i) {
+      const core::VertexId src = sources[i];
+      for (std::uint64_t n = offsets[i]; n < offsets[i + 1]; ++n) {
+        if (accept(src, neighbors[n])) local.push_back(neighbors[n]);
+      }
+    }
+    if (!local.empty()) {
+      std::lock_guard<std::mutex> lock(partials_mutex);
+      partials.push_back(std::move(local));
+    }
+  });
+  Frontier out;
+  for (auto& part : partials) {
+    for (core::VertexId v : part) out.push(v);
+  }
+  return out;
+}
+
 Frontier filter(const Frontier& input,
                 const std::function<bool(core::VertexId)>& pred) {
   Frontier out;

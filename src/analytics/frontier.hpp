@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "src/core/types.hpp"
@@ -17,6 +18,26 @@ namespace sg::analytics {
 /// adapter each structure implements to plug into the operators.
 using NeighborFn =
     std::function<void(core::VertexId, const std::function<void(core::VertexId)>&)>;
+
+/// Bulk adjacency provider: gathers the adjacency of EVERY source in one
+/// pass into the count → prefix-sum → emit layout of
+/// DynGraph::gather_neighbors — `offsets` gets sources.size() + 1 entries
+/// and slice i of `neighbors` is source i's adjacency. One wave pass per
+/// frontier instead of one callback per vertex.
+using BulkNeighborFn = std::function<void(
+    std::span<const core::VertexId>, std::vector<std::uint64_t>&,
+    std::vector<core::VertexId>&)>;
+
+/// Adapter binding a graph's gather_neighbors as a BulkNeighborFn (works
+/// for DynGraphMap / DynGraphSet and anything exposing the same shape).
+template <class Graph>
+BulkNeighborFn bulk_neighbors(const Graph& graph) {
+  return [&graph](std::span<const core::VertexId> sources,
+                  std::vector<std::uint64_t>& offsets,
+                  std::vector<core::VertexId>& neighbors) {
+    graph.gather_neighbors(sources, offsets, neighbors);
+  };
+}
 
 class Frontier {
  public:
@@ -41,6 +62,15 @@ class Frontier {
 /// frontier. Returns the new frontier, deduplicated by accept's contract.
 Frontier advance(const Frontier& input, const NeighborFn& neighbors,
                  const std::function<bool(core::VertexId, core::VertexId)>& accept);
+
+/// Advance on waves: gathers the WHOLE frontier's adjacency in one bulk
+/// pass (one SIMD chain walk per frontier vertex, pool-balanced by total
+/// degree), then runs `accept` over the per-source slices in parallel
+/// chunks. Same contract and output as advance() — accept must claim
+/// membership atomically — with the per-vertex callback machinery gone.
+Frontier advance_bulk(
+    const Frontier& input, const BulkNeighborFn& gather,
+    const std::function<bool(core::VertexId, core::VertexId)>& accept);
 
 /// Filter: keeps vertices satisfying pred.
 Frontier filter(const Frontier& input,

@@ -1,0 +1,195 @@
+#include "src/analytics/incremental_tc.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "src/simt/thread_pool.hpp"
+
+namespace sg::analytics {
+
+namespace {
+
+/// Order-free edge key; callers pass a < b.
+inline std::uint64_t pack(core::VertexId a, core::VertexId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+inline std::uint64_t pack_norm(core::VertexId a, core::VertexId b) {
+  return a < b ? pack(a, b) : pack(b, a);
+}
+
+/// Membership in a sorted key vector (the hash-free fast path: building an
+/// unordered_set over a 100k-edge batch costs more than the delta itself).
+inline bool contains(const std::vector<std::uint64_t>& sorted,
+                     std::uint64_t key) {
+  return std::binary_search(sorted.begin(), sorted.end(), key);
+}
+
+/// |N(u) ∩ N(v)| over ascending ranges, skipping triangles whose
+/// lexicographically smallest new edge is not `ekey`.
+std::uint64_t closed_by(std::span<const core::VertexId> nu,
+                        std::span<const core::VertexId> nv,
+                        core::VertexId u, core::VertexId v, std::uint64_t ekey,
+                        const std::vector<std::uint64_t>& fresh) {
+  std::uint64_t count = 0;
+  auto iu = nu.begin();
+  auto iv = nv.begin();
+  while (iu != nu.end() && iv != nv.end()) {
+    if (*iu < *iv) {
+      ++iu;
+    } else if (*iv < *iu) {
+      ++iv;
+    } else {
+      const core::VertexId w = *iu;
+      const std::uint64_t e1 = pack_norm(u, w);
+      const std::uint64_t e2 = pack_norm(v, w);
+      const bool later_new = (e1 < ekey && contains(fresh, e1)) ||
+                             (e2 < ekey && contains(fresh, e2));
+      if (!later_new) ++count;
+      ++iu;
+      ++iv;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+IncrementalTriangleCounter::IncrementalTriangleCounter(
+    core::DynGraphSet& graph, std::uint64_t initial_triangles)
+    : graph_(graph), count_(initial_triangles) {
+  if (!graph.config().undirected) {
+    throw std::invalid_argument(
+        "IncrementalTriangleCounter needs GraphConfig::undirected — the "
+        "intersect reads full neighborhoods, not out-edges");
+  }
+}
+
+std::future<std::uint64_t> IncrementalTriangleCounter::submit_batch(
+    std::span<const core::Edge> edges, bool assume_new) {
+  // Normalize to u < v, drop self-loops, dedup within the batch: the set
+  // stores each undirected edge once per direction and a duplicate insert
+  // is a no-op, so duplicates would close the same triangles twice.
+  std::vector<core::Edge> norm;
+  norm.reserve(edges.size());
+  for (const core::Edge& e : edges) {
+    if (e.src == e.dst) continue;
+    norm.push_back({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+  }
+  std::sort(norm.begin(), norm.end(), [](const core::Edge& a, const core::Edge& b) {
+    return pack(a.src, a.dst) < pack(b.src, b.dst);
+  });
+  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+
+  struct Epoch {
+    std::vector<core::Edge> edges;
+    std::future<std::vector<std::uint8_t>> exists;
+    std::future<std::uint64_t> insert;
+    std::promise<std::uint64_t> done;
+  };
+  auto epoch = std::make_shared<Epoch>();
+  epoch->edges = std::move(norm);
+  std::future<std::uint64_t> result = epoch->done.get_future();
+
+  if (epoch->edges.empty()) {
+    // Still fence through an analytics phase so the future resolves after
+    // every earlier batch, preserving FIFO totals.
+    graph_.submit_analytics([this, epoch]() {
+      epoch->done.set_value(count_.load(std::memory_order_acquire));
+    });
+    return result;
+  }
+
+  // Pre-check BEFORE the insert lands: edges already present close no new
+  // triangles and must not re-count old ones. An append-only unique stream
+  // (assume_new) skips the phase — and its fence — entirely.
+  if (!assume_new) epoch->exists = graph_.submit_edges_exist(epoch->edges);
+  std::vector<core::WeightedEdge> weighted;
+  weighted.reserve(epoch->edges.size());
+  for (const core::Edge& e : epoch->edges) weighted.push_back({e.src, e.dst, 1});
+  epoch->insert = graph_.submit_insert(std::move(weighted));
+
+  graph_.submit_analytics([this, epoch]() {
+    try {
+      std::vector<std::uint8_t> present;
+      if (epoch->exists.valid()) present = epoch->exists.get();
+      epoch->insert.get();  // propagate insert failures into our future
+
+      std::vector<core::Edge> fresh;
+      if (present.empty()) {
+        fresh = epoch->edges;
+      } else {
+        fresh.reserve(epoch->edges.size());
+        for (std::size_t i = 0; i < epoch->edges.size(); ++i) {
+          if (!present[i]) fresh.push_back(epoch->edges[i]);
+        }
+      }
+      if (fresh.empty()) {
+        epoch->done.set_value(count_.load(std::memory_order_acquire));
+        return;
+      }
+      // submit_batch sorted the batch by packed key and `fresh` is a
+      // subsequence, so the key vector is born sorted — lookups are binary
+      // searches, no hash container in the hot path.
+      std::vector<std::uint64_t> fresh_keys;
+      fresh_keys.reserve(fresh.size());
+      for (const core::Edge& e : fresh) fresh_keys.push_back(pack(e.src, e.dst));
+
+      // ONE bulk wave over the batch's endpoints only — per-epoch gather
+      // cost follows the batch, not the graph. Endpoint slots resolve by
+      // binary search into the sorted unique vertex list.
+      std::vector<core::VertexId> verts;
+      verts.reserve(fresh.size() * 2);
+      for (const core::Edge& e : fresh) {
+        verts.push_back(e.src);
+        verts.push_back(e.dst);
+      }
+      std::sort(verts.begin(), verts.end());
+      verts.erase(std::unique(verts.begin(), verts.end()), verts.end());
+      const auto slot_of = [&verts](core::VertexId v) {
+        return static_cast<std::size_t>(
+            std::lower_bound(verts.begin(), verts.end(), v) - verts.begin());
+      };
+      core::GatherResult adj = graph_.gather_neighbors(verts);
+      // Block the parallel loops: one pool chunk per vertex/edge would pay
+      // more dispatch than work on low-degree graphs.
+      constexpr std::size_t kBlock = 256;
+      auto& pool = simt::ThreadPool::instance();
+      pool.parallel_for((verts.size() + kBlock - 1) / kBlock,
+                        [&](std::uint64_t b) {
+                          const std::size_t lo = b * kBlock;
+                          const std::size_t hi =
+                              std::min(lo + kBlock, verts.size());
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            const auto slice = adj.mutable_neighbors_of(i);
+                            std::sort(slice.begin(), slice.end());
+                          }
+                        });
+
+      std::atomic<std::uint64_t> delta{0};
+      pool.parallel_for(
+          (fresh.size() + kBlock - 1) / kBlock, [&](std::uint64_t b) {
+            const std::size_t lo = b * kBlock;
+            const std::size_t hi = std::min(lo + kBlock, fresh.size());
+            std::uint64_t local = 0;
+            for (std::size_t i = lo; i < hi; ++i) {
+              const core::Edge& e = fresh[i];
+              local += closed_by(adj.neighbors_of(slot_of(e.src)),
+                                 adj.neighbors_of(slot_of(e.dst)), e.src,
+                                 e.dst, pack(e.src, e.dst), fresh_keys);
+            }
+            if (local) delta.fetch_add(local, std::memory_order_relaxed);
+          });
+      const std::uint64_t added = delta.load(std::memory_order_relaxed);
+      epoch->done.set_value(
+          count_.fetch_add(added, std::memory_order_acq_rel) + added);
+    } catch (...) {
+      epoch->done.set_exception(std::current_exception());
+    }
+  });
+  return result;
+}
+
+}  // namespace sg::analytics

@@ -37,4 +37,15 @@ std::uint64_t tc_slabgraph(const core::DynGraphSet& graph);
 /// Same probing algorithm on the map variant (ablation: Bc 15 vs 30).
 std::uint64_t tc_slabgraph_map(const core::DynGraphMap& graph);
 
+/// Bulk-engine TC on the dynamic graph: ONE gather_neighbors wave
+/// extracts every adjacency list into a single buffer (count →
+/// prefix-sum → emit), slices sort in parallel, and the sorted-intersect
+/// sweep runs straight off the gather output — replacing the O(d^2)
+/// edgeExist wedge probing with the same intersect the static baselines
+/// use. Identical count to tc_slabgraph.
+std::uint64_t tc_slabgraph_bulk(const core::DynGraphSet& graph);
+
+/// Bulk-engine TC on the map variant.
+std::uint64_t tc_slabgraph_bulk_map(const core::DynGraphMap& graph);
+
 }  // namespace sg::analytics

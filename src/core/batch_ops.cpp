@@ -34,24 +34,4 @@ void validate_batch(std::span<const Edge> edges) {
   }
 }
 
-std::vector<WeightedEdge> mirror_edges(std::span<const WeightedEdge> edges) {
-  std::vector<WeightedEdge> out;
-  out.reserve(edges.size() * 2);
-  for (const auto& e : edges) {
-    out.push_back(e);
-    out.push_back({e.dst, e.src, e.weight});
-  }
-  return out;
-}
-
-std::vector<Edge> mirror_edges(std::span<const Edge> edges) {
-  std::vector<Edge> out;
-  out.reserve(edges.size() * 2);
-  for (const auto& e : edges) {
-    out.push_back(e);
-    out.push_back({e.dst, e.src});
-  }
-  return out;
-}
-
 }  // namespace sg::core

@@ -1,6 +1,6 @@
-// Host-side helpers shared by the batched mutation paths: batch validation,
-// id range discovery, and undirected mirroring (an undirected edge is
-// applied to both endpoint adjacency lists, §IV-C).
+// Host-side helpers shared by the batched mutation paths: batch validation
+// and id range discovery. (Undirected mirroring happens in place on both
+// the engine and oracle paths — no mirrored temp vector is ever built.)
 #pragma once
 
 #include <cstdint>
@@ -19,9 +19,5 @@ VertexId max_vertex_id(std::span<const Edge> edges);
 /// would collide with the slab sentinels are unrepresentable).
 void validate_batch(std::span<const WeightedEdge> edges);
 void validate_batch(std::span<const Edge> edges);
-
-/// Batch plus its reverse edges (for undirected updates).
-std::vector<WeightedEdge> mirror_edges(std::span<const WeightedEdge> edges);
-std::vector<Edge> mirror_edges(std::span<const Edge> edges);
 
 }  // namespace sg::core

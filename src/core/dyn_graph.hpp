@@ -117,6 +117,12 @@ struct MapPolicy {
     slabhash::map_bulk_search(arena, t, bucket, keys, count, found, values,
                               chain_slabs);
   }
+  /// Full-adjacency extraction (keys only) — the analytics gather hook.
+  static std::uint32_t gather(const memory::SlabArena& arena,
+                              slabhash::TableRef t, std::uint32_t* out,
+                              std::uint32_t cap, std::uint32_t* chain_slabs) {
+    return slabhash::map_gather(arena, t, out, cap, chain_slabs);
+  }
 };
 
 /// Adjacency policy: concurrent-set tables (no values; Bc = 30).
@@ -181,6 +187,31 @@ struct SetPolicy {
                             std::uint8_t* found, std::uint32_t* chain_slabs) {
     slabhash::set_bulk_contains(arena, t, bucket, keys, count, found,
                                 chain_slabs);
+  }
+  /// Full-adjacency extraction — the analytics gather hook.
+  static std::uint32_t gather(const memory::SlabArena& arena,
+                              slabhash::TableRef t, std::uint32_t* out,
+                              std::uint32_t cap, std::uint32_t* chain_slabs) {
+    return slabhash::set_gather(arena, t, out, cap, chain_slabs);
+  }
+};
+
+/// Output of DynGraph::gather_neighbors: one presized buffer holding every
+/// requested vertex's live adjacency in disjoint slices, addressable by
+/// input position (the PR 4 count → prefix-sum → emit layout — zero driver
+/// copy). `offsets` has vertices.size() + 1 entries; slice i is unsorted.
+struct GatherResult {
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+
+  std::span<const VertexId> neighbors_of(std::size_t i) const {
+    return {neighbors.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
+  }
+  /// Mutable view, for consumers that sort slices in place (static TC).
+  std::span<VertexId> mutable_neighbors_of(std::size_t i) {
+    return {neighbors.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
   }
 };
 
@@ -295,6 +326,29 @@ class DynGraph {
                     std::uint8_t* found = nullptr) const
       requires Policy::kHasValues;
 
+  // ---- bulk adjacency gather (analytics engine) ------------------------
+  /// Batched neighborhood extraction: emits every requested vertex's live
+  /// adjacency into disjoint slices of ONE presized output buffer,
+  /// addressable by input position. The count pass is free — the Alg. 1/2
+  /// per-vertex counters hold each exact live degree, so the prefix sum
+  /// sizes the buffer without touching a slab — and the emit pass walks
+  /// each vertex's chains once with one snapshot + SIMD mask per slab,
+  /// chunked across the pool by `launch_runs` balanced on total degree.
+  /// Unknown / deleted / never-touched vertices yield empty slices.
+  /// Duplicate inputs are fine (each occurrence gets its own slice).
+  ///
+  /// Observed chain depths fold into ChainFeedback (inform-only, like
+  /// query phases — gathers NEVER fire the auto-rehash policy; disable
+  /// with GraphConfig::gather_feedback = false). Phase-concurrent with
+  /// queries and other gathers; must not overlap mutations (use
+  /// submit_analytics for the enforced contract).
+  void gather_neighbors(std::span<const VertexId> vertices,
+                        std::vector<std::uint64_t>& offsets,
+                        std::vector<VertexId>& neighbors) const;
+
+  /// Convenience overload returning the owned result.
+  GatherResult gather_neighbors(std::span<const VertexId> vertices) const;
+
   // ---- scheduled mode (src/core/phase_scheduler.hpp) -------------------
   // The async entry points: safe to call from ANY thread, concurrently
   // with each other. Submissions are classified by kind and run as fenced
@@ -350,6 +404,17 @@ class DynGraph {
   std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries,
                                                    std::uint32_t deadline_ms = 0)
       requires Policy::kHasValues;
+
+  /// Scheduled analytics: `task` runs inside a fenced ANALYTICS phase —
+  /// never overlapping a mutation phase, so gather_neighbors and the
+  /// read-only query API are safe inside it without external locking.
+  /// FIFO with the submitter's other submissions: an analytics task
+  /// submitted after an insert observes that insert (the delta-TC
+  /// pipeline's exist → insert → analytics epoch rides exactly this).
+  /// Consecutive analytics submissions admitted into one phase run
+  /// concurrently on the pool. The future resolves when the task returns,
+  /// or carries its exception.
+  std::future<void> submit_analytics(std::function<void()> task);
 
   /// Blocks until every submission accepted so far has completed and no
   /// phase is open. Call before destroying submitter state the futures
@@ -471,6 +536,9 @@ class DynGraph {
   /// revives deleted sources. Safe under concurrent warps.
   slabhash::TableRef acquire_table(VertexId u);
 
+  // Scalar Algorithm-1 oracle (src/core/scalar_oracle.hpp): retained as the
+  // differential reference for engine-off configs and tests; undirected
+  // batches mirror in place (no temp vector), never on the engine path.
   std::uint64_t insert_directed(std::span<const WeightedEdge> edges);
   std::uint64_t delete_directed(std::span<const Edge> edges);
 

@@ -15,6 +15,7 @@
 #include "src/core/batch_utils.hpp"
 #include "src/core/dyn_graph.hpp"
 #include "src/core/errors.hpp"
+#include "src/core/scalar_oracle.hpp"
 #include "src/simt/atomics.hpp"
 #include "src/simt/grid.hpp"
 #include "src/simt/thread_pool.hpp"
@@ -163,71 +164,21 @@ void DynGraph<Policy>::bulk_build(std::span<const WeightedEdge> edges) {
     insert_batched(edges);  // stages the mirror direction in place
     return;
   }
-  if (config_.undirected) {
-    const std::vector<WeightedEdge> mirrored = mirror_edges(edges);
-    insert_directed(mirrored);
-  } else {
-    insert_directed(edges);
-  }
+  insert_directed(edges);  // oracle path: mirrors in place too
 }
 
 // --------------------------------------------------------------------------
-// Algorithm 1: warp-cooperative batched edge insertion
+// Algorithm 1: warp-cooperative batched edge insertion. The scalar body
+// lives in src/core/scalar_oracle.hpp (test-only differential reference;
+// the batch engine is the production path).
 // --------------------------------------------------------------------------
 
 template <class Policy>
 std::uint64_t DynGraph<Policy>::insert_directed(
     std::span<const WeightedEdge> edges) {
-  std::atomic<std::uint64_t> total_added{0};
-  const std::uint64_t seed = config_.hash_seed;
-
-  // Per-lane predicates live in 32-bit masks, which is exactly what the
-  // ballot intrinsic produces on the GPU: `pending` IS Algorithm 1's work
-  // queue (line 4), bit iteration IS find-first-set (line 5). This keeps
-  // the emulation cost proportional to live lanes rather than re-scanning
-  // 32 lanes per round (a serialization artifact a real warp never pays).
-  simt::launch(edges.size(), [&](const simt::WarpId& warp) {
-    VertexId src[simt::kWarpSize];
-    VertexId dst[simt::kWarpSize];
-    Weight weight[simt::kWarpSize];
-    std::uint32_t pending = 0;  // ballot(to_insert): the work queue
-    for (std::uint32_t m = warp.active; m; m &= m - 1) {
-      const int lane = std::countr_zero(m);
-      const WeightedEdge e = edges[warp.item(lane)];
-      src[lane] = e.src;
-      dst[lane] = e.dst;
-      weight[lane] = e.weight;
-      if (e.src != e.dst) pending |= 1u << lane;  // line 3: no self-edges
-    }
-    std::uint64_t warp_added = 0;
-    while (pending != 0u) {  // line 4
-      const int current_lane = simt::ffs(pending) - 1;       // line 5
-      const VertexId current_src = src[current_lane];        // line 6 (shuffle)
-      const slabhash::TableRef table = acquire_table(current_src);
-      // Lines 7-8: lanes sharing the source form the coalesced group.
-      std::uint32_t group = 0;
-      std::uint32_t success = 0;
-      for (std::uint32_t m = pending; m; m &= m - 1) {
-        const int lane = std::countr_zero(m);
-        if (src[lane] != current_src) continue;
-        group |= 1u << lane;
-        if (Policy::insert(arena_, table, dst[lane], weight[lane], seed,
-                           warp.warp)) {
-          success |= 1u << lane;
-        }
-      }
-      // Lines 9-10: exact edge counting from the replace() booleans.
-      const int added = simt::popc(success);
-      if (added > 0) {
-        simt::atomic_add(dict_.edge_count_word(current_src),
-                         static_cast<std::uint32_t>(added));
-        warp_added += static_cast<std::uint64_t>(added);
-      }
-      pending &= ~group;  // lines 11-12
-    }
-    if (warp_added) total_added.fetch_add(warp_added, std::memory_order_relaxed);
-  });
-  return total_added.load(std::memory_order_relaxed);
+  return oracle::insert_directed<Policy>(
+      arena_, dict_, edges, config_.undirected, config_.hash_seed,
+      [this](VertexId u) { return acquire_table(u); });
 }
 
 template <class Policy>
@@ -235,10 +186,6 @@ std::uint64_t DynGraph<Policy>::insert_edges(std::span<const WeightedEdge> edges
   if (edges.empty()) return 0;
   prepare_batch(edges);
   if (config_.batch_engine) return insert_batched(edges);
-  if (config_.undirected) {
-    const std::vector<WeightedEdge> mirrored = mirror_edges(edges);
-    return insert_directed(mirrored);
-  }
   return insert_directed(edges);
 }
 
@@ -895,6 +842,71 @@ void DynGraph<Policy>::exist_batched(std::span<const Edge> queries,
 }
 
 // --------------------------------------------------------------------------
+// Bulk adjacency gather: the analytics engine's data path. Count pass is
+// free (exact Alg. 1/2 degree counters), prefix-sum sizes ONE output
+// buffer, and the emit pass walks each requested vertex's chains once with
+// one snapshot + SIMD mask per slab — launch_runs chunks the vertices by
+// total degree so skewed frontiers balance across the pool.
+// --------------------------------------------------------------------------
+
+template <class Policy>
+void DynGraph<Policy>::gather_neighbors(std::span<const VertexId> vertices,
+                                        std::vector<std::uint64_t>& offsets,
+                                        std::vector<VertexId>& neighbors) const {
+  const std::uint32_t capacity = dict_.capacity();
+  offsets.resize(vertices.size() + 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    offsets[i] = total;
+    const VertexId u = vertices[i];
+    if (u < capacity && dict_.has_table(u)) total += dict_.edge_count(u);
+  }
+  offsets[vertices.size()] = total;
+  neighbors.resize(total);
+  if (vertices.empty()) return;
+  VertexId* out = neighbors.data();
+
+  simt::launch_runs(offsets, [&](std::uint64_t first, std::uint64_t last) {
+    // Chain depths observed per vertex accumulate locally and merge once
+    // per chunk — inform-only, like query phases: gathers enrich the
+    // histogram but NEVER fire the auto-rehash policy (that stays a
+    // mutation-batch decision; see maybe_auto_rehash).
+    ChainFeedback chunk_feedback;
+    simt::pipeline(
+        last - first, kRunPrefetchDepth,
+        [&](std::uint64_t i) {
+          const VertexId u = vertices[first + i];
+          if (u < capacity && dict_.has_table(u)) {
+            simt::prefetch(&arena_.resolve(dict_.table(u).bucket_head(0)));
+          }
+        },
+        [&](std::uint64_t i) {
+          const std::uint64_t slot = first + i;
+          const std::uint64_t expect = offsets[slot + 1] - offsets[slot];
+          if (expect == 0) return;  // unknown / deleted / isolated vertex
+          const VertexId u = vertices[slot];
+          std::uint32_t chain_slabs = 0;
+          Policy::gather(arena_, dict_.table(u), out + offsets[slot],
+                         static_cast<std::uint32_t>(expect), &chain_slabs);
+          if (chain_slabs > 1) chunk_feedback.note_long(u, chain_slabs);
+        });
+    chunk_feedback.runs_observed += last - first;
+    if (config_.gather_feedback) {
+      std::lock_guard<std::mutex> lock(feedback_mutex_);
+      feedback_.merge_from(chunk_feedback);
+    }
+  });
+}
+
+template <class Policy>
+GatherResult DynGraph<Policy>::gather_neighbors(
+    std::span<const VertexId> vertices) const {
+  GatherResult result;
+  gather_neighbors(vertices, result.offsets, result.neighbors);
+  return result;
+}
+
+// --------------------------------------------------------------------------
 // Scheduled mode (src/core/phase_scheduler.hpp): the async submit_* entry
 // points route through a per-graph conductor that fences mutation phases
 // from query phases and coalesces same-kind submissions. The conductor is
@@ -999,6 +1011,25 @@ std::future<EdgeWeightBatch> DynGraph<Policy>::submit_edge_weights(
 }
 
 template <class Policy>
+std::future<void> DynGraph<Policy>::submit_analytics(
+    std::function<void()> task) {
+  if (!config_.phase_scheduler) {
+    // Inline reference mode: run the task synchronously (inline_submit<T>
+    // cannot carry void through set_value).
+    std::promise<void> done;
+    std::future<void> f = done.get_future();
+    try {
+      task();
+      done.set_value();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+    return f;
+  }
+  return ensure_scheduler().submit_analytics(std::move(task));
+}
+
+template <class Policy>
 void DynGraph<Policy>::schedule_drain() {
   if (PhaseScheduler* s = scheduler_ptr_.load(std::memory_order_acquire)) {
     s->drain();
@@ -1015,54 +1046,14 @@ PhaseScheduleStats DynGraph<Policy>::last_schedule_stats() const {
 
 // --------------------------------------------------------------------------
 // Batched edge deletion (§IV-C2): Algorithm 1 with delete instead of
-// replace; the returned boolean decrements the exact edge counters.
+// replace; the returned boolean decrements the exact edge counters. Scalar
+// body in src/core/scalar_oracle.hpp (test-only differential reference).
 // --------------------------------------------------------------------------
 
 template <class Policy>
 std::uint64_t DynGraph<Policy>::delete_directed(std::span<const Edge> edges) {
-  std::atomic<std::uint64_t> total_removed{0};
-  const std::uint64_t seed = config_.hash_seed;
-  const std::uint32_t capacity = dict_.capacity();
-
-  simt::launch(edges.size(), [&](const simt::WarpId& warp) {
-    VertexId src[simt::kWarpSize];
-    VertexId dst[simt::kWarpSize];
-    std::uint32_t pending = 0;
-    for (std::uint32_t m = warp.active; m; m &= m - 1) {
-      const int lane = std::countr_zero(m);
-      const Edge e = edges[warp.item(lane)];
-      src[lane] = e.src;
-      dst[lane] = e.dst;
-      if (e.src < capacity && dict_.has_table(e.src)) pending |= 1u << lane;
-    }
-    std::uint64_t warp_removed = 0;
-    while (pending != 0u) {
-      const int current_lane = simt::ffs(pending) - 1;
-      const VertexId current_src = src[current_lane];
-      const slabhash::TableRef table = dict_.table(current_src);
-      std::uint32_t group = 0;
-      std::uint32_t success = 0;
-      for (std::uint32_t m = pending; m; m &= m - 1) {
-        const int lane = std::countr_zero(m);
-        if (src[lane] != current_src) continue;
-        group |= 1u << lane;
-        if (Policy::erase(arena_, table, dst[lane], seed)) {
-          success |= 1u << lane;
-        }
-      }
-      const int removed = simt::popc(success);
-      if (removed > 0) {
-        simt::atomic_sub(dict_.edge_count_word(current_src),
-                         static_cast<std::uint32_t>(removed));
-        warp_removed += static_cast<std::uint64_t>(removed);
-      }
-      pending &= ~group;
-    }
-    if (warp_removed) {
-      total_removed.fetch_add(warp_removed, std::memory_order_relaxed);
-    }
-  });
-  return total_removed.load(std::memory_order_relaxed);
+  return oracle::delete_directed<Policy>(arena_, dict_, edges,
+                                         config_.undirected, config_.hash_seed);
 }
 
 template <class Policy>
@@ -1070,10 +1061,6 @@ std::uint64_t DynGraph<Policy>::delete_edges(std::span<const Edge> edges) {
   if (edges.empty()) return 0;
   validate_batch(edges);
   if (config_.batch_engine) return delete_batched(edges);
-  if (config_.undirected) {
-    const std::vector<Edge> mirrored = mirror_edges(edges);
-    return delete_directed(mirrored);
-  }
   return delete_directed(edges);
 }
 

@@ -43,6 +43,8 @@ void PhaseScheduler::reject_submission(Submission& s, RejectReason reason) {
   const std::exception_ptr err = rejection(reason);
   if (s.kind == Kind::kMutation) {
     s.mutation_result.set_exception(err);
+  } else if (s.kind == Kind::kAnalytics) {
+    s.analytics_result.set_exception(err);
   } else if (s.weighted) {
     s.weight_result.set_exception(err);
   } else {
@@ -144,6 +146,8 @@ void PhaseScheduler::enqueue(Submission&& s) {
     if (!admit_locked(lock, s, items)) return;
     if (s.kind == Kind::kMutation) {
       ++stats_.submitted_mutations;
+    } else if (s.kind == Kind::kAnalytics) {
+      ++stats_.submitted_analytics;
     } else {
       ++stats_.submitted_queries;
     }
@@ -210,6 +214,15 @@ std::future<EdgeWeightBatch> PhaseScheduler::submit_edge_weights(
   }
   s.edges = std::move(queries);
   std::future<EdgeWeightBatch> f = s.weight_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<void> PhaseScheduler::submit_analytics(std::function<void()> task) {
+  Submission s;
+  s.kind = Kind::kAnalytics;
+  s.task = std::move(task);
+  std::future<void> f = s.analytics_result.get_future();
   enqueue(std::move(s));
   return f;
 }
@@ -289,6 +302,8 @@ void PhaseScheduler::conductor_loop() {
     last_kind_ = kind;
     if (kind == Kind::kMutation) {
       ++stats_.mutation_phases;
+    } else if (kind == Kind::kAnalytics) {
+      ++stats_.analytics_phases;
     } else {
       ++stats_.query_phases;
     }
@@ -298,8 +313,9 @@ void PhaseScheduler::conductor_loop() {
     SG_FAULT_DELAY(kConductorPhase);
     double fence_seconds = 0.0;
     try {
-      fence_seconds = kind == Kind::kMutation ? run_mutation_phase(batch)
-                                              : run_query_phase(batch);
+      fence_seconds = kind == Kind::kMutation    ? run_mutation_phase(batch)
+                      : kind == Kind::kAnalytics ? run_analytics_phase(batch)
+                                                 : run_query_phase(batch);
     } catch (...) {
       // The phase runners route per-submission errors to the futures; what
       // lands here is infrastructure failure (e.g. bad_alloc submitting a
@@ -320,6 +336,8 @@ void PhaseScheduler::fail_batch(std::vector<Submission>& batch,
     try {
       if (s.kind == Kind::kMutation) {
         s.mutation_result.set_exception(error);
+      } else if (s.kind == Kind::kAnalytics) {
+        s.analytics_result.set_exception(error);
       } else if (s.weighted) {
         s.weight_result.set_exception(error);
       } else {
@@ -439,6 +457,41 @@ double PhaseScheduler::run_query_phase(std::vector<Submission>& batch) {
   }
   util::Timer fence_timer;
   pool.wait_all(jobs);  // the query->next-phase fence
+  return fence_timer.seconds();
+}
+
+double PhaseScheduler::run_analytics_phase(std::vector<Submission>& batch) {
+  // Analytics tasks admitted into one phase run concurrently as pool jobs,
+  // exactly like query batches: they traverse the graph read-only against
+  // a phase-consistent state (no mutation phase can open until the fence
+  // below closes), so concurrent tasks are safe by the same argument as
+  // concurrent query batches.
+  auto& pool = simt::ThreadPool::instance();
+  std::vector<simt::ThreadPool::JobHandle> jobs;
+  jobs.reserve(batch.size());
+  try {
+    for (Submission& s : batch) {
+      jobs.push_back(pool.submit(1, [&s](std::uint64_t) {
+        try {
+          s.task();
+          s.analytics_result.set_value();
+        } catch (...) {
+          s.analytics_result.set_exception(std::current_exception());
+        }
+      }));
+    }
+  } catch (...) {
+    // A failed submit (allocation) must not unwind past jobs already in
+    // flight — they reference `batch`. Wait them out, then let the
+    // conductor fail the unresolved promises.
+    try {
+      pool.wait_all(jobs);
+    } catch (...) {
+    }
+    throw;
+  }
+  util::Timer fence_timer;
+  pool.wait_all(jobs);  // the analytics->next-phase fence
   return fence_timer.seconds();
 }
 

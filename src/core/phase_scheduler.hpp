@@ -10,9 +10,9 @@
 // interleaved with analytics epochs) need that contract enforced by the
 // structure itself.
 //
-// The scheduler accepts mutation and query batches from ANY thread,
-// classifies each submission by kind, and runs the stream as alternating
-// PHASES:
+// The scheduler accepts mutation batches, query batches, and analytics
+// tasks from ANY thread, classifies each submission by kind, and runs the
+// stream as alternating PHASES:
 //
 //   * every submission queued at a phase boundary of the same kind is
 //     admitted into the shared phase — small submissions coalesce;
@@ -24,6 +24,11 @@
 //   * within a QUERY phase, every admitted batch runs CONCURRENTLY as its
 //     own ThreadPool job (query batches are safely concurrent with each
 //     other; each is internally pipelined as before);
+//   * within an ANALYTICS phase (submit_analytics — the third fenced
+//     kind), every admitted task runs concurrently as its own pool job;
+//     tasks traverse the graph read-only (bulk gathers, queries) against
+//     a phase-consistent state, which is what lets dynamic triangle count
+//     consume mutation batches as deltas inside the pipeline;
 //   * between phases of different kinds the conductor FENCES: the next
 //     phase opens only after every task of the open phase has completed.
 //
@@ -88,8 +93,10 @@ struct EdgeWeightBatch {
 struct PhaseScheduleStats {
   std::uint64_t submitted_mutations = 0;  ///< insert/erase submissions
   std::uint64_t submitted_queries = 0;    ///< exist/weight submissions
+  std::uint64_t submitted_analytics = 0;  ///< analytics-task submissions
   std::uint64_t mutation_phases = 0;      ///< phases that ran mutations
   std::uint64_t query_phases = 0;         ///< phases that ran queries
+  std::uint64_t analytics_phases = 0;     ///< phases that ran analytics
   /// Mutation->query / query->mutation transitions: each one paid a fence.
   std::uint64_t phase_switches = 0;
   /// Submissions beyond the first admitted into each phase — batches that
@@ -176,6 +183,16 @@ class PhaseScheduler {
   std::future<EdgeWeightBatch> submit_edge_weights(std::vector<Edge> queries,
                                                    std::uint32_t deadline_ms = 0);
 
+  /// The third phase kind: `task` runs inside a fenced ANALYTICS phase —
+  /// never overlapping a mutation phase, so read-only traversal of the
+  /// graph (bulk gathers, queries) is safe inside it. Consecutive
+  /// analytics submissions admitted into one phase run concurrently as
+  /// pool jobs, exactly like query batches. Analytics carry no deadline
+  /// and are never shed (their side effects — e.g. an incremental
+  /// triangle count's accumulator — are state, like mutations). The
+  /// future resolves when the task returns, or carries its exception.
+  std::future<void> submit_analytics(std::function<void()> task);
+
   /// Blocks until every submission accepted so far has completed and no
   /// phase is open. New submissions may arrive while draining; they are
   /// drained too.
@@ -184,10 +201,11 @@ class PhaseScheduler {
   PhaseScheduleStats stats() const;
 
  private:
-  enum class Kind : std::uint8_t { kMutation, kQuery };
+  enum class Kind : std::uint8_t { kMutation, kQuery, kAnalytics };
 
   /// One queued submission. Mutations carry edges (insert) or plain edges
-  /// (erase); queries carry probes. Exactly one payload is active.
+  /// (erase); queries carry probes; analytics carry a task closure.
+  /// Exactly one payload is active.
   struct Submission {
     Kind kind = Kind::kMutation;
     bool erase = false;     ///< mutations: erase vs insert
@@ -196,9 +214,11 @@ class PhaseScheduler {
     std::chrono::steady_clock::time_point deadline;
     std::vector<WeightedEdge> inserts;
     std::vector<Edge> edges;  ///< erase targets or query probes
+    std::function<void()> task;  ///< analytics payload
     std::promise<std::uint64_t> mutation_result;
     std::promise<std::vector<std::uint8_t>> exist_result;
     std::promise<EdgeWeightBatch> weight_result;
+    std::promise<void> analytics_result;
   };
 
   void enqueue(Submission&& s);
@@ -222,6 +242,7 @@ class PhaseScheduler {
   /// run inline on the conductor).
   double run_mutation_phase(std::vector<Submission>& batch);
   double run_query_phase(std::vector<Submission>& batch);
+  double run_analytics_phase(std::vector<Submission>& batch);
   /// Fails every promise of `batch` not already satisfied with `error` —
   /// the conductor's last line of defense when a phase runner throws
   /// outside the per-submission try blocks (infrastructure failure, e.g.

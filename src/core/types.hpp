@@ -124,6 +124,15 @@ struct GraphConfig {
   /// (0, 1]; use auto_rehash_p99_slabs = 0 to disable the policy.
   double auto_rehash_tail_frac = 0.01;
 
+  /// Fold chain depths observed by analytics bulk gathers
+  /// (gather_neighbors and everything built on it: bulk BFS/CC/TC, the
+  /// incremental TC delta pass) into ChainFeedback. Inform-only, exactly
+  /// like query phases: gathers enrich the histogram targeted rehashing
+  /// consumes but NEVER fire the auto-rehash policy themselves — only
+  /// mutation batches may trigger a rebuild. `false` keeps analytics
+  /// entirely off the feedback path.
+  bool gather_feedback = true;
+
   /// Scheduled mode (src/core/phase_scheduler.hpp): the async submit_*
   /// entry points (submit_insert / submit_erase / submit_edges_exist /
   /// submit_edge_weights) route through a per-graph phase scheduler that

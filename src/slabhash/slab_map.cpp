@@ -464,6 +464,38 @@ void map_for_each(const memory::SlabArena& arena, TableRef table,
   }
 }
 
+std::uint32_t map_gather(const memory::SlabArena& arena, TableRef table,
+                         std::uint32_t* out, std::uint32_t cap,
+                         std::uint32_t* chain_slabs) {
+  std::uint32_t written = 0;
+  std::uint32_t deepest = 0;  // register-held, published once at exit
+  for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+    SlabHandle handle = table.bucket_head(b);
+    std::uint32_t depth = 0;
+    while (handle != kNullSlab) {
+      ++depth;
+      std::uint32_t snap[memory::kWordsPerSlab];
+      simt::snapshot_slab(arena.resolve(handle), snap);
+      const SlabHandle next = snap[kNextPtrWord];
+      if (next != kNullSlab) simt::prefetch(&arena.resolve(next));
+      const std::uint32_t empties =
+          simt::empty_mask(snap, kEmptyKey) & kMapKeyWordsMask;
+      const std::uint32_t tombs =
+          simt::tombstone_mask(snap, kTombstoneKey) & kMapKeyWordsMask;
+      std::uint32_t live = kMapKeyWordsMask & ~tombs &
+                           simt::bits_below(std::countr_zero(empties));
+      while (live != 0 && written < cap) {
+        out[written++] = snap[std::countr_zero(live)];
+        live &= live - 1;
+      }
+      handle = next;
+    }
+    if (depth > deepest) deepest = depth;
+  }
+  if (chain_slabs != nullptr) *chain_slabs = deepest;
+  return written;
+}
+
 TableOccupancy map_occupancy(const memory::SlabArena& arena, TableRef table) {
   // One probe per slab + three popcounts, instead of a per-pair word loop.
   TableOccupancy occ;

@@ -62,6 +62,16 @@ void set_bulk_contains(const memory::SlabArena& arena, TableRef table,
 void set_for_each(const memory::SlabArena& arena, TableRef table,
                   const std::function<void(std::uint32_t)>& fn);
 
+/// Gathers every live key into `out` (caller-presized to `cap` slots) with
+/// one snapshot + mask extraction per slab; returns the number written
+/// (stops at `cap`, so a caller sizing from the exact degree counter never
+/// overruns even on misuse). `chain_slabs`, when non-null, receives the
+/// deepest slab position the walk reached (1 = base slab only) — the same
+/// inform-only chain-depth feedback bulk queries report.
+std::uint32_t set_gather(const memory::SlabArena& arena, TableRef table,
+                         std::uint32_t* out, std::uint32_t cap,
+                         std::uint32_t* chain_slabs = nullptr);
+
 TableOccupancy set_occupancy(const memory::SlabArena& arena, TableRef table);
 
 /// Compaction (tombstone flush); phase-serial per table.

@@ -271,21 +271,29 @@ TEST(DynamicTc, RunsAndCountsConsistently) {
   const datasets::Coo coo = datasets::make_rmat(512, 512 * 8, 11);
   const auto result = run_dynamic_tc(coo, 3, coo.edges.size());
   ASSERT_EQ(result.ours.size(), 3u);
+  ASSERT_EQ(result.recount.size(), 3u);
   ASSERT_EQ(result.hornet.size(), 3u);
   for (std::size_t i = 0; i < 3; ++i) {
-    // Same stream + same semantics => same triangle counts per iteration.
+    // Same stream + same semantics => same ABSOLUTE triangle totals per
+    // iteration across the delta pipeline, the full recount, and Hornet.
+    EXPECT_EQ(result.ours[i].triangles, result.recount[i].triangles) << i;
     EXPECT_EQ(result.ours[i].triangles, result.hornet[i].triangles) << i;
     if (i > 0) {
       EXPECT_GE(result.ours[i].cumulative_ms, result.ours[i - 1].cumulative_ms);
       EXPECT_GE(result.ours[i].triangles, result.ours[i - 1].triangles);
     }
   }
+  // 3 uncapped batches drain the post-preload tail, so the final total is
+  // the whole graph's triangle count.
+  EXPECT_EQ(result.ours.back().triangles,
+            tc_reference(coo.num_vertices, coo.edges));
 }
 
 TEST(DynamicTc, ZeroIterationsEmpty) {
   const datasets::Coo coo = datasets::make_delaunay(256, 1);
   const auto result = run_dynamic_tc(coo, 0, 1000);
   EXPECT_TRUE(result.ours.empty());
+  EXPECT_TRUE(result.recount.empty());
   EXPECT_TRUE(result.hornet.empty());
 }
 
