@@ -51,6 +51,13 @@ DEFAULT_METRICS = [
     # gate >= 2x in the PR 7 criteria, so a sustained slide matters.
     "static_tc_bulk_speedup",
     "dynamic_tc_incr_speedup",
+    # micro_persist (PR 8): durability-layer rates — snapshot serialize /
+    # restore, write-ahead journal append (per sync mode), and journal
+    # replay into a cold graph.
+    "snapshot_rate",
+    "restore_rate",
+    "journal_append_rate",
+    "recovery_replay_rate",
 ]
 
 # Recorded but NOT gated: stage/apply overlap on the 1-vCPU capture box is
@@ -96,7 +103,7 @@ DEFAULT_THRESHOLD = 0.10
 # Labels that identify a series (a parameter the bench swept). Anything else
 # (e.g. the informational speedup_vs_scalar annotation) is measurement
 # output and would make series keys unmatchable across points.
-SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor"}
+SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor", "sync"}
 
 
 def parse_number(cell):

@@ -40,6 +40,10 @@
 #include "src/slabhash/slab_map.hpp"
 #include "src/slabhash/slab_set.hpp"
 
+namespace sg::persist {
+class Journal;  // write-ahead batch journal (src/persist/journal.hpp)
+}  // namespace sg::persist
+
 namespace sg::core {
 
 /// Adjacency policy: concurrent-map tables (value = edge weight).
@@ -263,6 +267,12 @@ class DynGraph {
   ///        outside (0, 1]).
   explicit DynGraph(GraphConfig config);
 
+  /// Tears down the scheduler first (queued submissions reject with
+  /// SubmitRejected{kShutdown}, the conductor joins), then — if
+  /// GraphConfig::snapshot_on_shutdown names a path — writes a final
+  /// best-effort snapshot before the structure dies.
+  ~DynGraph();
+
   DynGraph(const DynGraph&) = delete;
   DynGraph& operator=(const DynGraph&) = delete;
 
@@ -428,6 +438,45 @@ class DynGraph {
   /// submission counts. All zeros when nothing was ever submitted.
   PhaseScheduleStats last_schedule_stats() const;
 
+  // ---- durability (src/persist/, docs/ROBUSTNESS.md "Durability") ------
+  /// Scheduled snapshot: persist::snapshot(*this, path) runs inside a
+  /// fenced ANALYTICS phase, so the cut is epoch-consistent under
+  /// concurrent submitters — every mutation whose future resolved before
+  /// this call is in the file, and no mutation submitted after it leaks
+  /// in. The future resolves when the file is durably renamed into place,
+  /// or carries the write's exception (persist::IoError). Inline mode
+  /// (phase_scheduler = false) writes synchronously — the phase-concurrent
+  /// contract is then the caller's, exactly as for gather_neighbors.
+  std::future<void> submit_snapshot(std::string path);
+
+  /// Attaches the write-ahead batch journal at `path` (normally done by
+  /// the constructor from GraphConfig::journal_path). An existing file is
+  /// scanned: a torn tail is truncated to the last valid record
+  /// (journal_truncated_on_attach() reports how much), mid-file corruption
+  /// throws persist::CorruptJournal, and the sequence continues after
+  /// max(file's last record, this graph's cursor) — recovery replays
+  /// first, then attaches. Requires batch_engine; throws std::logic_error
+  /// if a journal is already attached.
+  void attach_journal(const std::string& path);
+  bool has_journal() const noexcept { return journal_ != nullptr; }
+
+  /// The journal cursor: sequence number of the last journal record this
+  /// graph's state contains (0 = none). Snapshots embed it as the cut;
+  /// replay skips records at/below it.
+  std::uint64_t journal_seq() const noexcept {
+    return journal_seq_.load(std::memory_order_relaxed);
+  }
+  /// Raises the cursor (snapshot restore / journal replay; never lowers).
+  void advance_journal_seq(std::uint64_t seq) {
+    std::uint64_t cur = journal_seq_.load(std::memory_order_relaxed);
+    while (seq > cur &&
+           !journal_seq_.compare_exchange_weak(cur, seq,
+                                               std::memory_order_relaxed)) {
+    }
+  }
+  /// Torn-tail bytes the attach truncated (0 = clean file or no journal).
+  std::uint64_t journal_truncated_on_attach() const noexcept;
+
   /// Visits every live neighbour of `u` (and weight; 0 for the set variant).
   void for_each_neighbor(VertexId u,
                          const std::function<void(VertexId, Weight)>& fn) const;
@@ -569,6 +618,26 @@ class DynGraph {
   /// Creates the phase scheduler on first use (thread-safe; the conductor
   /// thread is only ever paid by graphs that actually submit).
   PhaseScheduler& ensure_scheduler();
+  /// Refuses mutations once the journal poisoned itself (a failed append
+  /// may have left a torn tail on disk): the in-memory graph must not
+  /// advance past what recovery can rebuild. Throws persist::IoError.
+  void ensure_journal_usable() const;
+  /// Appends a committed batch to the journal, advancing the cursor.
+  /// Called at the success tail of the batched mutation paths, under
+  /// batch_mutex_ (vertex ops are phase-serial and append directly; the
+  /// Journal's own mutex backstops the ordering either way).
+  void journal_insert(std::span<const WeightedEdge> edges);
+  void journal_erase(std::span<const Edge> edges);
+  /// Best-effort committed-prefix journaling on a PartialBatchError abort:
+  /// the input batch minus the unapplied pairs is exactly the state the
+  /// abort left (core::PartialBatchError documents this), so replaying the
+  /// filtered record rebuilds it. A journal failure here is swallowed —
+  /// the PartialBatchError is the caller's signal, and the journal has
+  /// poisoned itself against further appends.
+  void journal_insert_committed(std::span<const WeightedEdge> edges,
+                                const std::vector<Edge>& unapplied) noexcept;
+  void journal_erase_committed(std::span<const Edge> edges,
+                               const std::vector<Edge>& unapplied) noexcept;
   /// Shared stage-3 driver: runs scheduled by query count, head slabs
   /// software-pipelined, per-source counter deltas aggregated before the
   /// atomic. `erase` flips between bulk_insert/counter-add and
@@ -635,6 +704,14 @@ class DynGraph {
   mutable std::mutex feedback_mutex_;
   RehashStats last_rehash_stats_;
   std::uint64_t auto_rehash_count_ = 0;
+  /// Write-ahead batch journal (GraphConfig::journal_path; null = none).
+  /// Declared BEFORE the scheduler block so it outlives the conductor's
+  /// Ops callbacks during destruction.
+  std::unique_ptr<persist::Journal> journal_;
+  /// Journal cursor: last record sequence this graph's state contains.
+  /// Restore sets it to the snapshot's cut, replay advances it, and every
+  /// append keeps it equal to the journal's last durable record.
+  std::atomic<std::uint64_t> journal_seq_{0};
   /// Scheduled mode (GraphConfig::phase_scheduler): created on the first
   /// submit_* call under scheduler_once_ and published through the atomic
   /// pointer (schedule_drain / last_schedule_stats read it without racing

@@ -16,12 +16,16 @@
 #include "src/core/dyn_graph.hpp"
 #include "src/core/errors.hpp"
 #include "src/core/scalar_oracle.hpp"
+#include "src/persist/journal.hpp"
+#include "src/persist/snapshot.hpp"
 #include "src/simt/atomics.hpp"
 #include "src/simt/grid.hpp"
 #include "src/simt/thread_pool.hpp"
 #include "src/util/fault_injection.hpp"
 
 namespace sg::core {
+
+inline std::uint64_t edge_key(VertexId src, VertexId dst);
 
 // --------------------------------------------------------------------------
 // EdgeSlabIterator
@@ -66,6 +70,129 @@ DynGraph<Policy>::DynGraph(GraphConfig config)
     arena_.set_chunk_limit(config_.max_arena_chunks);
   }
   arena_.set_checks(config_.arena_checks);
+  if (!config_.journal_path.empty()) {
+    attach_journal(config_.journal_path);
+  }
+}
+
+template <class Policy>
+DynGraph<Policy>::~DynGraph() {
+  // The scheduler dies first (it is also the LAST member, but the shutdown
+  // snapshot below must run after it): queued submissions reject with
+  // SubmitRejected{kShutdown} and the conductor joins, so no Ops callback
+  // can mutate during the snapshot write or member teardown.
+  scheduler_ptr_.store(nullptr, std::memory_order_release);
+  scheduler_.reset();
+  if (!config_.snapshot_on_shutdown.empty()) {
+    try {
+      persist::snapshot(*this, config_.snapshot_on_shutdown);
+    } catch (...) {
+      // Best-effort by contract (GraphConfig::snapshot_on_shutdown):
+      // destructors must not throw, and write-to-temp + rename means a
+      // failed write leaves any previous snapshot intact.
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Durability hooks (src/persist/): the write-ahead journal records every
+// committed mutation batch; snapshots ride the analytics phase machinery.
+// --------------------------------------------------------------------------
+
+template <class Policy>
+void DynGraph<Policy>::attach_journal(const std::string& path) {
+  if (!config_.batch_engine) {
+    throw std::invalid_argument(
+        "journal_path requires batch_engine: the scalar oracle path does "
+        "not journal");
+  }
+  if (journal_) {
+    throw std::logic_error("a journal is already attached to this graph");
+  }
+  journal_ = std::make_unique<persist::Journal>(
+      path, config_.journal_sync, journal_seq());
+  advance_journal_seq(journal_->last_seq());
+  config_.journal_path = path;
+}
+
+template <class Policy>
+std::uint64_t DynGraph<Policy>::journal_truncated_on_attach() const noexcept {
+  return journal_ ? journal_->truncated_on_open() : 0;
+}
+
+template <class Policy>
+void DynGraph<Policy>::ensure_journal_usable() const {
+  if (journal_) journal_->ensure_usable();
+}
+
+template <class Policy>
+void DynGraph<Policy>::journal_insert(std::span<const WeightedEdge> edges) {
+  if (!journal_) return;
+  advance_journal_seq(journal_->append_insert(edges));
+}
+
+template <class Policy>
+void DynGraph<Policy>::journal_erase(std::span<const Edge> edges) {
+  if (!journal_) return;
+  advance_journal_seq(journal_->append_erase(edges));
+}
+
+template <class Policy>
+void DynGraph<Policy>::journal_insert_committed(
+    std::span<const WeightedEdge> edges,
+    const std::vector<Edge>& unapplied) noexcept {
+  if (!journal_) return;
+  try {
+    std::unordered_set<std::uint64_t> skip;
+    skip.reserve(unapplied.size());
+    for (const Edge& e : unapplied) skip.insert(edge_key(e.src, e.dst));
+    std::vector<WeightedEdge> committed;
+    committed.reserve(edges.size());
+    for (const WeightedEdge& e : edges) {
+      if (!skip.contains(edge_key(e.src, e.dst))) committed.push_back(e);
+    }
+    journal_insert(committed);
+  } catch (...) {
+    // Best-effort (see the declaration): the journal poisoned itself, and
+    // the caller's PartialBatchError already reports the abort.
+  }
+}
+
+template <class Policy>
+void DynGraph<Policy>::journal_erase_committed(
+    std::span<const Edge> edges, const std::vector<Edge>& unapplied) noexcept {
+  if (!journal_) return;
+  try {
+    std::unordered_set<std::uint64_t> skip;
+    skip.reserve(unapplied.size());
+    for (const Edge& e : unapplied) skip.insert(edge_key(e.src, e.dst));
+    std::vector<Edge> committed;
+    committed.reserve(edges.size());
+    for (const Edge& e : edges) {
+      if (!skip.contains(edge_key(e.src, e.dst))) committed.push_back(e);
+    }
+    journal_erase(committed);
+  } catch (...) {
+    // Best-effort, as above.
+  }
+}
+
+template <class Policy>
+std::future<void> DynGraph<Policy>::submit_snapshot(std::string path) {
+  if (!config_.phase_scheduler) {
+    // Inline reference mode: write synchronously (same future surface).
+    std::promise<void> done;
+    std::future<void> f = done.get_future();
+    try {
+      persist::snapshot(*this, path);
+      done.set_value();
+    } catch (...) {
+      done.set_exception(std::current_exception());
+    }
+    return f;
+  }
+  return ensure_scheduler().submit_snapshot(
+      [this, path = std::move(path)] { persist::snapshot(*this, path); });
 }
 
 template <class Policy>
@@ -126,6 +253,8 @@ void DynGraph<Policy>::insert_vertices(
   if (!degree_hints.empty() && degree_hints.size() != ids.size()) {
     throw std::invalid_argument("degree_hints size mismatch");
   }
+  if (ids.empty()) return;
+  ensure_journal_usable();
   VertexId max_id = 0;
   for (VertexId id : ids) {
     if (id > kMaxVertexId) {
@@ -133,14 +262,18 @@ void DynGraph<Policy>::insert_vertices(
     }
     if (id > max_id) max_id = id;
   }
-  if (!ids.empty() && max_id >= dict_.capacity()) dict_.grow(max_id + 1);
+  if (max_id >= dict_.capacity()) dict_.grow(max_id + 1);
   for (std::size_t i = 0; i < ids.size(); ++i) {
     ensure_vertex(ids[i], degree_hints.empty() ? 0 : degree_hints[i]);
+  }
+  if (journal_) {
+    advance_journal_seq(journal_->append_insert_vertices(ids, degree_hints));
   }
 }
 
 template <class Policy>
 void DynGraph<Policy>::bulk_build(std::span<const WeightedEdge> edges) {
+  ensure_journal_usable();
   validate_batch(edges);
   // Degrees are known a priori in the bulk-build workload: size each table
   // for its true degree and the configured load factor (§V-B1). Undirected
@@ -159,6 +292,20 @@ void DynGraph<Policy>::bulk_build(std::span<const WeightedEdge> edges) {
   }
   for (VertexId u = 0; u < dict_.capacity(); ++u) {
     if (referenced[u]) ensure_vertex(u, degrees[u]);
+  }
+  if (journal_) {
+    // Journal the vertex pre-pass so replay reproduces vertex_live for
+    // dst-only vertices of a directed build (the edge record alone would
+    // only revive sources) — and re-creates the right-sized tables.
+    std::vector<VertexId> ref_ids;
+    std::vector<std::uint32_t> hints;
+    for (VertexId u = 0; u < dict_.capacity(); ++u) {
+      if (referenced[u]) {
+        ref_ids.push_back(u);
+        hints.push_back(degrees[u]);
+      }
+    }
+    advance_journal_seq(journal_->append_insert_vertices(ref_ids, hints));
   }
   if (config_.batch_engine) {
     insert_batched(edges);  // stages the mirror direction in place
@@ -184,6 +331,7 @@ std::uint64_t DynGraph<Policy>::insert_directed(
 template <class Policy>
 std::uint64_t DynGraph<Policy>::insert_edges(std::span<const WeightedEdge> edges) {
   if (edges.empty()) return 0;
+  ensure_journal_usable();
   prepare_batch(edges);
   if (config_.batch_engine) return insert_batched(edges);
   return insert_directed(edges);
@@ -465,9 +613,11 @@ std::uint64_t DynGraph<Policy>::insert_batched(
     // maybe_auto_rehash is skipped on purpose — rebuilding tables allocates,
     // the one thing the arena just refused to do.
     if (config_.on_pressure) config_.on_pressure();
+    std::vector<Edge> unapplied =
+        unapplied_from_abort(edges, config_.undirected, abort);
+    journal_insert_committed(edges, unapplied);  // the exact committed prefix
     throw PartialBatchError(
-        abort.applied_before + abort.epoch.applied,
-        unapplied_from_abort(edges, config_.undirected, abort),
+        abort.applied_before + abort.epoch.applied, std::move(unapplied),
         std::make_exception_ptr(memory::ArenaExhausted(
             "SlabArena: dynamic slab allocation failed mid-batch")),
         "insert_edges aborted: arena exhausted");
@@ -475,19 +625,23 @@ std::uint64_t DynGraph<Policy>::insert_batched(
     // Exhaustion outside the bulk path (first-touch table creation during
     // staging): only epoch granularity is known.
     if (config_.on_pressure) config_.on_pressure();
+    std::vector<Edge> unapplied = unapplied_from_epoch(edges, pipeline_stats_);
+    journal_insert_committed(edges, unapplied);
     throw PartialBatchError(pipeline_stats_.applied_total,
-                            unapplied_from_epoch(edges, pipeline_stats_),
-                            std::current_exception(),
+                            std::move(unapplied), std::current_exception(),
                             "insert_edges aborted: arena exhausted");
   } catch (const std::bad_alloc&) {
     throw;  // host heap exhausted: building a partial report could too
   } catch (...) {
     // A staging job died (e.g. injected fault): committed epochs stand,
     // everything from the first uncommitted epoch on is unapplied.
+    std::vector<Edge> unapplied = unapplied_from_epoch(edges, pipeline_stats_);
+    journal_insert_committed(edges, unapplied);
     throw PartialBatchError(pipeline_stats_.applied_total,
-                            unapplied_from_epoch(edges, pipeline_stats_),
-                            std::current_exception(), "insert_edges aborted");
+                            std::move(unapplied), std::current_exception(),
+                            "insert_edges aborted");
   }
+  journal_insert(edges);  // write-behind: committed in memory, now durable
   maybe_auto_rehash();
   return added;
 }
@@ -515,10 +669,13 @@ std::uint64_t DynGraph<Policy>::delete_batched(std::span<const Edge> edges) {
   } catch (...) {
     // Deletion never allocates slabs, so only a dying staging job lands
     // here; committed epochs stand, the rest is unapplied.
+    std::vector<Edge> unapplied = unapplied_from_epoch(edges, pipeline_stats_);
+    journal_erase_committed(edges, unapplied);
     throw PartialBatchError(pipeline_stats_.applied_total,
-                            unapplied_from_epoch(edges, pipeline_stats_),
-                            std::current_exception(), "delete_edges aborted");
+                            std::move(unapplied), std::current_exception(),
+                            "delete_edges aborted");
   }
+  journal_erase(edges);  // write-behind: committed in memory, now durable
   maybe_auto_rehash();
   return removed;
 }
@@ -1059,6 +1216,7 @@ std::uint64_t DynGraph<Policy>::delete_directed(std::span<const Edge> edges) {
 template <class Policy>
 std::uint64_t DynGraph<Policy>::delete_edges(std::span<const Edge> edges) {
   if (edges.empty()) return 0;
+  ensure_journal_usable();
   validate_batch(edges);
   if (config_.batch_engine) return delete_batched(edges);
   return delete_directed(edges);
@@ -1071,6 +1229,7 @@ std::uint64_t DynGraph<Policy>::delete_edges(std::span<const Edge> edges) {
 template <class Policy>
 void DynGraph<Policy>::delete_vertices(std::span<const VertexId> ids) {
   if (ids.empty()) return;
+  ensure_journal_usable();
   const std::uint64_t seed = config_.hash_seed;
   const std::uint32_t count = static_cast<std::uint32_t>(ids.size());
 
@@ -1128,7 +1287,6 @@ void DynGraph<Policy>::delete_vertices(std::span<const VertexId> ids) {
         dict_.set_edge_count(warp_vertex, 0);
       }
     });
-    return;  // cleanup already done per-warp above
   } else {
     // Directed: incoming edges are unknown, so run the paper's follow-up
     // sweep — "a follow-up lookup and delete all of the deleted vertices in
@@ -1158,20 +1316,26 @@ void DynGraph<Policy>::delete_vertices(std::span<const VertexId> ids) {
     });
   }
 
-  // Phase 2 — dismantle the deleted vertices' own tables: free dynamically
-  // allocated slabs (lines 18-20), keep base slabs ("statically allocated
-  // memory is not reclaimed"), zero the edge count (line 22).
-  std::uint32_t queue2 = 0;
-  simt::launch_warps(64, [&](const simt::WarpId&) {
-    for (;;) {
-      const std::uint32_t queue_id = simt::atomic_add(queue2, 1u);
-      if (queue_id >= count) return;
-      const VertexId v = ids[queue_id];
-      if (v >= dict_.capacity() || !dict_.has_table(v)) continue;
-      Policy::clear(arena_, dict_.table(v));
-      dict_.set_edge_count(v, 0);
-    }
-  });
+  // Phase 2 (directed only; the undirected pass cleans per-warp above) —
+  // dismantle the deleted vertices' own tables: free dynamically allocated
+  // slabs (lines 18-20), keep base slabs ("statically allocated memory is
+  // not reclaimed"), zero the edge count (line 22).
+  if (!config_.undirected) {
+    std::uint32_t queue2 = 0;
+    simt::launch_warps(64, [&](const simt::WarpId&) {
+      for (;;) {
+        const std::uint32_t queue_id = simt::atomic_add(queue2, 1u);
+        if (queue_id >= count) return;
+        const VertexId v = ids[queue_id];
+        if (v >= dict_.capacity() || !dict_.has_table(v)) continue;
+        Policy::clear(arena_, dict_.table(v));
+        dict_.set_edge_count(v, 0);
+      }
+    });
+  }
+  if (journal_) {
+    advance_journal_seq(journal_->append_delete_vertices(ids));
+  }
 }
 
 // --------------------------------------------------------------------------

@@ -147,7 +147,11 @@ void PhaseScheduler::enqueue(Submission&& s) {
     if (s.kind == Kind::kMutation) {
       ++stats_.submitted_mutations;
     } else if (s.kind == Kind::kAnalytics) {
-      ++stats_.submitted_analytics;
+      if (s.snapshot) {
+        ++stats_.submitted_snapshots;
+      } else {
+        ++stats_.submitted_analytics;
+      }
     } else {
       ++stats_.submitted_queries;
     }
@@ -221,6 +225,16 @@ std::future<EdgeWeightBatch> PhaseScheduler::submit_edge_weights(
 std::future<void> PhaseScheduler::submit_analytics(std::function<void()> task) {
   Submission s;
   s.kind = Kind::kAnalytics;
+  s.task = std::move(task);
+  std::future<void> f = s.analytics_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<void> PhaseScheduler::submit_snapshot(std::function<void()> task) {
+  Submission s;
+  s.kind = Kind::kAnalytics;  // a snapshot is a fenced read of the structure
+  s.snapshot = true;
   s.task = std::move(task);
   std::future<void> f = s.analytics_result.get_future();
   enqueue(std::move(s));

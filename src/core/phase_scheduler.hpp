@@ -94,6 +94,7 @@ struct PhaseScheduleStats {
   std::uint64_t submitted_mutations = 0;  ///< insert/erase submissions
   std::uint64_t submitted_queries = 0;    ///< exist/weight submissions
   std::uint64_t submitted_analytics = 0;  ///< analytics-task submissions
+  std::uint64_t submitted_snapshots = 0;  ///< snapshot-task submissions
   std::uint64_t mutation_phases = 0;      ///< phases that ran mutations
   std::uint64_t query_phases = 0;         ///< phases that ran queries
   std::uint64_t analytics_phases = 0;     ///< phases that ran analytics
@@ -193,6 +194,15 @@ class PhaseScheduler {
   /// future resolves when the task returns, or carries its exception.
   std::future<void> submit_analytics(std::function<void()> task);
 
+  /// A snapshot task (persist::snapshot bound to a path) scheduled as an
+  /// ANALYTICS-kind submission: it runs inside a fenced phase, so the cut
+  /// it serializes is epoch-consistent — every mutation whose future
+  /// resolved before the submission is in the file, and no mutation
+  /// submitted after it leaks in (FIFO admission). Counted separately in
+  /// stats (submitted_snapshots, not submitted_analytics); phase
+  /// accounting is shared with analytics.
+  std::future<void> submit_snapshot(std::function<void()> task);
+
   /// Blocks until every submission accepted so far has completed and no
   /// phase is open. New submissions may arrive while draining; they are
   /// drained too.
@@ -210,6 +220,7 @@ class PhaseScheduler {
     Kind kind = Kind::kMutation;
     bool erase = false;     ///< mutations: erase vs insert
     bool weighted = false;  ///< queries: edge_weights vs edges_exist
+    bool snapshot = false;  ///< analytics: snapshot task (stats only)
     bool has_deadline = false;  ///< queries: reject if admitted past deadline
     std::chrono::steady_clock::time_point deadline;
     std::vector<WeightedEdge> inserts;

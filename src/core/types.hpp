@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 namespace sg::core {
 
@@ -46,6 +47,20 @@ enum class BackpressurePolicy : std::uint8_t {
   /// never shed — losing one would silently fork the graph's history — so
   /// a queue full of mutations rejects the newcomer instead.
   kShedOldestQueries,
+};
+
+/// When the write-ahead batch journal (GraphConfig::journal_path;
+/// src/persist/journal.hpp, docs/ROBUSTNESS.md "Durability") flushes
+/// records to stable storage.
+enum class JournalSyncPolicy : std::uint8_t {
+  /// Records reach the OS page cache on append but are never fsynced: a
+  /// process crash loses nothing, a machine crash may lose the tail. The
+  /// default — appends cost one write(2).
+  kNone,
+  /// fsync after every appended record: a batch's future resolving means
+  /// the batch is on stable storage. Orders of magnitude slower per batch;
+  /// coalesced scheduler phases amortize it (one record per merged group).
+  kEachBatch,
 };
 
 /// Construction-time knobs (§III, §IV-A).
@@ -185,6 +200,27 @@ struct GraphConfig {
   /// operator alert. Must not submit or apply mutations on this graph
   /// (deadlock); tombstone flush and rehash entry points are safe.
   std::function<void()> on_pressure;
+
+  // ---- durability (src/persist/, docs/ROBUSTNESS.md "Durability") ------
+
+  /// Path of the write-ahead batch journal. Non-empty = every committed
+  /// mutation batch (edge insert/erase, vertex insert/delete) is appended
+  /// as a CRC32-checked, sequence-numbered record before the call returns
+  /// (before a submit_* future resolves); PartialBatchError aborts journal
+  /// their exact committed prefix. An existing file is scanned on attach:
+  /// a torn tail is truncated to the last valid record, mid-file
+  /// corruption throws persist::CorruptJournal. Requires batch_engine.
+  /// Empty (default) = no journal. Recovery: persist::recover().
+  std::string journal_path;
+
+  /// Journal flush policy (see JournalSyncPolicy).
+  JournalSyncPolicy journal_sync = JournalSyncPolicy::kNone;
+
+  /// Non-empty = the destructor writes a final snapshot of the graph to
+  /// this path (write-to-temp + atomic rename; best-effort — destructors
+  /// do not throw, and a failed write leaves any previous snapshot file
+  /// intact). Pairs with journal_path for restart-without-replay.
+  std::string snapshot_on_shutdown;
 };
 
 /// The graph's construction-time configuration under its public name.

@@ -1,0 +1,50 @@
+// Typed failures of the durability subsystem (docs/ROBUSTNESS.md,
+// "Durability").
+//
+// Three classes:
+//  * IoError — the operating system refused a read/write/sync (or an
+//    injected fault simulated one). The in-memory graph is intact; the
+//    on-disk artifact may be partial (snapshots write to a temp file and
+//    rename, so a previous snapshot is never damaged; a journal that
+//    failed a write poisons itself and refuses further appends until
+//    recovery).
+//  * CorruptSnapshot — a snapshot file failed structural validation
+//    (magic/version/section CRC) or its integrity re-check after restore.
+//  * CorruptJournal — a journal record failed validation with valid data
+//    AFTER it (mid-file corruption). A torn TAIL is not this error: a
+//    final record cut short by a crash is expected damage and recovery
+//    truncates to the last valid record instead (the torn-tail rule).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sg::persist {
+
+/// Base of every durability failure.
+class PersistError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// An OS-level read/write/sync failed (or an injected I/O fault fired).
+class IoError : public PersistError {
+ public:
+  using PersistError::PersistError;
+};
+
+/// Snapshot file failed validation (format, checksum, or post-restore
+/// integrity re-check).
+class CorruptSnapshot : public PersistError {
+ public:
+  using PersistError::PersistError;
+};
+
+/// Journal record failed validation with valid data after it — real
+/// corruption, never silently truncated (contrast the torn-tail rule).
+class CorruptJournal : public PersistError {
+ public:
+  using PersistError::PersistError;
+};
+
+}  // namespace sg::persist

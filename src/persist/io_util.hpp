@@ -1,0 +1,69 @@
+// Internal POSIX I/O helpers shared by the journal and snapshot writers
+// (src/persist/). Not part of the public persist API.
+#pragma once
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/persist/errors.hpp"
+
+namespace sg::persist::detail {
+
+[[noreturn]] inline void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+/// Writes all of [data, data+len) to `fd`, retrying short writes and EINTR;
+/// throws IoError (tagged with `what`) on failure.
+inline void write_all(int fd, const void* data, std::size_t len,
+                      const std::string& what) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what);
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Reads `path` whole. `exists` = false (with an empty result) when the
+/// file is missing; any other failure throws IoError.
+inline std::vector<std::uint8_t> read_whole_file(const std::string& path,
+                                                 bool& exists) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      exists = false;
+      return {};
+    }
+    throw_errno("open for read failed (" + path + ")");
+  }
+  exists = true;
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read failed (" + path + ")");
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace sg::persist::detail

@@ -1,0 +1,322 @@
+#include "src/persist/journal.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/persist/io_util.hpp"
+#include "src/persist/wire.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/fault_injection.hpp"
+
+namespace sg::persist {
+namespace {
+
+using detail::read_whole_file;
+using detail::throw_errno;
+using detail::write_all;
+
+// "SGJRNL01" as a little-endian u64.
+constexpr std::uint64_t kFileMagic = 0x31304C4E524A4753ull;
+constexpr std::uint32_t kFileVersion = 1;
+constexpr std::size_t kFileHeaderBytes = 16;
+
+// "SGRC" as a little-endian u32.
+constexpr std::uint32_t kRecordMagic = 0x43524753u;
+constexpr std::size_t kRecordHeaderBytes = 24;
+// Offset of the CRC-covered span within the record header (kind..payload
+// length — everything but the magic and the CRC itself).
+constexpr std::size_t kCrcCoverBegin = 4;
+constexpr std::size_t kCrcCoverHeaderBytes = 16;
+// Defensive cap: no real record approaches this, so a larger length field
+// is corruption, not a big batch.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 30;
+
+/// Parses one payload into `rec`; false = malformed (treated as CRC-level
+/// corruption by the caller even though the CRC matched — cannot happen
+/// for files we wrote, but a defined answer beats UB on a crafted file).
+bool parse_payload(RecordKind kind, const std::uint8_t* p, std::uint32_t bytes,
+                   Journal::Record& rec) {
+  switch (kind) {
+    case RecordKind::kInsert: {
+      if (bytes % 12 != 0) return false;
+      const std::uint32_t n = bytes / 12;
+      rec.inserts.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.inserts[i] = {get_u32(p + i * 12), get_u32(p + i * 12 + 4),
+                          get_u32(p + i * 12 + 8)};
+      }
+      return true;
+    }
+    case RecordKind::kErase: {
+      if (bytes % 8 != 0) return false;
+      const std::uint32_t n = bytes / 8;
+      rec.erases.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.erases[i] = {get_u32(p + i * 8), get_u32(p + i * 8 + 4)};
+      }
+      return true;
+    }
+    case RecordKind::kInsertVertices: {
+      if (bytes % 8 != 0) return false;
+      const std::uint32_t n = bytes / 8;
+      rec.vertices.resize(n);
+      rec.degree_hints.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        rec.vertices[i] = get_u32(p + i * 8);
+        rec.degree_hints[i] = get_u32(p + i * 8 + 4);
+      }
+      return true;
+    }
+    case RecordKind::kDeleteVertices: {
+      if (bytes % 4 != 0) return false;
+      const std::uint32_t n = bytes / 4;
+      rec.vertices.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) rec.vertices[i] = get_u32(p + i * 4);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Journal::ScanResult Journal::scan(const std::string& path) {
+  ScanResult result;
+  bool exists = false;
+  const std::vector<std::uint8_t> bytes = read_whole_file(path, exists);
+  if (!exists || bytes.empty()) return result;
+
+  if (bytes.size() < kFileHeaderBytes) {
+    // A header cut short can only be a crash during journal creation.
+    result.torn_tail = true;
+    result.dropped_bytes = bytes.size();
+    return result;
+  }
+  if (get_u64(bytes.data()) != kFileMagic) {
+    throw CorruptJournal("journal header magic mismatch (" + path + ")");
+  }
+  if (get_u32(bytes.data() + 8) != kFileVersion) {
+    throw CorruptJournal("journal version unsupported (" + path + ")");
+  }
+
+  std::size_t at = kFileHeaderBytes;
+  result.valid_bytes = at;
+  std::uint64_t prev_seq = 0;
+  while (at < bytes.size()) {
+    const std::size_t remaining = bytes.size() - at;
+    // Anything that reaches end-of-file before validating is the torn tail
+    // of a crashed append; anything invalid with data after it is mid-file
+    // corruption (docs/ROBUSTNESS.md, the torn-tail rule).
+    if (remaining < kRecordHeaderBytes) break;  // torn header
+    const std::uint8_t* h = bytes.data() + at;
+    if (get_u32(h) != kRecordMagic) {
+      throw CorruptJournal("journal record magic mismatch at offset " +
+                           std::to_string(at) + " (" + path + ")");
+    }
+    const auto kind_raw = h[4];
+    const std::uint64_t seq = get_u64(h + 8);
+    const std::uint32_t payload_bytes = get_u32(h + 16);
+    if (payload_bytes > kMaxPayloadBytes) {
+      throw CorruptJournal("journal record length implausible at offset " +
+                           std::to_string(at) + " (" + path + ")");
+    }
+    const std::uint32_t stored_crc = get_u32(h + 20);
+    if (remaining < kRecordHeaderBytes + payload_bytes) break;  // torn payload
+    const bool at_eof =
+        remaining == kRecordHeaderBytes + payload_bytes;
+
+    std::uint32_t crc = util::crc32(h + kCrcCoverBegin, kCrcCoverHeaderBytes);
+    crc = util::crc32(h + kRecordHeaderBytes, payload_bytes, crc);
+    Record rec;
+    bool valid = crc == stored_crc;
+    if (valid) {
+      valid = kind_raw >= 1 && kind_raw <= 4;
+      rec.kind = static_cast<RecordKind>(kind_raw);
+      rec.seq = seq;
+      valid = valid && seq > prev_seq;
+      valid = valid && parse_payload(rec.kind, h + kRecordHeaderBytes,
+                                     payload_bytes, rec);
+    }
+    if (!valid) {
+      if (at_eof) break;  // torn final record (e.g. short payload flush)
+      throw CorruptJournal("journal record corrupt at offset " +
+                           std::to_string(at) + " (" + path + ")");
+    }
+    prev_seq = seq;
+    at += kRecordHeaderBytes + payload_bytes;
+    result.valid_bytes = at;
+    result.last_seq = seq;
+    result.records.push_back(std::move(rec));
+  }
+  if (result.valid_bytes < bytes.size()) {
+    result.torn_tail = true;
+    result.dropped_bytes = bytes.size() - result.valid_bytes;
+  }
+  return result;
+}
+
+Journal::Journal(std::string path, core::JournalSyncPolicy sync,
+                 std::uint64_t seq_floor)
+    : path_(std::move(path)), sync_(sync) {
+  // Scan first: corruption must fail the attach (typed), and a torn tail
+  // must be physically removed before appending lands anything after it.
+  ScanResult scanned = scan(path_);
+  last_seq_ = scanned.last_seq > seq_floor ? scanned.last_seq : seq_floor;
+
+  fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd_ < 0) throw_errno("journal open failed (" + path_ + ")");
+  if (scanned.torn_tail) {
+    if (::ftruncate(fd_, static_cast<off_t>(scanned.valid_bytes)) != 0) {
+      const int saved = errno;
+      ::close(fd_);
+      fd_ = -1;
+      errno = saved;
+      throw_errno("journal torn-tail truncate failed (" + path_ + ")");
+    }
+    truncated_on_open_ = scanned.dropped_bytes;
+  }
+  if (scanned.valid_bytes == 0) {
+    // Fresh (or fully-torn) file: write the header.
+    std::vector<std::uint8_t> header;
+    header.reserve(kFileHeaderBytes);
+    put_u64(header, kFileMagic);
+    put_u32(header, kFileVersion);
+    put_u32(header, 0);  // flags
+    try {
+      write_all(fd_, header.data(), header.size(), "journal header write");
+    } catch (...) {
+      ::close(fd_);
+      fd_ = -1;
+      throw;
+    }
+  } else if (::lseek(fd_, static_cast<off_t>(scanned.valid_bytes), SEEK_SET) <
+             0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("journal seek failed (" + path_ + ")");
+  }
+}
+
+Journal::~Journal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Journal::ensure_usable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) {
+    throw IoError("journal poisoned by an earlier write failure (" + path_ +
+                  "); recover() before further mutations");
+  }
+}
+
+std::uint64_t Journal::last_seq() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_seq_;
+}
+
+std::uint64_t Journal::appended_bytes() const noexcept {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return appended_bytes_;
+}
+
+std::uint64_t Journal::append_record(RecordKind kind,
+                                     std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (poisoned_) {
+    throw IoError("journal poisoned by an earlier write failure (" + path_ +
+                  "); recover() before further mutations");
+  }
+  const std::uint64_t seq = last_seq_ + 1;
+
+  std::vector<std::uint8_t> buf;
+  buf.reserve(kRecordHeaderBytes + payload.size());
+  put_u32(buf, kRecordMagic);
+  buf.push_back(static_cast<std::uint8_t>(kind));
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(0);
+  put_u64(buf, seq);
+  put_u32(buf, static_cast<std::uint32_t>(payload.size()));
+  std::uint32_t crc =
+      util::crc32(buf.data() + kCrcCoverBegin, kCrcCoverHeaderBytes);
+  crc = util::crc32(payload.data(), payload.size(), crc);
+  put_u32(buf, crc);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+
+  try {
+    if (SG_FAULT_FIRE(kJournalAppend)) {
+      // Simulated crash mid-append: optionally leave the short-write
+      // prefix a real torn write would leave, then fail. The journal
+      // poisons itself below — a torn tail must not be appended past.
+      const std::uint32_t torn = SG_FAULT_TORN(kJournalAppend);
+      if (torn != 0) {
+        const std::size_t prefix = buf.size() * torn / 1000;
+        write_all(fd_, buf.data(), prefix, "journal torn write");
+      }
+      throw IoError("injected fault: journal append (" + path_ + ")");
+    }
+    write_all(fd_, buf.data(), buf.size(), "journal append");
+    if (sync_ == core::JournalSyncPolicy::kEachBatch) {
+      if (SG_FAULT_FIRE(kJournalSync)) {
+        throw IoError("injected fault: journal fsync (" + path_ + ")");
+      }
+      if (::fsync(fd_) != 0) throw_errno("journal fsync failed");
+    }
+  } catch (...) {
+    poisoned_ = true;
+    throw;
+  }
+  last_seq_ = seq;
+  appended_bytes_ += buf.size();
+  return seq;
+}
+
+std::uint64_t Journal::append_insert(
+    std::span<const core::WeightedEdge> edges) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(edges.size() * 12);
+  for (const auto& e : edges) {
+    put_u32(payload, e.src);
+    put_u32(payload, e.dst);
+    put_u32(payload, e.weight);
+  }
+  return append_record(RecordKind::kInsert, payload);
+}
+
+std::uint64_t Journal::append_erase(std::span<const core::Edge> edges) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(edges.size() * 8);
+  for (const auto& e : edges) {
+    put_u32(payload, e.src);
+    put_u32(payload, e.dst);
+  }
+  return append_record(RecordKind::kErase, payload);
+}
+
+std::uint64_t Journal::append_insert_vertices(
+    std::span<const core::VertexId> ids,
+    std::span<const std::uint32_t> degree_hints) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(ids.size() * 8);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    put_u32(payload, ids[i]);
+    put_u32(payload, degree_hints.empty() ? 0u : degree_hints[i]);
+  }
+  return append_record(RecordKind::kInsertVertices, payload);
+}
+
+std::uint64_t Journal::append_delete_vertices(
+    std::span<const core::VertexId> ids) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(ids.size() * 4);
+  for (core::VertexId id : ids) put_u32(payload, id);
+  return append_record(RecordKind::kDeleteVertices, payload);
+}
+
+}  // namespace sg::persist

@@ -1,0 +1,135 @@
+// Write-ahead batch journal (docs/ROBUSTNESS.md, "Durability").
+//
+// An append-only file of CRC32-checked, monotonically sequence-numbered
+// records, one per committed mutation batch. DynGraph appends a record
+// AFTER a batch commits in memory and BEFORE the call returns (before a
+// submit_* future resolves), so a future that resolved successfully names
+// a batch that is in the journal; a PartialBatchError abort appends the
+// batch's exact committed prefix instead. Recovery (persist::recover)
+// loads the latest snapshot and replays the journal suffix.
+//
+// File layout (all fields little-endian; src/persist/wire.hpp):
+//
+//   file header (16 B): magic u64 "SGJRNL01" | version u32 | flags u32
+//   record (24 B + payload):
+//     rec magic u32 "SGRC" | kind u8 | pad u8[3] | seq u64 |
+//     payload_bytes u32 | crc u32 | payload
+//
+// The CRC covers kind..payload_bytes plus the payload, so any bit of a
+// record except its magic is checked. Payloads are arrays of fixed-width
+// tuples: kInsert = (src, dst, weight) u32 triples (the set variant writes
+// weight 0 — one uniform format for both graph variants), kErase =
+// (src, dst) pairs, kInsertVertices = (id, degree_hint) pairs,
+// kDeleteVertices = ids.
+//
+// The torn-tail rule: scan() accepts a final record that is cut short or
+// fails its CRC AT END-OF-FILE as a torn tail (the shape a crash mid-append
+// leaves) and reports where the valid prefix ends; attaching truncates the
+// file there. A record that fails validation with MORE DATA AFTER IT is
+// mid-file corruption and throws CorruptJournal — never silently dropped.
+//
+// A Journal whose append or sync failed (I/O error, injected fault)
+// POISONS itself: the file may end in a torn record, so further appends
+// would write garbage mid-file. Every later append throws IoError until
+// the graph is recovered through persist::recover(), which repairs the
+// tail. Appends are internally serialized (one mutex) — the graph calls
+// them under its own batch serialization anyway, the lock just keeps
+// vertex-op records well-ordered against edge-batch records too.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/types.hpp"
+#include "src/persist/errors.hpp"
+
+namespace sg::persist {
+
+/// Payload type of a journal record.
+enum class RecordKind : std::uint8_t {
+  kInsert = 1,          ///< weighted directed-edge batch (insert_edges)
+  kErase = 2,           ///< edge batch (delete_edges)
+  kInsertVertices = 3,  ///< (id, degree_hint) pairs (insert_vertices)
+  kDeleteVertices = 4,  ///< vertex ids (delete_vertices)
+};
+
+class Journal {
+ public:
+  /// One parsed record (scan output; replay input).
+  struct Record {
+    RecordKind kind = RecordKind::kInsert;
+    std::uint64_t seq = 0;
+    std::vector<core::WeightedEdge> inserts;    ///< kInsert
+    std::vector<core::Edge> erases;             ///< kErase
+    std::vector<core::VertexId> vertices;       ///< kInsertVertices/kDeleteVertices
+    std::vector<std::uint32_t> degree_hints;    ///< kInsertVertices
+  };
+
+  /// Result of validating + parsing a journal file.
+  struct ScanResult {
+    std::vector<Record> records;
+    std::uint64_t last_seq = 0;      ///< highest valid seq (0 = none)
+    std::uint64_t valid_bytes = 0;   ///< file offset after the last valid record
+    std::uint64_t dropped_bytes = 0; ///< torn-tail bytes past valid_bytes
+    bool torn_tail = false;          ///< a torn tail was detected (not an error)
+  };
+
+  /// Opens `path` for appending. An existing file is scanned first:
+  /// mid-file corruption throws CorruptJournal, a torn tail is truncated
+  /// to the last valid record (truncated_on_open() reports how much), and
+  /// the sequence continues after max(scanned last seq, `seq_floor`) —
+  /// the floor carries a snapshot's cut sequence across a journal that was
+  /// started fresh after it. A missing/empty file gets a fresh header.
+  Journal(std::string path, core::JournalSyncPolicy sync,
+          std::uint64_t seq_floor = 0);
+  ~Journal();
+
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one record; returns its sequence number. Throws IoError on a
+  /// write/sync failure (poisoning the journal) or when already poisoned.
+  std::uint64_t append_insert(std::span<const core::WeightedEdge> edges);
+  std::uint64_t append_erase(std::span<const core::Edge> edges);
+  std::uint64_t append_insert_vertices(
+      std::span<const core::VertexId> ids,
+      std::span<const std::uint32_t> degree_hints);
+  std::uint64_t append_delete_vertices(std::span<const core::VertexId> ids);
+
+  /// Throws IoError if a previous append/sync failed (the file may end in
+  /// a torn record; recovery is required before further writes).
+  void ensure_usable() const;
+  bool poisoned() const noexcept { return poisoned_; }
+
+  /// Sequence number of the last durable record (0 = none yet).
+  std::uint64_t last_seq() const noexcept;
+
+  const std::string& path() const noexcept { return path_; }
+  /// Torn-tail bytes removed when the file was opened (0 = clean open).
+  std::uint64_t truncated_on_open() const noexcept { return truncated_on_open_; }
+  /// Payload + header bytes appended through this handle (bench metric).
+  std::uint64_t appended_bytes() const noexcept;
+
+  /// Validates and parses `path` without opening it for writing. A missing
+  /// file yields an empty result; mid-file corruption throws
+  /// CorruptJournal; a torn tail is reported, not repaired.
+  static ScanResult scan(const std::string& path);
+
+ private:
+  std::uint64_t append_record(RecordKind kind,
+                              std::span<const std::uint8_t> payload);
+
+  std::string path_;
+  core::JournalSyncPolicy sync_;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::uint64_t last_seq_ = 0;
+  std::uint64_t appended_bytes_ = 0;
+  std::uint64_t truncated_on_open_ = 0;
+  bool poisoned_ = false;
+};
+
+}  // namespace sg::persist

@@ -1,0 +1,104 @@
+#include "src/persist/recovery.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/dyn_graph.hpp"
+#include "src/persist/journal.hpp"
+#include "src/persist/snapshot.hpp"
+
+namespace sg::persist {
+namespace {
+
+template <class Policy>
+void apply_record(core::DynGraph<Policy>& graph, const Journal::Record& rec) {
+  switch (rec.kind) {
+    case RecordKind::kInsert:
+      graph.insert_edges(rec.inserts);
+      break;
+    case RecordKind::kErase:
+      graph.delete_edges(rec.erases);
+      break;
+    case RecordKind::kInsertVertices:
+      graph.insert_vertices(rec.vertices, rec.degree_hints);
+      break;
+    case RecordKind::kDeleteVertices:
+      graph.delete_vertices(rec.vertices);
+      break;
+  }
+}
+
+}  // namespace
+
+template <class Policy>
+RecoveryStats replay_journal(core::DynGraph<Policy>& graph,
+                             const std::string& path) {
+  if (graph.has_journal()) {
+    throw std::logic_error(
+        "persist::replay_journal: the graph has a journal attached — replay "
+        "would re-journal every record; recover() attaches after replaying");
+  }
+  RecoveryStats stats;
+  const Journal::ScanResult scanned = Journal::scan(path);
+  for (const Journal::Record& rec : scanned.records) {
+    if (rec.seq <= graph.journal_seq()) {
+      ++stats.skipped_records;
+      continue;
+    }
+    apply_record(graph, rec);
+    graph.advance_journal_seq(rec.seq);
+    ++stats.replayed_records;
+  }
+  stats.journal_seq = graph.journal_seq();
+  return stats;
+}
+
+template <class Policy>
+Recovered<Policy> recover(core::GraphConfig config,
+                          const std::string& snapshot_path) {
+  const std::string journal_path = config.journal_path;
+  // The graph is built journal-less: restore and replay drive the normal
+  // mutation paths, which must not append what is already durable.
+  config.journal_path.clear();
+  Recovered<Policy> out;
+  out.graph = std::make_unique<core::DynGraph<Policy>>(std::move(config));
+
+  if (!snapshot_path.empty()) {
+    bool missing = false;
+    try {
+      const SnapshotStats snap = restore_into(*out.graph, snapshot_path);
+      out.stats.snapshot_loaded = true;
+      out.stats.snapshot_vertices = snap.vertices;
+      out.stats.snapshot_edges = snap.directed_edges;
+    } catch (const IoError&) {
+      // A snapshot that was never written (crash before the first cut) is
+      // a normal journal-only recovery, not an error. Corruption is NOT
+      // swallowed: CorruptSnapshot propagates.
+      missing = true;
+    }
+    if (missing && out.graph->num_edges() != 0) {
+      throw IoError("snapshot restore failed mid-way (" + snapshot_path + ")");
+    }
+  }
+
+  if (!journal_path.empty()) {
+    const RecoveryStats replay = replay_journal(*out.graph, journal_path);
+    out.stats.replayed_records = replay.replayed_records;
+    out.stats.skipped_records = replay.skipped_records;
+    out.graph->attach_journal(journal_path);
+    out.stats.truncated_bytes = out.graph->journal_truncated_on_attach();
+  }
+  out.stats.journal_seq = out.graph->journal_seq();
+  return out;
+}
+
+template RecoveryStats replay_journal(core::DynGraph<core::MapPolicy>&,
+                                      const std::string&);
+template RecoveryStats replay_journal(core::DynGraph<core::SetPolicy>&,
+                                      const std::string&);
+template Recovered<core::MapPolicy> recover<core::MapPolicy>(
+    core::GraphConfig, const std::string&);
+template Recovered<core::SetPolicy> recover<core::SetPolicy>(
+    core::GraphConfig, const std::string&);
+
+}  // namespace sg::persist

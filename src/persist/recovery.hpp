@@ -1,0 +1,83 @@
+// Crash recovery (docs/ROBUSTNESS.md, "Durability"): latest snapshot +
+// write-ahead journal suffix => the graph every successfully-resolved
+// mutation built.
+//
+// recover() is the one-call path: construct a fresh graph from `config`,
+// restore the snapshot (if one exists), replay every journal record with a
+// sequence number past the snapshot's cut, then re-attach the journal —
+// which truncates a torn tail to the last valid record and continues the
+// sequence. The sequence-number cursor is the single idempotence
+// mechanism: restore sets it to the snapshot's cut, replay skips records
+// at/below it, so snapshot-suffix replay and accidental double replay are
+// the same check.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/core/types.hpp"
+#include "src/persist/errors.hpp"
+
+namespace sg::core {
+template <class Policy>
+class DynGraph;
+struct MapPolicy;
+struct SetPolicy;
+}  // namespace sg::core
+
+namespace sg::persist {
+
+/// What recovery did (docs/ROBUSTNESS.md).
+struct RecoveryStats {
+  bool snapshot_loaded = false;        ///< a snapshot file existed and restored
+  std::uint64_t snapshot_vertices = 0;
+  std::uint64_t snapshot_edges = 0;    ///< directed edges the snapshot carried
+  std::uint64_t replayed_records = 0;  ///< journal records applied
+  std::uint64_t skipped_records = 0;   ///< records at/below the cursor
+  std::uint64_t truncated_bytes = 0;   ///< torn-tail bytes removed on re-attach
+  std::uint64_t journal_seq = 0;       ///< cursor after recovery
+};
+
+/// Replays the journal at `path` into `graph`: records with seq <= the
+/// graph's journal cursor are skipped, the rest are applied in order and
+/// advance the cursor. The graph must NOT have a journal attached (replay
+/// through an attached journal would re-journal every record) — throws
+/// std::logic_error if it does. Mid-file corruption throws CorruptJournal;
+/// a torn tail simply ends the replay (re-attaching truncates it).
+template <class Policy>
+RecoveryStats replay_journal(core::DynGraph<Policy>& graph,
+                             const std::string& path);
+
+/// A recovered graph plus what it took to rebuild it.
+template <class Policy>
+struct Recovered {
+  std::unique_ptr<core::DynGraph<Policy>> graph;
+  RecoveryStats stats;
+};
+
+/// Full crash recovery. `config` is the graph's normal configuration —
+/// config.journal_path names the journal to replay and re-attach (may be
+/// empty for snapshot-only recovery); `snapshot_path` names the snapshot
+/// to restore first (may be empty, or name a file that does not exist yet
+/// — e.g. a crash before the first shutdown snapshot — in which case
+/// recovery is journal-only and stats.snapshot_loaded is false). The
+/// returned graph has the journal attached and is ready for new
+/// mutations, which continue the sequence past the replayed suffix.
+template <class Policy>
+Recovered<Policy> recover(core::GraphConfig config,
+                          const std::string& snapshot_path = "");
+
+using RecoveredMap = Recovered<core::MapPolicy>;
+using RecoveredSet = Recovered<core::SetPolicy>;
+
+extern template RecoveryStats replay_journal(
+    core::DynGraph<core::MapPolicy>&, const std::string&);
+extern template RecoveryStats replay_journal(
+    core::DynGraph<core::SetPolicy>&, const std::string&);
+extern template Recovered<core::MapPolicy> recover<core::MapPolicy>(
+    core::GraphConfig, const std::string&);
+extern template Recovered<core::SetPolicy> recover<core::SetPolicy>(
+    core::GraphConfig, const std::string&);
+
+}  // namespace sg::persist

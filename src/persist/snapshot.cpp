@@ -1,0 +1,321 @@
+#include "src/persist/snapshot.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/dyn_graph.hpp"
+#include "src/persist/io_util.hpp"
+#include "src/persist/wire.hpp"
+#include "src/util/crc32.hpp"
+#include "src/util/fault_injection.hpp"
+
+namespace sg::persist {
+namespace {
+
+// "SGSNAP01" as a little-endian u64.
+constexpr std::uint64_t kSnapMagic = 0x313050414E534753ull;
+constexpr std::uint32_t kSnapVersion = 1;
+constexpr std::uint32_t kFlagWeighted = 1u << 0;
+constexpr std::uint32_t kFlagUndirected = 1u << 1;
+constexpr std::size_t kHeaderBytes = 16;
+constexpr std::size_t kSectionHeaderBytes = 16;
+
+// Section fourccs ("META", "VERT", "ADJA", "WGHT") as little-endian u32.
+constexpr std::uint32_t kSecMeta = 0x4154454Du;
+constexpr std::uint32_t kSecVert = 0x54524556u;
+constexpr std::uint32_t kSecAdja = 0x414A4441u;
+constexpr std::uint32_t kSecWght = 0x54484757u;
+
+constexpr std::size_t kMetaBytes = 32;
+
+// Gather/restore chunk bounds: cap both the vertices per gather_neighbors
+// call and the edges per insert_edges call so peak staging memory stays
+// bounded regardless of graph shape.
+constexpr std::size_t kChunkVertices = std::size_t{1} << 14;
+constexpr std::uint64_t kChunkEdges = std::uint64_t{1} << 20;
+
+void append_section(std::vector<std::uint8_t>& file, std::uint32_t kind,
+                    const std::vector<std::uint8_t>& payload) {
+  put_u32(file, kind);
+  put_u32(file, util::crc32(payload.data(), payload.size()));
+  put_u64(file, payload.size());
+  file.insert(file.end(), payload.begin(), payload.end());
+}
+
+/// Writes the assembled file bytes to `path` via temp + rename, with the
+/// kSnapshotWrite fault site simulating a crash mid-write (optionally
+/// leaving the torn prefix a real crash would leave in the TEMP file —
+/// the final path is only ever renamed-to whole).
+void write_atomically(const std::string& path,
+                      const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) detail::throw_errno("snapshot temp open failed (" + tmp + ")");
+  try {
+    if (SG_FAULT_FIRE(kSnapshotWrite)) {
+      const std::uint32_t torn = SG_FAULT_TORN(kSnapshotWrite);
+      if (torn != 0) {
+        const std::size_t prefix = bytes.size() * torn / 1000;
+        detail::write_all(fd, bytes.data(), prefix, "snapshot torn write");
+      }
+      throw IoError("injected fault: snapshot write (" + tmp + ")");
+    }
+    detail::write_all(fd, bytes.data(), bytes.size(), "snapshot write");
+    if (::fsync(fd) != 0) detail::throw_errno("snapshot fsync failed");
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    detail::throw_errno("snapshot rename failed (" + tmp + " -> " + path + ")");
+  }
+}
+
+struct Section {
+  const std::uint8_t* data = nullptr;
+  std::uint64_t bytes = 0;
+  bool present = false;
+};
+
+Section find_section(const std::vector<std::uint8_t>& file, std::uint32_t kind,
+                     const std::string& path) {
+  std::size_t at = kHeaderBytes;
+  while (at < file.size()) {
+    if (file.size() - at < kSectionHeaderBytes) {
+      throw CorruptSnapshot("snapshot section header cut short (" + path + ")");
+    }
+    const std::uint8_t* h = file.data() + at;
+    const std::uint32_t sec_kind = get_u32(h);
+    const std::uint32_t crc = get_u32(h + 4);
+    const std::uint64_t bytes = get_u64(h + 8);
+    if (file.size() - at - kSectionHeaderBytes < bytes) {
+      throw CorruptSnapshot("snapshot section payload cut short (" + path +
+                            ")");
+    }
+    const std::uint8_t* payload = h + kSectionHeaderBytes;
+    if (sec_kind == kind) {
+      if (util::crc32(payload, bytes) != crc) {
+        throw CorruptSnapshot("snapshot section checksum mismatch (" + path +
+                              ")");
+      }
+      return {payload, bytes, true};
+    }
+    at += kSectionHeaderBytes + bytes;
+  }
+  return {};
+}
+
+Section require_section(const std::vector<std::uint8_t>& file,
+                        std::uint32_t kind, const std::string& path,
+                        const char* name) {
+  Section s = find_section(file, kind, path);
+  if (!s.present) {
+    throw CorruptSnapshot(std::string("snapshot missing section ") + name +
+                          " (" + path + ")");
+  }
+  return s;
+}
+
+}  // namespace
+
+template <class Policy>
+SnapshotStats snapshot(const core::DynGraph<Policy>& graph,
+                       const std::string& path) {
+  // Live vertex scan first; adjacency is then gathered in bounded chunks
+  // through the analytics bulk path (exact degrees size each slice).
+  std::vector<core::VertexId> ids;
+  const std::uint32_t cap = graph.vertex_capacity();
+  for (std::uint32_t u = 0; u < cap; ++u) {
+    if (graph.vertex_live(u)) ids.push_back(u);
+  }
+
+  std::vector<std::uint8_t> vert, adja, wght;
+  vert.reserve(ids.size() * 8);
+  std::uint64_t total_edges = 0;
+  std::vector<core::Edge> weight_queries;
+  std::vector<core::Weight> weights;
+  for (std::size_t begin = 0; begin < ids.size();) {
+    std::size_t end = begin;
+    std::uint64_t chunk_deg = 0;
+    do {
+      chunk_deg += graph.degree(ids[end]);
+      ++end;
+    } while (end < ids.size() && end - begin < kChunkVertices &&
+             chunk_deg < kChunkEdges);
+    const std::span<const core::VertexId> chunk{ids.data() + begin,
+                                                end - begin};
+    const core::GatherResult gathered = graph.gather_neighbors(chunk);
+    for (std::size_t i = 0; i < chunk.size(); ++i) {
+      const auto nbrs = gathered.neighbors_of(i);
+      put_u32(vert, chunk[i]);
+      put_u32(vert, static_cast<std::uint32_t>(nbrs.size()));
+      for (const core::VertexId v : nbrs) put_u32(adja, v);
+      total_edges += nbrs.size();
+    }
+    if constexpr (Policy::kHasValues) {
+      weight_queries.clear();
+      for (std::size_t i = 0; i < chunk.size(); ++i) {
+        for (const core::VertexId v : gathered.neighbors_of(i)) {
+          weight_queries.push_back({chunk[i], v});
+        }
+      }
+      weights.assign(weight_queries.size(), 0);
+      graph.edge_weights(weight_queries, weights.data());
+      for (const core::Weight w : weights) put_u32(wght, w);
+    }
+    begin = end;
+  }
+
+  const std::uint64_t seq = graph.journal_seq();
+  std::vector<std::uint8_t> meta;
+  meta.reserve(kMetaBytes);
+  put_u64(meta, seq);
+  put_u64(meta, ids.size());
+  put_u64(meta, total_edges);
+  put_u32(meta, cap);
+  put_u32(meta, 0);  // pad
+
+  std::vector<std::uint8_t> file;
+  file.reserve(kHeaderBytes + 4 * kSectionHeaderBytes + meta.size() +
+               vert.size() + adja.size() + wght.size());
+  put_u64(file, kSnapMagic);
+  put_u32(file, kSnapVersion);
+  std::uint32_t flags = 0;
+  if (Policy::kHasValues) flags |= kFlagWeighted;
+  if (graph.config().undirected) flags |= kFlagUndirected;
+  put_u32(file, flags);
+  append_section(file, kSecMeta, meta);
+  append_section(file, kSecVert, vert);
+  append_section(file, kSecAdja, adja);
+  if constexpr (Policy::kHasValues) append_section(file, kSecWght, wght);
+
+  write_atomically(path, file);
+  return {ids.size(), total_edges, file.size(), seq};
+}
+
+template <class Policy>
+SnapshotStats restore_into(core::DynGraph<Policy>& graph,
+                           const std::string& path) {
+  if (graph.num_edges() != 0) {
+    throw std::logic_error(
+        "persist::restore_into requires a freshly constructed graph");
+  }
+  bool exists = false;
+  const std::vector<std::uint8_t> file = detail::read_whole_file(path, exists);
+  if (!exists) throw IoError("snapshot file missing (" + path + ")");
+  if (file.size() < kHeaderBytes) {
+    throw CorruptSnapshot("snapshot header cut short (" + path + ")");
+  }
+  if (get_u64(file.data()) != kSnapMagic) {
+    throw CorruptSnapshot("snapshot magic mismatch (" + path + ")");
+  }
+  if (get_u32(file.data() + 8) != kSnapVersion) {
+    throw CorruptSnapshot("snapshot version unsupported (" + path + ")");
+  }
+  const std::uint32_t flags = get_u32(file.data() + 12);
+  if (((flags & kFlagWeighted) != 0) != Policy::kHasValues) {
+    throw CorruptSnapshot(
+        "snapshot variant mismatch: weighted flag does not match this "
+        "graph's policy (" + path + ")");
+  }
+  if (((flags & kFlagUndirected) != 0) != graph.config().undirected) {
+    throw CorruptSnapshot(
+        "snapshot directedness mismatch against this graph's config (" +
+        path + ")");
+  }
+  const bool undirected = (flags & kFlagUndirected) != 0;
+
+  const Section meta = require_section(file, kSecMeta, path, "META");
+  const Section vert = require_section(file, kSecVert, path, "VERT");
+  const Section adja = require_section(file, kSecAdja, path, "ADJA");
+  if (meta.bytes != kMetaBytes) {
+    throw CorruptSnapshot("snapshot META size mismatch (" + path + ")");
+  }
+  const std::uint64_t journal_seq = get_u64(meta.data);
+  const std::uint64_t live_vertices = get_u64(meta.data + 8);
+  const std::uint64_t directed_edges = get_u64(meta.data + 16);
+  const std::uint32_t vertex_capacity = get_u32(meta.data + 24);
+  if (vert.bytes != live_vertices * 8) {
+    throw CorruptSnapshot("snapshot VERT size mismatch (" + path + ")");
+  }
+  if (adja.bytes != directed_edges * 4) {
+    throw CorruptSnapshot("snapshot ADJA size mismatch (" + path + ")");
+  }
+  Section wght;
+  if constexpr (Policy::kHasValues) {
+    wght = require_section(file, kSecWght, path, "WGHT");
+    if (wght.bytes != directed_edges * 4) {
+      throw CorruptSnapshot("snapshot WGHT size mismatch (" + path + ")");
+    }
+  }
+
+  graph.reserve_vertices(vertex_capacity);
+  std::vector<core::VertexId> ids(live_vertices);
+  std::vector<std::uint32_t> degrees(live_vertices);
+  for (std::uint64_t i = 0; i < live_vertices; ++i) {
+    ids[i] = get_u32(vert.data + i * 8);
+    degrees[i] = get_u32(vert.data + i * 8 + 4);
+  }
+  graph.insert_vertices(ids, degrees);
+
+  // Adjacency replays through the batch engine in bounded chunks. For
+  // undirected graphs only the src < dst orientation is emitted —
+  // insert_edges recreates the mirror, and the stored degree sum already
+  // counts both.
+  std::vector<core::WeightedEdge> batch;
+  batch.reserve(kChunkEdges);
+  std::uint64_t at = 0;  // index into ADJA/WGHT entries
+  std::uint64_t declared = 0;
+  for (std::uint64_t i = 0; i < live_vertices; ++i) {
+    const core::VertexId u = ids[i];
+    const std::uint32_t deg = degrees[i];
+    declared += deg;
+    if (declared > directed_edges) {
+      throw CorruptSnapshot("snapshot degrees exceed ADJA (" + path + ")");
+    }
+    for (std::uint32_t k = 0; k < deg; ++k, ++at) {
+      const core::VertexId v = get_u32(adja.data + at * 4);
+      if (undirected && u >= v) continue;
+      core::Weight w = 0;
+      if constexpr (Policy::kHasValues) w = get_u32(wght.data + at * 4);
+      batch.push_back({u, v, w});
+      if (batch.size() >= kChunkEdges) {
+        graph.insert_edges(batch);
+        batch.clear();
+      }
+    }
+  }
+  if (declared != directed_edges) {
+    throw CorruptSnapshot("snapshot degrees disagree with ADJA (" + path + ")");
+  }
+  if (!batch.empty()) graph.insert_edges(batch);
+
+  // Integrity re-check: the counters the restore rebuilt must equal the
+  // totals the snapshot declared, or the file lied somewhere the CRCs
+  // could not see (e.g. a duplicate neighbor entry).
+  if (graph.num_edges() != directed_edges) {
+    throw CorruptSnapshot(
+        "snapshot integrity re-check failed: restored edge count " +
+        std::to_string(graph.num_edges()) + " != declared " +
+        std::to_string(directed_edges) + " (" + path + ")");
+  }
+  graph.advance_journal_seq(journal_seq);
+  return {live_vertices, directed_edges, file.size(), journal_seq};
+}
+
+template SnapshotStats snapshot(const core::DynGraph<core::MapPolicy>&,
+                                const std::string&);
+template SnapshotStats snapshot(const core::DynGraph<core::SetPolicy>&,
+                                const std::string&);
+template SnapshotStats restore_into(core::DynGraph<core::MapPolicy>&,
+                                    const std::string&);
+template SnapshotStats restore_into(core::DynGraph<core::SetPolicy>&,
+                                    const std::string&);
+
+}  // namespace sg::persist

@@ -1,0 +1,81 @@
+// Durable snapshots (docs/ROBUSTNESS.md, "Durability").
+//
+// snapshot() serializes a DynGraph to a versioned, section-checksummed
+// file riding the bulk analytics gather (gather_neighbors) for adjacency
+// extraction and the batched weight lookup for the map variant's values;
+// restore_into() rebuilds an empty graph from the file through the batch
+// engine (insert_vertices with exact degree hints, then chunked
+// insert_edges). The writer goes through a temp file plus atomic rename,
+// so a crash mid-write never damages an existing snapshot.
+//
+// File layout (little-endian; src/persist/wire.hpp):
+//
+//   header (16 B): magic u64 "SGSNAP01" | version u32 | flags u32
+//                  (flags bit 0 = weighted/map variant, bit 1 = undirected)
+//   sections, each: kind u32 | crc u32 (CRC32 of payload) | payload u64 | payload
+//     META (32 B): journal_seq u64 | live_vertices u64 | directed_edges u64 |
+//                  vertex_capacity u32 | pad u32
+//     VERT: (id, degree) u32 pairs, one per live vertex, ascending id
+//     ADJA: concatenated adjacency lists in VERT order (u32 ids)
+//     WGHT: weights aligned 1:1 with ADJA (map variant only)
+//
+// META's journal_seq is the write-ahead journal cursor at the cut:
+// recovery replays only journal records with a larger sequence number.
+// Undirected graphs snapshot both stored orientations; restore emits only
+// the src < dst orientation and lets insert_edges recreate the mirror.
+//
+// Consistency: snapshot() is a READ of the whole structure — callers must
+// not mutate concurrently (the phase-concurrent contract). Use
+// DynGraph::submit_snapshot for an epoch-consistent cut under concurrent
+// submitters: it runs the write inside a fenced analytics phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/persist/errors.hpp"
+
+namespace sg::core {
+template <class Policy>
+class DynGraph;
+struct MapPolicy;
+struct SetPolicy;
+}  // namespace sg::core
+
+namespace sg::persist {
+
+/// What a snapshot/restore moved (and the journal cut it carries).
+struct SnapshotStats {
+  std::uint64_t vertices = 0;        ///< live vertices written/restored
+  std::uint64_t directed_edges = 0;  ///< stored directed edges (undirected x2)
+  std::uint64_t file_bytes = 0;
+  std::uint64_t journal_seq = 0;     ///< journal cursor at the cut
+};
+
+/// Writes `graph` to `path` (write-to-temp + atomic rename; the temp file
+/// is `path` + ".tmp"). Throws IoError on a write failure — an existing
+/// snapshot at `path` is left intact.
+template <class Policy>
+SnapshotStats snapshot(const core::DynGraph<Policy>& graph,
+                       const std::string& path);
+
+/// Rebuilds `graph` (which must be freshly constructed — no edges) from
+/// the snapshot at `path`, validates the restored edge count against META,
+/// and advances the graph's journal cursor to the snapshot's cut. Throws
+/// CorruptSnapshot on any validation failure (format, section CRC, variant
+/// or directedness mismatch against the graph's config, post-restore
+/// integrity re-check) and IoError if the file cannot be read.
+template <class Policy>
+SnapshotStats restore_into(core::DynGraph<Policy>& graph,
+                           const std::string& path);
+
+extern template SnapshotStats snapshot(const core::DynGraph<core::MapPolicy>&,
+                                       const std::string&);
+extern template SnapshotStats snapshot(const core::DynGraph<core::SetPolicy>&,
+                                       const std::string&);
+extern template SnapshotStats restore_into(core::DynGraph<core::MapPolicy>&,
+                                           const std::string&);
+extern template SnapshotStats restore_into(core::DynGraph<core::SetPolicy>&,
+                                           const std::string&);
+
+}  // namespace sg::persist

@@ -1,0 +1,33 @@
+#include "src/util/crc32.hpp"
+
+namespace sg::util {
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  constexpr Crc32Table() : entries{} {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c >> 1) ^ ((c & 1u) ? 0xEDB88320u : 0u);
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+constexpr Crc32Table kTable;
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t crc) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~crc;
+  for (std::size_t i = 0; i < len; ++i) {
+    c = kTable.entries[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace sg::util

@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) — the checksum of
+// the durability formats (src/persist/): every snapshot section and every
+// journal record carries one so recovery can tell a torn tail from good
+// data (docs/ROBUSTNESS.md, "Durability").
+//
+// Incremental: pass the previous return value as `crc` to extend a running
+// checksum over discontiguous buffers. The empty-input CRC is 0.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sg::util {
+
+/// CRC-32 of `len` bytes at `data`, continuing from `crc` (0 to start).
+std::uint32_t crc32(const void* data, std::size_t len,
+                    std::uint32_t crc = 0) noexcept;
+
+}  // namespace sg::util

@@ -59,7 +59,16 @@ void FaultInjector::arm_random_schedule(std::uint64_t seed,
         rng.below(2) == 0) {
       spec.delay_us = static_cast<std::uint32_t>(rng.below(500));
     }
-    arm(static_cast<FaultSite>(i), spec);
+    // The I/O sites additionally draw a torn-write mode: half their firing
+    // schedules leave a short-write prefix on disk instead of failing
+    // cleanly, so the seed sweep exercises the torn-tail recovery rule.
+    const FaultSite site = static_cast<FaultSite>(i);
+    if ((site == FaultSite::kJournalAppend ||
+         site == FaultSite::kSnapshotWrite) &&
+        rng.below(2) == 0) {
+      spec.torn_permille = static_cast<std::uint32_t>(100 + rng.below(850));
+    }
+    arm(site, spec);
   }
 }
 
@@ -80,6 +89,10 @@ void FaultInjector::maybe_delay(FaultSite site) noexcept {
   if (s.spec.delay_us != 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(s.spec.delay_us));
   }
+}
+
+std::uint32_t FaultInjector::torn_permille(FaultSite site) const noexcept {
+  return state(site).spec.torn_permille;
 }
 
 std::uint64_t FaultInjector::arrivals(FaultSite site) const noexcept {

@@ -24,8 +24,11 @@ enum class FaultSite : std::uint32_t {
   kArenaContiguous = 1,  ///< bulk (base-slab) allocation reports exhaustion
   kStageJob = 2,         ///< background staging job throws / stalls
   kConductorPhase = 3,   ///< conductor stalls before admitting a phase
+  kJournalAppend = 4,    ///< journal record write fails (torn-write capable)
+  kJournalSync = 5,      ///< journal fsync fails after a durable write
+  kSnapshotWrite = 6,    ///< snapshot file write fails (torn-write capable)
 };
-inline constexpr std::uint32_t kNumFaultSites = 4;
+inline constexpr std::uint32_t kNumFaultSites = 7;
 
 #ifdef SLABGRAPH_FAULTS
 
@@ -37,6 +40,12 @@ struct FaultSpec {
   std::uint64_t period = 0;
   /// Microseconds SG_FAULT_DELAY sleeps on every arrival while armed.
   std::uint32_t delay_us = 0;
+  /// Torn-write mode of the I/O sites (kJournalAppend / kSnapshotWrite):
+  /// when the site fires, the writer first persists
+  /// floor(len * torn_permille / 1000) bytes of the buffer it was about to
+  /// write, then fails — a short write, the on-disk shape a crash mid-write
+  /// leaves behind. 0 = fail cleanly (nothing of the buffer lands).
+  std::uint32_t torn_permille = 0;
 };
 
 /// Process-wide injector. Arm/disarm from a quiescent test thread; the
@@ -63,6 +72,11 @@ class FaultInjector {
   /// Sleeps delay_us if the site is armed with a delay. Counts nothing.
   void maybe_delay(FaultSite site) noexcept;
 
+  /// The site's torn-write fraction (FaultSpec::torn_permille). Writers
+  /// consult it AFTER should_fire returned true to decide how much of the
+  /// doomed buffer still reaches the file. Counts nothing.
+  std::uint32_t torn_permille(FaultSite site) const noexcept;
+
   /// Total arrivals at `site` since it was last armed.
   std::uint64_t arrivals(FaultSite site) const noexcept;
 
@@ -81,11 +95,15 @@ class FaultInjector {
 #define SG_FAULT_DELAY(site)                    \
   (::sg::util::FaultInjector::instance().maybe_delay( \
       ::sg::util::FaultSite::site))
+#define SG_FAULT_TORN(site)                     \
+  (::sg::util::FaultInjector::instance().torn_permille( \
+      ::sg::util::FaultSite::site))
 
 #else  // !SLABGRAPH_FAULTS
 
 #define SG_FAULT_FIRE(site) (false)
 #define SG_FAULT_DELAY(site) ((void)0)
+#define SG_FAULT_TORN(site) (0u)
 
 #endif  // SLABGRAPH_FAULTS
 

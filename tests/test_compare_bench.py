@@ -118,6 +118,31 @@ def test_missing_series_baseline_never_gates():
     assert _run([old, new, newer]) == 1
 
 
+def test_persist_series_join_mid_trajectory_then_gate():
+    # micro_persist first appears at PR 8: its series have no baseline in
+    # older points (skip, not fail), then gate from the first pair carrying
+    # both sides. journal_append_rate is keyed by its sync label, so the
+    # two sync modes are independent series — a drop in the fsync mode
+    # gates even when the buffered mode improved.
+    old = _point(7, "micro_analytics",
+                 [("bfs_rate", 50.0, {"dataset": "rmat"})])
+    new = _point(8, "micro_persist",
+                 [("snapshot_rate", 30.0, {"dataset": "rmat"}),
+                  ("journal_append_rate", 20.0, {"sync": "none"}),
+                  ("journal_append_rate", 2.0, {"sync": "each-batch"}),
+                  ("recovery_replay_rate", 25.0, {"dataset": "rmat"})])
+    assert _run([old, new]) == 0
+    newer = _point(9, "micro_persist",
+                   [("snapshot_rate", 31.0, {"dataset": "rmat"}),
+                    ("journal_append_rate", 22.0, {"sync": "none"}),
+                    ("journal_append_rate", 1.0, {"sync": "each-batch"}),  # -50%
+                    ("recovery_replay_rate", 26.0, {"dataset": "rmat"})])
+    assert _run([old, new, newer]) == 1
+    for name in ("snapshot_rate", "restore_rate", "journal_append_rate",
+                 "recovery_replay_rate"):
+        assert name in compare_bench.DEFAULT_METRICS, name
+
+
 def test_untracked_metric_never_gates():
     points = [
         _point(1, "micro_pipeline",

@@ -199,6 +199,40 @@ TEST(PhaseSchedulerConductor, DestructorRejectsPendingSubmissions) {
   }
 }
 
+TEST(PhaseSchedulerConductor, DestructorRejectsPendingAnalytics) {
+  std::future<std::uint64_t> in_flight;
+  std::future<void> queued_task;
+  std::future<void> queued_snapshot;
+  std::atomic<int> ran{0};
+  {
+    ToyOps toy;
+    toy.gate_open.store(false);
+    PhaseScheduler sched(toy.ops());
+    // The gated mutation phase holds the conductor; analytics (and a
+    // snapshot, which is analytics-kind) queue behind it and are still
+    // pending at destruction. A rejected analytics task must never run.
+    in_flight = sched.submit_insert(toy_inserts(7));
+    while (toy.mutation_calls.load() < 1) std::this_thread::yield();
+    queued_task = sched.submit_analytics([&ran] { ++ran; });
+    queued_snapshot = sched.submit_snapshot([&ran] { ++ran; });
+    std::thread opener([&toy] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      toy.gate_open.store(true, std::memory_order_release);
+    });
+    opener.detach();
+  }  // destructor: finishes the open phase, rejects both queued analytics
+  EXPECT_EQ(in_flight.get(), 7u);
+  for (std::future<void>* f : {&queued_task, &queued_snapshot}) {
+    try {
+      f->get();
+      FAIL() << "queued analytics must be rejected at shutdown, not run";
+    } catch (const SubmitRejected& e) {
+      EXPECT_EQ(e.reason(), RejectReason::kShutdown);
+    }
+  }
+  EXPECT_EQ(ran.load(), 0);  // rejection means the task body never executed
+}
+
 // --------------------------------------------------------------------------
 // Admission control (bounded queues, backpressure, deadlines)
 // --------------------------------------------------------------------------
@@ -643,6 +677,8 @@ TEST(ScheduledMode, DestroyingGraphWithInFlightSubmissionsResolvesEveryFuture) {
   constexpr int kPerThread = 16;
   std::vector<std::future<std::uint64_t>> mutations;
   std::vector<std::future<std::vector<std::uint8_t>>> queries;
+  std::vector<std::future<void>> analytics;
+  std::atomic<std::uint64_t> analytics_ran{0};
   std::mutex futures_mutex;
   {
     GraphConfig cfg;
@@ -655,9 +691,11 @@ TEST(ScheduledMode, DestroyingGraphWithInFlightSubmissionsResolvesEveryFuture) {
           const VertexId src = t * 64 + static_cast<VertexId>(i);
           auto m = g.submit_insert({{src, src + 1, 7}});
           auto q = g.submit_edges_exist({{src, src + 1}});
+          auto a = g.submit_analytics([&analytics_ran] { ++analytics_ran; });
           std::lock_guard<std::mutex> lk(futures_mutex);
           mutations.push_back(std::move(m));
           queries.push_back(std::move(q));
+          analytics.push_back(std::move(a));
         }
       });
     }
@@ -686,6 +724,19 @@ TEST(ScheduledMode, DestroyingGraphWithInFlightSubmissionsResolvesEveryFuture) {
     }
   }
   EXPECT_EQ(completed + rejected, kSubmitters * kPerThread);
+  // Analytics obey the same contract: every future resolves, and the number
+  // of task bodies that actually ran equals the number of futures that
+  // resolved with a value — a rejected task never half-executes.
+  std::uint64_t analytics_ok = 0;
+  for (auto& f : analytics) {
+    try {
+      f.get();
+      ++analytics_ok;
+    } catch (const SubmitRejected& e) {
+      EXPECT_EQ(e.reason(), RejectReason::kShutdown);
+    }
+  }
+  EXPECT_EQ(analytics_ran.load(), analytics_ok);
 }
 
 /// Bounded-queue acceptance at the graph level: with GraphConfig caps and
