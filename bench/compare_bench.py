@@ -58,6 +58,14 @@ DEFAULT_METRICS = [
     "restore_rate",
     "journal_append_rate",
     "recovery_replay_rate",
+    # micro_stream (PR 9): sliding-window replay throughput (per batch
+    # mode) and steady-state memory flatness. stream_epoch_rate gates the
+    # whole ingest+age+compact cycle; steady_chunk_flatness is min/max live
+    # arena chunks over the steady tail (1.0 = perfectly flat), inverted so
+    # higher-is-better like every other gated metric — a drop means chunks
+    # trend with ingested volume instead of the window.
+    "stream_epoch_rate",
+    "steady_chunk_flatness",
 ]
 
 # Recorded but NOT gated: stage/apply overlap on the 1-vCPU capture box is
@@ -97,13 +105,21 @@ UNGATED_NOISY_METRICS = [
     "scheduler_shed_bounded",
     "scheduler_shed_reject",
     "scheduler_shed_shed",
+    # micro_stream steady-state RSS: absolute bytes are box-dependent (page
+    # cache, allocator arena, sanitizer shadow) — tracked for trend, the
+    # gated flatness signal is steady_chunk_flatness.
+    "steady_rss_bytes",
+    # Aging retirement rate: derived from the same wall clock as
+    # stream_epoch_rate (gated) but scaled by the window fraction swept.
+    "stream_aged_rate",
 ]
 DEFAULT_THRESHOLD = 0.10
 
 # Labels that identify a series (a parameter the bench swept). Anything else
 # (e.g. the informational speedup_vs_scalar annotation) is measurement
 # output and would make series keys unmatchable across points.
-SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor", "sync"}
+SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor", "sync",
+                     "mode"}
 
 
 def parse_number(cell):

@@ -1,26 +1,34 @@
 // Social-network churn — the "flowing stream of edge AND vertex insertions
-// and deletions" the paper argues real dynamic workloads contain (§I).
-// A scale-free social graph evolves through rounds of:
-//   * new members joining (vertex insertion + their follow edges),
-//   * members leaving (Algorithm 2 vertex deletion),
-//   * follow/unfollow traffic (batched edge insert/delete),
-// while analytics (connected components, reachability BFS from the largest
-// hub) run between phases — the phase-concurrent usage model.
+// and deletions" the paper argues real dynamic workloads contain (§I),
+// replayed through the stream harness (docs/WORKLOADS.md "Sliding-window
+// streaming" meets vertex churn):
 //
-//   ./build/examples/social_churn [--rounds=N] [--scale=F]
+//   * follow traffic is a TEMPORAL stream — seed follows, then waves of
+//     new members whose follows arrive with fresh timestamps; the harness
+//     ingests it epoch by epoch (members "join" when their first follow
+//     arrives),
+//   * unfollow traffic is the sliding window — follows not refreshed
+//     within the window age out (submit_age_out inside the harness),
+//     replacing the old hand-rolled unfollow batches,
+//   * members leaving is still explicit Algorithm 2 vertex deletion
+//     between epochs,
+//   * analytics (reachability BFS from the hub, connected components) run
+//     in the fenced per-epoch analytics hook.
+//
+//   ./build/social_churn [--rounds=N] [--scale=F]
 #include <cstdio>
+#include <vector>
 
 #include "src/analytics/bfs.hpp"
 #include "src/analytics/connected_components.hpp"
-#include "src/core/dyn_graph.hpp"
-#include "src/datasets/coo.hpp"
 #include "src/datasets/suite.hpp"
+#include "src/stream/harness.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/prng.hpp"
 
 namespace {
 
-sg::analytics::NeighborFn neighbors_of(const sg::core::DynGraphSet& g) {
+sg::analytics::NeighborFn neighbors_of(const sg::core::DynGraphMap& g) {
   return [&g](sg::core::VertexId u,
               const std::function<void(sg::core::VertexId)>& visit) {
     g.for_each_neighbor(
@@ -36,92 +44,81 @@ int main(int argc, char** argv) {
   const double scale = cli.get_double("scale", 0.1);
   sg::util::Xoshiro256 rng(2026);
 
-  auto seed_graph = sg::datasets::make_dataset("soc-LiveJournal1", scale);
+  const auto seed_graph = sg::datasets::make_dataset("soc-LiveJournal1", scale);
   const std::uint32_t base_vertices = seed_graph.num_vertices;
-  // Leave headroom for joiners: ids [base, base + rounds*join) are new.
   const std::uint32_t joiners_per_round = base_vertices / 20;
 
-  sg::core::SlabGraphConfig config;
-  config.vertex_capacity = base_vertices + rounds * joiners_per_round;
-  config.undirected = true;
-  // Churn rounds are exactly the staged batch engine's workload: every
-  // follow/unfollow batch is staged, grouped into per-(vertex, bucket)
-  // runs, and applied through the bulk slab path (default; spelled out
-  // here because this example exists to demonstrate it).
-  config.batch_engine = true;
-  sg::core::DynGraphSet graph(config);
-  graph.insert_edges(seed_graph.unique_undirected_edges());
-  std::printf("seeded social graph: %u members, %llu directed edges\n",
-              base_vertices,
-              static_cast<unsigned long long>(graph.num_edges()));
-
+  // Build the whole follow stream up front (the harness replays streams,
+  // it does not invent them): seed follows in arrival order, then one wave
+  // of joiners per round, each new member following a few existing ones.
+  std::vector<sg::stream::TemporalEdge> follows;
+  sg::core::Weight ts = 0;
+  for (const auto& e : seed_graph.edges) follows.push_back({e.src, e.dst, ts++});
   std::uint32_t next_member = base_vertices;
   for (int round = 1; round <= rounds; ++round) {
-    // --- joins: new members follow a handful of existing ones -----------
-    std::vector<sg::core::VertexId> joiners;
-    std::vector<sg::core::WeightedEdge> follows;
     for (std::uint32_t j = 0; j < joiners_per_round; ++j) {
       const sg::core::VertexId member = next_member++;
-      joiners.push_back(member);
       const int fanout = 2 + static_cast<int>(rng.below(6));
       for (int f = 0; f < fanout; ++f) {
         follows.push_back(
-            {member, static_cast<sg::core::VertexId>(rng.below(member)), 0});
+            {member, static_cast<sg::core::VertexId>(rng.below(member)), ts++});
       }
     }
-    graph.insert_vertices(joiners);
-    graph.insert_edges(follows);
+  }
 
-    // --- churn: some members leave entirely (Algorithm 2) ---------------
+  // One epoch per churn round, plus one for the seed prefix: the harness
+  // slices the stream evenly, so joins spread across the later epochs.
+  const std::size_t batch_size =
+      follows.size() / static_cast<std::size_t>(rounds + 1) + 1;
+  sg::stream::Dataset dataset(std::move(follows), batch_size);
+
+  sg::stream::HarnessConfig config;
+  config.window_frac = 0.6;  // follows lapse unless refreshed: unfollow churn
+  config.compact_every = 2;
+  config.graph.undirected = true;
+  // Churn batches are exactly the staged batch engine's workload (default;
+  // spelled out because this example exists to demonstrate it).
+  config.graph.batch_engine = true;
+  sg::stream::Harness harness(dataset, config);
+  std::printf("social stream: %u seed members, %zu epochs of %zu follows\n",
+              base_vertices, dataset.num_batches(), dataset.batch_size());
+
+  for (std::size_t epoch = 0; epoch < dataset.num_batches(); ++epoch) {
+    // Fenced analytics hook: hub reachability + component structure on the
+    // exact post-ingest, post-aging state.
+    sg::core::VertexId hub = 0;
+    std::uint64_t reachable = 0;
+    std::uint32_t components = 0;
+    const auto stats = harness.run_epoch(
+        epoch, [&](const sg::core::DynGraphMap& g) {
+          const auto n = static_cast<sg::core::VertexId>(next_member);
+          for (sg::core::VertexId v = 0; v < n; ++v) {
+            if (g.degree(v) > g.degree(hub)) hub = v;
+          }
+          const auto dist = sg::analytics::bfs(n, neighbors_of(g), hub);
+          for (auto d : dist) reachable += d != sg::analytics::kUnreached;
+          components = sg::analytics::count_components(
+              sg::analytics::connected_components(n, neighbors_of(g)));
+        });
+
+    // Members leaving: Algorithm 2 vertex deletion between epochs, on the
+    // quiescent graph the harness hands back.
     std::vector<sg::core::VertexId> leavers;
     for (std::uint32_t l = 0; l < joiners_per_round / 4; ++l) {
-      leavers.push_back(static_cast<sg::core::VertexId>(rng.below(next_member)));
+      leavers.push_back(
+          static_cast<sg::core::VertexId>(rng.below(next_member)));
     }
-    graph.delete_vertices(leavers);
-
-    // --- unfollow traffic ------------------------------------------------
-    std::vector<sg::core::Edge> unfollows;
-    for (std::uint32_t u = 0; u < joiners_per_round; ++u) {
-      unfollows.push_back(
-          {static_cast<sg::core::VertexId>(rng.below(next_member)),
-           static_cast<sg::core::VertexId>(rng.below(next_member))});
-    }
-    const auto unfollowed = graph.delete_edges(unfollows);
-
-    // Batched survival audit (edgeExist through the engine's bulk search):
-    // how many of this round's new follows survived the leavers and the
-    // unfollow traffic?
-    std::vector<sg::core::Edge> audit;
-    audit.reserve(follows.size());
-    for (const auto& f : follows) audit.push_back({f.src, f.dst});
-    std::vector<std::uint8_t> alive(audit.size(), 0);
-    graph.edges_exist(audit, alive.data());
-    std::uint64_t survived = 0;
-    for (const std::uint8_t a : alive) survived += a;
-
-    // --- analytics on the live graph -------------------------------------
-    // Hub = highest-degree live member.
-    sg::core::VertexId hub = 0;
-    for (sg::core::VertexId v = 0; v < next_member; ++v) {
-      if (graph.degree(v) > graph.degree(hub)) hub = v;
-    }
-    const auto dist =
-        sg::analytics::bfs(next_member, neighbors_of(graph), hub);
-    std::uint64_t reachable = 0;
-    for (auto d : dist) reachable += d != sg::analytics::kUnreached;
-    const auto labels =
-        sg::analytics::connected_components(next_member, neighbors_of(graph));
+    harness.graph().delete_vertices(leavers);
 
     std::printf(
-        "round %d: +%zu members, -%zu leavers, %llu unfollows, %llu/%zu new "
-        "follows survived | %llu edges, hub %u reaches %llu members, %u "
+        "epoch %zu: +%llu follows, %llu lapsed (window), -%zu leavers | "
+        "%llu edges in %llu chunks, hub %u reaches %llu members, %u "
         "components\n",
-        round, joiners.size(), leavers.size(),
-        static_cast<unsigned long long>(unfollowed),
-        static_cast<unsigned long long>(survived), audit.size(),
-        static_cast<unsigned long long>(graph.num_edges()), hub,
-        static_cast<unsigned long long>(reachable),
-        sg::analytics::count_components(labels));
+        epoch, static_cast<unsigned long long>(stats.inserted),
+        static_cast<unsigned long long>(stats.aged_out), leavers.size(),
+        static_cast<unsigned long long>(harness.graph().num_edges()),
+        static_cast<unsigned long long>(stats.arena_chunks), hub,
+        static_cast<unsigned long long>(reachable), components);
   }
   return 0;
 }

@@ -1,94 +1,78 @@
-// Streaming serve — concurrent ingest + analytics through the phase
-// scheduler. The DynoGraph-style serving scenario: ingest threads stream
-// edge batches into the graph while analytics threads run edgeExist epochs
-// against it, ALL AT THE SAME TIME, from plain std::threads.
+// Streaming serve — sliding-window ingest + concurrent probe serving, on
+// the stream harness. The DynoGraph-style serving scenario: the main
+// thread replays a temporal edge stream through stream::Harness (ingest →
+// window aging → compaction, every step fenced by the phase scheduler)
+// while serve threads fire edgeExist probe batches against the SAME graph
+// from plain std::threads, all at the same time.
 //
-// This is the first example that may legally interleave mutation and query
-// batches from multiple threads: the scheduled submit_* API classifies
-// every submission and fences mutation phases from query phases, so the
-// phase-concurrent contract holds by construction (the synchronous API
-// would need a caller-side lock serializing everything).
+// This is the code path bench/micro_stream gates, plus the concurrency the
+// scheduler exists for: the scheduled submit_* API classifies every
+// submission and fences mutation/maintenance phases from query phases, so
+// probes never observe a half-applied epoch (docs/WORKLOADS.md "Mixed
+// serve").
 //
-//   ./build/streaming_serve [--batches=N] [--scale=F] [--ingest=2]
-//                           [--analytics=2]
+//   ./build/streaming_serve [--batches=N] [--scale=F] [--serve=2]
+//                           [--window=0.5] [--compact-every=4]
 #include <atomic>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
-#include "src/core/dyn_graph.hpp"
-#include "src/datasets/coo.hpp"
 #include "src/datasets/suite.hpp"
+#include "src/stream/harness.hpp"
 #include "src/util/cli.hpp"
 #include "src/util/prng.hpp"
 #include "src/util/timer.hpp"
 
 int main(int argc, char** argv) {
   const sg::util::Cli cli(argc, argv);
-  const int batches = static_cast<int>(cli.get_int("batches", 8));
-  const int ingest_threads = static_cast<int>(cli.get_int("ingest", 2));
-  const int analytics_threads = static_cast<int>(cli.get_int("analytics", 2));
+  const std::size_t batches =
+      static_cast<std::size_t>(cli.get_int("batches", 16));
+  const int serve_threads = static_cast<int>(cli.get_int("serve", 2));
   const double scale = cli.get_double("scale", 0.1);
+  const double window = cli.get_double("window", 0.5);
+  const std::uint32_t compact_every =
+      static_cast<std::uint32_t>(cli.get_int("compact-every", 4));
 
-  const auto stream = sg::datasets::make_dataset("hollywood-2009", scale);
+  const auto coo = sg::datasets::make_dataset("hollywood-2009", scale);
+  const sg::stream::Dataset dataset = sg::stream::Dataset::from_coo(
+      coo, std::max<std::size_t>(1, coo.edges.size() / batches));
   std::printf(
-      "serving %u vertices: %d ingest + %d analytics threads over %llu "
-      "directed edges in %d batches each\n",
-      stream.num_vertices, ingest_threads, analytics_threads,
-      static_cast<unsigned long long>(stream.num_edges()), batches);
+      "serving %u vertices: %zu-epoch replay (window %.0f%% of %llu edges) "
+      "with %d serve threads probing concurrently\n",
+      coo.num_vertices, dataset.num_batches(), window * 100.0,
+      static_cast<unsigned long long>(dataset.num_edges()), serve_threads);
 
-  sg::core::GraphConfig config;
-  config.vertex_capacity = stream.num_vertices;
-  sg::core::DynGraphMap graph(config);
+  sg::stream::HarnessConfig config;
+  config.window_frac = window;
+  config.compact_every = compact_every;
+  sg::stream::Harness harness(dataset, config);
+  sg::core::DynGraphMap& graph = harness.graph();
 
-  // Warm the graph with the first half of the stream; the second half is
-  // what the ingest threads feed while analytics run.
-  const std::size_t half = stream.edges.size() / 2;
-  graph.insert_edges(std::span(stream.edges).first(half));
-
-  // Slice the remaining stream into per-ingest-thread batches.
-  const std::span<const sg::core::WeightedEdge> live =
-      std::span(stream.edges).subspan(half);
-  const std::size_t per_batch =
-      live.size() / (static_cast<std::size_t>(ingest_threads) * batches) + 1;
-
-  std::atomic<std::uint64_t> edges_ingested{0};
+  std::atomic<bool> done{false};
   std::atomic<std::uint64_t> probes_answered{0};
   std::atomic<std::uint64_t> probes_hit{0};
   sg::util::Timer wall;
 
-  std::vector<std::thread> threads;
-  for (int t = 0; t < ingest_threads; ++t) {
-    threads.emplace_back([&, t] {
-      for (int b = 0; b < batches; ++b) {
-        const std::size_t index =
-            (static_cast<std::size_t>(t) * batches + b) * per_batch;
-        if (index >= live.size()) break;
-        const auto slice =
-            live.subspan(index, std::min(per_batch, live.size() - index));
-        std::vector<sg::core::WeightedEdge> batch(slice.begin(), slice.end());
-        graph.submit_insert(std::move(batch)).get();
-        edges_ingested.fetch_add(slice.size(), std::memory_order_relaxed);
-      }
-    });
-  }
-  for (int t = 0; t < analytics_threads; ++t) {
-    threads.emplace_back([&, t] {
+  // Serve threads: a mix of stream edges (hits while inside the window)
+  // and random pairs, probed through the scheduled query path while the
+  // harness mutates the graph underneath.
+  std::vector<std::thread> servers;
+  for (int t = 0; t < serve_threads; ++t) {
+    servers.emplace_back([&, t] {
       sg::util::Xoshiro256 rng(900 + static_cast<std::uint64_t>(t));
-      for (int b = 0; b < batches; ++b) {
-        // Probe a mix of warm edges (present) and random pairs.
+      while (!done.load(std::memory_order_acquire)) {
         std::vector<sg::core::Edge> probes;
         probes.reserve(4096);
         for (int i = 0; i < 4096; ++i) {
           if (i % 2 == 0) {
-            const auto& e = stream.edges[rng.below(half)];
+            const auto& e = dataset.edges()[rng.below(dataset.num_edges())];
             probes.push_back({e.src, e.dst});
           } else {
             probes.push_back(
-                {static_cast<sg::core::VertexId>(
-                     rng.below(stream.num_vertices)),
+                {static_cast<sg::core::VertexId>(rng.below(coo.num_vertices)),
                  static_cast<sg::core::VertexId>(
-                     rng.below(stream.num_vertices))});
+                     rng.below(coo.num_vertices))});
           }
         }
         const auto hits = graph.submit_edges_exist(std::move(probes)).get();
@@ -99,32 +83,44 @@ int main(int argc, char** argv) {
       }
     });
   }
-  for (auto& th : threads) th.join();
+
+  const auto epochs = harness.run();
+  done.store(true, std::memory_order_release);
+  for (auto& th : servers) th.join();
   graph.schedule_drain();
   const double seconds = wall.seconds();
 
-  const auto stats = graph.last_schedule_stats();
+  std::uint64_t ingested = 0, aged = 0, released = 0;
+  for (const auto& e : epochs) {
+    ingested += e.inserted;
+    aged += e.aged_out;
+    released += e.released_chunks;
+  }
+  const auto& last = epochs.back();
   std::printf(
-      "%.1f ms wall: ingested %llu edges, answered %llu probes (%.1f%% "
-      "hits), %.2f Mop/s combined\n",
-      seconds * 1e3,
-      static_cast<unsigned long long>(edges_ingested.load()),
+      "%.1f ms wall: %llu unique edges in, %llu aged out, %llu chunks "
+      "released; answered %llu probes (%.1f%% hits)\n",
+      seconds * 1e3, static_cast<unsigned long long>(ingested),
+      static_cast<unsigned long long>(aged),
+      static_cast<unsigned long long>(released),
       static_cast<unsigned long long>(probes_answered.load()),
       100.0 * double(probes_hit.load()) /
-          double(probes_answered.load() ? probes_answered.load() : 1),
-      double(edges_ingested.load() + probes_answered.load()) / seconds / 1e6);
+          double(probes_answered.load() ? probes_answered.load() : 1));
   std::printf(
-      "schedule: %llu mutation + %llu query phases, %llu switches, %llu of "
-      "%llu submissions coalesced into shared phases, %.2f ms fenced\n",
+      "steady state: %llu live edges in %llu arena chunks, RSS %.1f MiB\n",
+      static_cast<unsigned long long>(last.live_edges),
+      static_cast<unsigned long long>(last.arena_chunks),
+      double(last.rss_bytes) / (1024.0 * 1024.0));
+
+  const auto stats = graph.last_schedule_stats();
+  std::printf(
+      "schedule: %llu mutation + %llu maintenance + %llu query phases, %llu "
+      "switches, %llu coalesced, %.2f ms fenced\n",
       static_cast<unsigned long long>(stats.mutation_phases),
+      static_cast<unsigned long long>(stats.submitted_maintenance),
       static_cast<unsigned long long>(stats.query_phases),
       static_cast<unsigned long long>(stats.phase_switches),
       static_cast<unsigned long long>(stats.coalesced_batches),
-      static_cast<unsigned long long>(stats.submitted_mutations +
-                                      stats.submitted_queries),
       stats.fence_wait_seconds * 1e3);
-  std::printf("final: %llu live directed edges, utilization %.2f\n",
-              static_cast<unsigned long long>(graph.num_edges()),
-              graph.memory_stats().utilization());
   return 0;
 }

@@ -39,6 +39,9 @@ BulkNeighborFn bulk_neighbors(const Graph& graph) {
   };
 }
 
+/// The active vertex set an operator round consumes and produces. A thin
+/// vector wrapper: dedup is the advance step's `accept` contract, not a
+/// property of the container.
 class Frontier {
  public:
   Frontier() = default;

@@ -57,8 +57,9 @@ std::uint64_t closed_by(std::span<const core::VertexId> nu,
 
 }  // namespace
 
-IncrementalTriangleCounter::IncrementalTriangleCounter(
-    core::DynGraphSet& graph, std::uint64_t initial_triangles)
+template <class Policy>
+IncrementalTriangleCounter<Policy>::IncrementalTriangleCounter(
+    core::DynGraph<Policy>& graph, std::uint64_t initial_triangles)
     : graph_(graph), count_(initial_triangles) {
   if (!graph.config().undirected) {
     throw std::invalid_argument(
@@ -67,24 +68,65 @@ IncrementalTriangleCounter::IncrementalTriangleCounter(
   }
 }
 
-std::future<std::uint64_t> IncrementalTriangleCounter::submit_batch(
+template <class Policy>
+std::future<std::uint64_t> IncrementalTriangleCounter<Policy>::submit_batch(
     std::span<const core::Edge> edges, bool assume_new) {
-  // Normalize to u < v, drop self-loops, dedup within the batch: the set
+  // Normalize to u < v, drop self-loops, dedup within the batch: the graph
   // stores each undirected edge once per direction and a duplicate insert
   // is a no-op, so duplicates would close the same triangles twice.
-  std::vector<core::Edge> norm;
+  std::vector<core::WeightedEdge> norm;
   norm.reserve(edges.size());
   for (const core::Edge& e : edges) {
     if (e.src == e.dst) continue;
-    norm.push_back({std::min(e.src, e.dst), std::max(e.src, e.dst)});
+    norm.push_back({std::min(e.src, e.dst), std::max(e.src, e.dst), 1});
   }
-  std::sort(norm.begin(), norm.end(), [](const core::Edge& a, const core::Edge& b) {
-    return pack(a.src, a.dst) < pack(b.src, b.dst);
-  });
-  norm.erase(std::unique(norm.begin(), norm.end()), norm.end());
+  std::sort(norm.begin(), norm.end(),
+            [](const core::WeightedEdge& a, const core::WeightedEdge& b) {
+              return pack(a.src, a.dst) < pack(b.src, b.dst);
+            });
+  norm.erase(std::unique(norm.begin(), norm.end(),
+                         [](const core::WeightedEdge& a,
+                            const core::WeightedEdge& b) {
+                           return a.src == b.src && a.dst == b.dst;
+                         }),
+             norm.end());
+  return submit_normalized(std::move(norm), assume_new);
+}
 
+template <class Policy>
+std::future<std::uint64_t> IncrementalTriangleCounter<Policy>::submit_batch(
+    std::span<const core::WeightedEdge> edges, bool assume_new) {
+  // As the unweighted overload, but the weight (the stream timestamp)
+  // survives normalization and duplicates keep the NEWEST one — matching
+  // the graph's own most-recent-wins insert.
+  std::vector<core::WeightedEdge> norm;
+  norm.reserve(edges.size());
+  for (const core::WeightedEdge& e : edges) {
+    if (e.src == e.dst) continue;
+    norm.push_back({std::min(e.src, e.dst), std::max(e.src, e.dst), e.weight});
+  }
+  std::sort(norm.begin(), norm.end(),
+            [](const core::WeightedEdge& a, const core::WeightedEdge& b) {
+              const std::uint64_t ka = pack(a.src, a.dst);
+              const std::uint64_t kb = pack(b.src, b.dst);
+              if (ka != kb) return ka < kb;
+              return a.weight > b.weight;  // newest first, kept by unique
+            });
+  norm.erase(std::unique(norm.begin(), norm.end(),
+                         [](const core::WeightedEdge& a,
+                            const core::WeightedEdge& b) {
+                           return a.src == b.src && a.dst == b.dst;
+                         }),
+             norm.end());
+  return submit_normalized(std::move(norm), assume_new);
+}
+
+template <class Policy>
+std::future<std::uint64_t>
+IncrementalTriangleCounter<Policy>::submit_normalized(
+    std::vector<core::WeightedEdge> norm, bool assume_new) {
   struct Epoch {
-    std::vector<core::Edge> edges;
+    std::vector<core::WeightedEdge> edges;
     std::future<std::vector<std::uint8_t>> exists;
     std::future<std::uint64_t> insert;
     std::promise<std::uint64_t> done;
@@ -105,11 +147,15 @@ std::future<std::uint64_t> IncrementalTriangleCounter::submit_batch(
   // Pre-check BEFORE the insert lands: edges already present close no new
   // triangles and must not re-count old ones. An append-only unique stream
   // (assume_new) skips the phase — and its fence — entirely.
-  if (!assume_new) epoch->exists = graph_.submit_edges_exist(epoch->edges);
-  std::vector<core::WeightedEdge> weighted;
-  weighted.reserve(epoch->edges.size());
-  for (const core::Edge& e : epoch->edges) weighted.push_back({e.src, e.dst, 1});
-  epoch->insert = graph_.submit_insert(std::move(weighted));
+  if (!assume_new) {
+    std::vector<core::Edge> probes;
+    probes.reserve(epoch->edges.size());
+    for (const core::WeightedEdge& e : epoch->edges) {
+      probes.push_back({e.src, e.dst});
+    }
+    epoch->exists = graph_.submit_edges_exist(std::move(probes));
+  }
+  epoch->insert = graph_.submit_insert(epoch->edges);
 
   graph_.submit_analytics([this, epoch]() {
     try {
@@ -119,11 +165,16 @@ std::future<std::uint64_t> IncrementalTriangleCounter::submit_batch(
 
       std::vector<core::Edge> fresh;
       if (present.empty()) {
-        fresh = epoch->edges;
+        fresh.reserve(epoch->edges.size());
+        for (const core::WeightedEdge& e : epoch->edges) {
+          fresh.push_back({e.src, e.dst});
+        }
       } else {
         fresh.reserve(epoch->edges.size());
         for (std::size_t i = 0; i < epoch->edges.size(); ++i) {
-          if (!present[i]) fresh.push_back(epoch->edges[i]);
+          if (!present[i]) {
+            fresh.push_back({epoch->edges[i].src, epoch->edges[i].dst});
+          }
         }
       }
       if (fresh.empty()) {
@@ -191,5 +242,8 @@ std::future<std::uint64_t> IncrementalTriangleCounter::submit_batch(
   });
   return result;
 }
+
+template class IncrementalTriangleCounter<core::SetPolicy>;
+template class IncrementalTriangleCounter<core::MapPolicy>;
 
 }  // namespace sg::analytics

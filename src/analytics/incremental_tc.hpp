@@ -23,6 +23,12 @@
 // new and packs below e. Every triangle has a unique smallest new edge, so
 // each is counted exactly once.
 //
+// The counter is templated over the adjacency policy: the set variant is
+// the Table IX configuration; the MAP variant serves the temporal
+// streaming harness (src/stream/), where the stored weight is the edge's
+// timestamp — the weighted submit_batch overload preserves it (newest ts
+// wins within a batch), so counting and window aging share one graph.
+//
 // Contract: insert-only streams, one submitting thread, undirected graph
 // (GraphConfig::undirected = true). Deletions would need the symmetric
 // decrement pass; the harness in dynamic_triangle_count.cpp only streams
@@ -39,6 +45,7 @@
 
 namespace sg::analytics {
 
+template <class Policy>
 class IncrementalTriangleCounter {
  public:
   /// `graph` must outlive the counter and be configured undirected (the
@@ -46,13 +53,16 @@ class IncrementalTriangleCounter {
   /// is fine: pass its current triangle count (e.g. one
   /// tc_slabgraph_bulk() after the preload) as `initial_triangles` so the
   /// running total stays absolute.
-  explicit IncrementalTriangleCounter(core::DynGraphSet& graph,
+  /// \throws std::invalid_argument if `graph` is directed.
+  explicit IncrementalTriangleCounter(core::DynGraph<Policy>& graph,
                                       std::uint64_t initial_triangles = 0);
 
   /// Streams one batch: pre-check + insert + fenced delta pass. The future
   /// resolves to the RUNNING triangle total after this batch lands (or
   /// carries the first failure of the three submissions). Call from a
-  /// single thread; batches are fenced in submission order.
+  /// single thread; batches are fenced in submission order. Map graphs
+  /// store weight 1 per edge — use the weighted overload to carry real
+  /// per-edge metadata (timestamps).
   ///
   /// `assume_new` — set when the producer guarantees no batch edge already
   /// exists in the graph (an append-only unique stream): the exist
@@ -62,14 +72,30 @@ class IncrementalTriangleCounter {
   std::future<std::uint64_t> submit_batch(std::span<const core::Edge> edges,
                                           bool assume_new = false);
 
+  /// Weighted overload for temporal streams (map graphs): weights — the
+  /// stream's timestamps — ride into the graph unchanged, duplicates
+  /// within the batch keep the NEWEST weight (the stream::SortMode
+  /// presort convention), and the triangle delta is identical to the
+  /// unweighted overload's.
+  std::future<std::uint64_t> submit_batch(
+      std::span<const core::WeightedEdge> edges, bool assume_new = false);
+
   /// Running total of all batches whose analytics pass has completed.
   std::uint64_t triangles() const {
     return count_.load(std::memory_order_acquire);
   }
 
  private:
-  core::DynGraphSet& graph_;
+  /// Shared pipeline: `norm` is normalized (src < dst), sorted by packed
+  /// key, deduplicated. Runs exist → insert → fenced delta.
+  std::future<std::uint64_t> submit_normalized(
+      std::vector<core::WeightedEdge> norm, bool assume_new);
+
+  core::DynGraph<Policy>& graph_;
   std::atomic<std::uint64_t> count_{0};
 };
+
+extern template class IncrementalTriangleCounter<core::SetPolicy>;
+extern template class IncrementalTriangleCounter<core::MapPolicy>;
 
 }  // namespace sg::analytics

@@ -506,6 +506,68 @@ class DynGraph {
   /// Flush tombstones of every table (the paper's optional compaction).
   void flush_all_tombstones();
 
+  // ---- temporal aging & arena compaction (src/stream/, docs/WORKLOADS.md
+  // "Sliding-window streaming") ------------------------------------------
+
+  /// Retires every edge whose timestamp (the stored weight — see
+  /// src/core/types.hpp: w stands in for per-edge meta-data) is STRICTLY
+  /// below `threshold`, as ONE bulk-erase batch riding the engine's
+  /// double-buffered pipeline. The DynoGraph aging idiom: with timestamps
+  /// from getTimestampForWindow, `ts < threshold` keeps exactly the live
+  /// window (an edge AT the threshold survives). Undirected graphs scan
+  /// each edge once (mirrors carry the same timestamp and are erased by
+  /// the same batch). Phase-serial like delete_edges — use submit_age_out
+  /// under concurrent submitters. Returns the directed edges removed.
+  std::uint64_t delete_edges_older_than(Weight threshold)
+      requires Policy::kHasValues;
+
+  /// What one compact() call did (last_compact_stats()).
+  struct CompactStats {
+    std::uint32_t victim_chunks = 0;    ///< chunks below compact_occupancy
+    std::uint64_t migrated_slabs = 0;   ///< overflow slabs moved out of victims
+    std::uint32_t released_chunks = 0;  ///< 1 MiB chunks returned to the OS
+    std::uint32_t shrunk_tables = 0;    ///< tables rebuilt at a smaller size
+    std::uint32_t chunks_before = 0;    ///< live chunks entering the call
+    std::uint32_t chunks_after = 0;     ///< live chunks leaving the call
+  };
+
+  /// Arena compaction, two passes. (1) Table shrink: every table whose
+  /// live count warrants at most HALF its current buckets is rebuilt
+  /// right-sized and the old base range returned to the arena — tables are
+  /// otherwise sized for the peak degree they ever saw, and under a
+  /// sliding window that high-water mark only ratchets up (the half
+  /// hysteresis keeps shrink from ping-ponging with the auto-rehash grow
+  /// trigger). (2) Chunk migration: surviving overflow slabs of sparse
+  /// dynamic chunks (allocated fraction < GraphConfig::compact_occupancy)
+  /// move into denser chunks — rewriting the owning chain's next pointer —
+  /// then emptied chunks (dynamic AND fully-freed bulk) return to the OS,
+  /// keeping GraphConfig::compact_keep_free_chunks as an allocation
+  /// reserve. Sliding-window churn retires slabs all over the address
+  /// space; without both passes, steady-state RSS rides the high-water
+  /// mark forever. Tombstones are flushed first so shrink sizes from real
+  /// occupancy and migration never copies dead chains. Phase-serial (no
+  /// concurrent operations of any kind); use submit_compact under
+  /// concurrent submitters. Returns the stats also available from
+  /// last_compact_stats().
+  CompactStats compact();
+  const CompactStats& last_compact_stats() const {
+    return last_compact_stats_;
+  }
+
+  /// Scheduled delete_edges_older_than: runs as a MAINTENANCE submission —
+  /// mutation-kind, so it owns an exclusive write window, and never
+  /// coalesced with neighboring insert/erase submissions. FIFO with the
+  /// submitter's other submissions: inserts submitted before it are aged
+  /// against, analytics submitted after it observe the retired state. The
+  /// future resolves to the directed edges removed. Inline mode
+  /// (phase_scheduler = false) executes synchronously.
+  std::future<std::uint64_t> submit_age_out(Weight threshold)
+      requires Policy::kHasValues;
+
+  /// Scheduled compact(), same maintenance semantics as submit_age_out.
+  /// The future resolves to the number of chunks released.
+  std::future<std::uint64_t> submit_compact();
+
   /// The §III maintenance hook: "maintain low-cost metrics per vertex to
   /// determine the chain-length and periodically perform rehashing if it
   /// exceeds a given threshold." Rebuilds every table whose expected chain
@@ -678,6 +740,12 @@ class DynGraph {
   std::uint32_t stage_shard_count(std::uint64_t items) const;
   /// Rebuilds `u`'s table if its expected chain exceeds the threshold.
   bool maybe_rehash_table(VertexId u, double max_chain_slabs);
+  /// Rebuilds `u`'s table at `buckets` buckets: move live keys, free the
+  /// old overflow chain, swap the dictionary pointer, return the old base
+  /// range to the arena. Shared by grow (maybe_rehash_table) and shrink
+  /// (compact). Phase-serial.
+  void rebuild_table(VertexId u, const slabhash::TableRef& old_table,
+                     std::uint32_t buckets);
 
   GraphConfig config_;
   mutable memory::SlabArena arena_;
@@ -703,6 +771,7 @@ class DynGraph {
   mutable ChainFeedback feedback_;
   mutable std::mutex feedback_mutex_;
   RehashStats last_rehash_stats_;
+  CompactStats last_compact_stats_;
   std::uint64_t auto_rehash_count_ = 0;
   /// Write-ahead batch journal (GraphConfig::journal_path; null = none).
   /// Declared BEFORE the scheduler block so it outlives the conductor's

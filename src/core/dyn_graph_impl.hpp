@@ -66,6 +66,9 @@ DynGraph<Policy>::DynGraph(GraphConfig config)
       config_.auto_rehash_tail_frac > 1.0) {
     throw std::invalid_argument("auto_rehash_tail_frac must be in (0, 1]");
   }
+  if (config_.compact_occupancy < 0.0 || config_.compact_occupancy > 1.0) {
+    throw std::invalid_argument("compact_occupancy must be in [0, 1]");
+  }
   if (config_.max_arena_chunks != 0) {
     arena_.set_chunk_limit(config_.max_arena_chunks);
   }
@@ -1417,6 +1420,168 @@ void DynGraph<Policy>::flush_all_tombstones() {
 }
 
 template <class Policy>
+std::uint64_t DynGraph<Policy>::delete_edges_older_than(Weight threshold)
+    requires Policy::kHasValues {
+  // Sweep live vertices in waves: gather each wave's adjacency, read the
+  // stored timestamps through the batched weight lookup, and collect every
+  // directed edge with ts < threshold (strictly below — the DynoGraph
+  // window convention; an edge AT the threshold survives). The expired set
+  // then retires as ONE delete_edges batch on the engine pipeline.
+  constexpr std::uint32_t kWave = 4096;
+  std::vector<VertexId> wave;
+  wave.reserve(kWave);
+  std::vector<Edge> expired;
+  std::vector<Edge> probes;
+  std::vector<std::uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  std::vector<Weight> weights;
+  const auto drain_wave = [&] {
+    if (wave.empty()) return;
+    gather_neighbors(wave, offsets, neighbors);
+    probes.clear();
+    for (std::size_t i = 0; i < wave.size(); ++i) {
+      for (std::uint64_t k = offsets[i]; k < offsets[i + 1]; ++k) {
+        // Undirected graphs store each edge twice with the same timestamp;
+        // probing only the src <= dst orientation halves the lookup work,
+        // and delete_edges erases the mirror itself.
+        if (config_.undirected && wave[i] > neighbors[k]) continue;
+        probes.push_back(Edge{wave[i], neighbors[k]});
+      }
+    }
+    weights.assign(probes.size(), Weight{0});
+    edge_weights(probes, weights.data());
+    for (std::size_t q = 0; q < probes.size(); ++q) {
+      if (weights[q] < threshold) expired.push_back(probes[q]);
+    }
+    wave.clear();
+  };
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (!vertex_live(u) || dict_.edge_count(u) == 0) continue;
+    wave.push_back(u);
+    if (wave.size() == kWave) drain_wave();
+  }
+  drain_wave();
+  if (expired.empty()) return 0;
+  return delete_edges(expired);
+}
+
+template <class Policy>
+typename DynGraph<Policy>::CompactStats DynGraph<Policy>::compact() {
+  CompactStats s;
+  s.chunks_before = arena_.live_chunks();
+  // Dead keys would be migrated byte-for-byte; shed them first so shrink
+  // sizes from real occupancy and migration copies only live chains.
+  flush_all_tombstones();
+  // Table shrink. Growth rehash sizes a table for the live count it sees
+  // and nothing ever sizes it back down, so under a sliding window every
+  // table settles at its PEAK degree and total base memory ratchets up as
+  // running maxima drift. Rebuild any table whose live count warrants at
+  // most half its current buckets; post-shrink occupancy lands at
+  // load_factor, comfortably under the auto-rehash grow trigger, so the
+  // half hysteresis prevents ping-pong.
+  for (VertexId u = 0; u < dict_.capacity(); ++u) {
+    if (!dict_.has_table(u)) continue;
+    const slabhash::TableRef table = dict_.table(u);
+    if (dict_.edge_count(u) == 0) {
+      // Aging emptied this vertex entirely: drop the table instead of
+      // keeping a 1-bucket stub forever. Lazy first-touch creation
+      // rebuilds it if the vertex re-enters the window, so total base
+      // memory tracks the vertices IN the window, not every vertex the
+      // stream ever mentioned. (delete_vertices itself still keeps
+      // tables — §IV-D2 — reclamation is compact's job alone.)
+      Policy::clear(arena_, table);
+      arena_.free_contiguous(table.base, table.num_buckets);
+      dict_.set_table(u, {memory::kNullSlab, 0});
+      ++s.shrunk_tables;
+      continue;
+    }
+    if (table.num_buckets <= 1) continue;
+    const std::uint32_t target = slabhash::buckets_for(
+        dict_.edge_count(u), config_.load_factor, Policy::kSlotCapacity);
+    if (target * 2 > table.num_buckets) continue;
+    rebuild_table(u, table, target);
+    ++s.shrunk_tables;
+  }
+  arena_.drain_free_caches();
+  // Victim selection: dynamic chunks below the occupancy threshold.
+  // (flag vector indexed by chunk, consumed by allocate_avoiding so a
+  // migrated slab never lands in another victim).
+  const auto occupancy = arena_.dynamic_chunk_occupancy();
+  std::uint32_t max_index = 0;
+  for (const auto& o : occupancy) max_index = std::max(max_index, o.index);
+  std::vector<std::uint8_t> victim(max_index + 1, 0);
+  const auto threshold = static_cast<std::uint32_t>(
+      config_.compact_occupancy * memory::SlabArena::kChunkSlabs);
+  for (const auto& o : occupancy) {
+    if (o.used_slabs > 0 && o.used_slabs < threshold) {
+      victim[o.index] = 1;
+      ++s.victim_chunks;
+    }
+  }
+  if (s.victim_chunks != 0) {
+    // Walk every bucket chain; any overflow slab living in a victim chunk
+    // is copied into a non-victim chunk and the owning next pointer is
+    // rewritten. Base slabs are bulk (never dynamic), so only chain TAILS
+    // move — the table refs themselves are untouched.
+    for (VertexId u = 0; u < dict_.capacity(); ++u) {
+      if (!dict_.has_table(u)) continue;
+      const slabhash::TableRef table = dict_.table(u);
+      for (std::uint32_t b = 0; b < table.num_buckets; ++b) {
+        memory::SlabHandle prev = table.bucket_head(b);
+        for (;;) {
+          const memory::SlabHandle next = simt::atomic_load(
+              arena_.resolve(prev).words[slabhash::kNextPtrWord]);
+          if (next == memory::kNullSlab) break;
+          const std::uint32_t ci = memory::SlabArena::chunk_index_of(next);
+          if (ci < victim.size() && victim[ci] != 0) {
+            const memory::SlabHandle moved =
+                arena_.allocate_avoiding(slabhash::kEmptyKey, victim);
+            const memory::Slab& src = arena_.resolve(next);
+            memory::Slab& dst = arena_.resolve(moved);
+            for (int w = 0; w < memory::kWordsPerSlab; ++w) {
+              dst.words[w] = src.words[w];
+            }
+            simt::atomic_store(
+                arena_.resolve(prev).words[slabhash::kNextPtrWord], moved);
+            arena_.free_direct(next);
+            ++s.migrated_slabs;
+            prev = moved;
+          } else {
+            prev = next;
+          }
+        }
+      }
+    }
+  }
+  s.released_chunks =
+      arena_.release_empty_chunks(config_.compact_keep_free_chunks);
+  s.chunks_after = arena_.live_chunks();
+  last_compact_stats_ = s;
+  return s;
+}
+
+template <class Policy>
+std::future<std::uint64_t> DynGraph<Policy>::submit_age_out(Weight threshold)
+    requires Policy::kHasValues {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::uint64_t>(
+        [&] { return delete_edges_older_than(threshold); });
+  }
+  return ensure_scheduler().submit_maintenance(
+      [this, threshold] { return delete_edges_older_than(threshold); });
+}
+
+template <class Policy>
+std::future<std::uint64_t> DynGraph<Policy>::submit_compact() {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::uint64_t>(
+        [&] { return std::uint64_t{compact().released_chunks}; });
+  }
+  return ensure_scheduler().submit_maintenance(
+      [this] { return std::uint64_t{compact().released_chunks}; });
+}
+
+template <class Policy>
 bool DynGraph<Policy>::maybe_rehash_table(VertexId u, double max_chain_slabs) {
   if (u >= dict_.capacity() || !dict_.has_table(u)) return false;
   const slabhash::TableRef old_table = dict_.table(u);
@@ -1428,8 +1593,16 @@ bool DynGraph<Policy>::maybe_rehash_table(VertexId u, double max_chain_slabs) {
   // Build a right-sized table and move the live keys over; the move also
   // sheds tombstones. Only adjacency-list contents move — the dictionary
   // entry is a pointer swap, as in §IV-A1.
-  const std::uint32_t buckets = slabhash::buckets_for(
-      live, config_.load_factor, Policy::kSlotCapacity);
+  rebuild_table(u, old_table, slabhash::buckets_for(
+                                  live, config_.load_factor,
+                                  Policy::kSlotCapacity));
+  return true;
+}
+
+template <class Policy>
+void DynGraph<Policy>::rebuild_table(VertexId u,
+                                     const slabhash::TableRef& old_table,
+                                     std::uint32_t buckets) {
   slabhash::TableRef fresh{
       arena_.allocate_contiguous(buckets, slabhash::kEmptyKey), buckets};
   Policy::for_each(arena_, old_table, [&](VertexId dst, Weight w) {
@@ -1437,7 +1610,12 @@ bool DynGraph<Policy>::maybe_rehash_table(VertexId u, double max_chain_slabs) {
   });
   Policy::clear(arena_, old_table);  // frees the old overflow chain
   dict_.set_table(u, fresh);
-  return true;
+  // The old bucket array has no live references once the dictionary points
+  // at the fresh table: return the whole range for reuse. Without this,
+  // every rehash leaks one base array and sliding-window churn (aging
+  // batches -> tombstoned chains -> auto-rehash) grows bulk memory without
+  // bound — the leak micro_stream's steady_chunk_flatness gate watches.
+  arena_.free_contiguous(old_table.base, old_table.num_buckets);
 }
 
 template <class Policy>

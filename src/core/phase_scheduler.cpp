@@ -145,7 +145,11 @@ void PhaseScheduler::enqueue(Submission&& s) {
     // been resolved to SubmitRejected — nothing more to do here.
     if (!admit_locked(lock, s, items)) return;
     if (s.kind == Kind::kMutation) {
-      ++stats_.submitted_mutations;
+      if (s.maintenance) {
+        ++stats_.submitted_maintenance;
+      } else {
+        ++stats_.submitted_mutations;
+      }
     } else if (s.kind == Kind::kAnalytics) {
       if (s.snapshot) {
         ++stats_.submitted_snapshots;
@@ -237,6 +241,16 @@ std::future<void> PhaseScheduler::submit_snapshot(std::function<void()> task) {
   s.snapshot = true;
   s.task = std::move(task);
   std::future<void> f = s.analytics_result.get_future();
+  enqueue(std::move(s));
+  return f;
+}
+
+std::future<std::uint64_t> PhaseScheduler::submit_maintenance(
+    std::function<std::uint64_t()> task) {
+  Submission s;
+  s.kind = Kind::kMutation;  // it writes: it must own the write window
+  s.maintenance = std::move(task);
+  std::future<std::uint64_t> f = s.mutation_result.get_future();
   enqueue(std::move(s));
   return f;
 }
@@ -373,10 +387,20 @@ double PhaseScheduler::run_mutation_phase(std::vector<Submission>& batch) {
   std::size_t i = 0;
   while (i < batch.size()) {
     std::size_t j = i + 1;
-    while (j < batch.size() && batch[j].erase == batch[i].erase) ++j;
+    // Maintenance tasks (aged erase, compaction) run alone: they are
+    // arbitrary structure mutations, so neither they nor their neighbors
+    // may merge across them.
+    if (!batch[i].maintenance) {
+      while (j < batch.size() && !batch[j].maintenance &&
+             batch[j].erase == batch[i].erase) {
+        ++j;
+      }
+    }
     try {
       std::uint64_t applied = 0;
-      if (batch[i].erase) {
+      if (batch[i].maintenance) {
+        applied = batch[i].maintenance();
+      } else if (batch[i].erase) {
         if (j - i == 1) {
           applied = ops_.delete_edges(batch[i].edges);
         } else {

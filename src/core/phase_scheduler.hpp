@@ -95,6 +95,7 @@ struct PhaseScheduleStats {
   std::uint64_t submitted_queries = 0;    ///< exist/weight submissions
   std::uint64_t submitted_analytics = 0;  ///< analytics-task submissions
   std::uint64_t submitted_snapshots = 0;  ///< snapshot-task submissions
+  std::uint64_t submitted_maintenance = 0;  ///< aged-erase/compact submissions
   std::uint64_t mutation_phases = 0;      ///< phases that ran mutations
   std::uint64_t query_phases = 0;         ///< phases that ran queries
   std::uint64_t analytics_phases = 0;     ///< phases that ran analytics
@@ -203,6 +204,17 @@ class PhaseScheduler {
   /// accounting is shared with analytics.
   std::future<void> submit_snapshot(std::function<void()> task);
 
+  /// A MAINTENANCE task (aged-edge retirement, arena compaction) scheduled
+  /// as a MUTATION-kind submission: it mutates the structure, so it must
+  /// own the phase's exclusive write window. Unlike insert/erase
+  /// submissions it never coalesces with its neighbors — the task runs
+  /// alone, inline on the conductor, between the engine batches of its
+  /// phase. The future resolves to the task's count (edges retired, chunks
+  /// released — caller-defined), or carries its exception. Counted as
+  /// submitted_maintenance in stats.
+  std::future<std::uint64_t> submit_maintenance(
+      std::function<std::uint64_t()> task);
+
   /// Blocks until every submission accepted so far has completed and no
   /// phase is open. New submissions may arrive while draining; they are
   /// drained too.
@@ -226,6 +238,9 @@ class PhaseScheduler {
     std::vector<WeightedEdge> inserts;
     std::vector<Edge> edges;  ///< erase targets or query probes
     std::function<void()> task;  ///< analytics payload
+    /// Mutation-kind maintenance payload (aged erase, compaction); when
+    /// set, the submission runs alone instead of coalescing.
+    std::function<std::uint64_t()> maintenance;
     std::promise<std::uint64_t> mutation_result;
     std::promise<std::vector<std::uint8_t>> exist_result;
     std::promise<EdgeWeightBatch> weight_result;

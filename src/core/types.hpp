@@ -194,6 +194,22 @@ struct GraphConfig {
   /// only if profiling shows it on a hot path.
   bool arena_checks = true;
 
+  /// Victim threshold of DynGraph::compact (docs/WORKLOADS.md
+  /// "Sliding-window streaming"): a dynamic arena chunk whose allocated
+  /// fraction is BELOW this value has its surviving slabs migrated into
+  /// denser chunks so the emptied chunk can be returned to the OS. Must be
+  /// in [0, 1]: 0 releases only chunks already empty (no migration), 1
+  /// migrates everything not completely full. The default 0.25 bounds
+  /// migration work at a quarter-full worst case while still collapsing
+  /// the sparse chunks sliding-window aging leaves behind.
+  double compact_occupancy = 0.25;
+
+  /// Fully-free dynamic chunks compact() RETAINS as an allocation reserve
+  /// instead of returning to the OS (1 MiB each) — the next epoch's
+  /// inserts reuse them without paying chunk allocation. 0 releases every
+  /// empty chunk.
+  std::uint32_t compact_keep_free_chunks = 1;
+
   /// Invoked (on the mutating thread, with the batch lock held) after a
   /// batched mutation aborts on arena exhaustion — the hook point for
   /// memory-pressure reactions such as flush_all_tombstones() or an

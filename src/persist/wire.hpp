@@ -14,24 +14,29 @@ static_assert(std::endian::native == std::endian::little,
 
 namespace sg::persist {
 
+/// Appends `v` to `out` as 4 little-endian bytes.
 inline void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   const std::size_t at = out.size();
   out.resize(at + sizeof(v));
   std::memcpy(out.data() + at, &v, sizeof(v));
 }
 
+/// Appends `v` to `out` as 8 little-endian bytes.
 inline void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   const std::size_t at = out.size();
   out.resize(at + sizeof(v));
   std::memcpy(out.data() + at, &v, sizeof(v));
 }
 
+/// Reads 4 little-endian bytes at `p`. The caller guarantees 4 readable
+/// bytes — framing (record lengths, checksums) is the caller's format.
 inline std::uint32_t get_u32(const std::uint8_t* p) {
   std::uint32_t v;
   std::memcpy(&v, p, sizeof(v));
   return v;
 }
 
+/// Reads 8 little-endian bytes at `p` (same contract as get_u32).
 inline std::uint64_t get_u64(const std::uint8_t* p) {
   std::uint64_t v;
   std::memcpy(&v, p, sizeof(v));

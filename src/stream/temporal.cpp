@@ -1,0 +1,124 @@
+#include "src/stream/temporal.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/datasets/suite.hpp"
+
+namespace sg::stream {
+
+namespace {
+
+/// (src, dst) order with ts DESCENDING inside each pair, so the dedup
+/// keeping the FIRST occurrence keeps the newest timestamp — the
+/// dynograph_util presort/dedup idiom.
+bool presort_less(const core::WeightedEdge& a, const core::WeightedEdge& b) {
+  if (a.src != b.src) return a.src < b.src;
+  if (a.dst != b.dst) return a.dst < b.dst;
+  return a.weight > b.weight;
+}
+
+void dedup_keep_newest(std::vector<core::WeightedEdge>& edges) {
+  std::sort(edges.begin(), edges.end(), presort_less);
+  edges.erase(std::unique(edges.begin(), edges.end(),
+                          [](const core::WeightedEdge& a,
+                             const core::WeightedEdge& b) {
+                            return a.src == b.src && a.dst == b.dst;
+                          }),
+              edges.end());
+}
+
+}  // namespace
+
+Dataset::Dataset(std::vector<TemporalEdge> edges, std::size_t batch_size)
+    : edges_(std::move(edges)), batch_size_(batch_size) {
+  if (edges_.empty()) {
+    throw std::invalid_argument("stream::Dataset: empty edge stream");
+  }
+  if (batch_size_ == 0) {
+    throw std::invalid_argument("stream::Dataset: batch_size must be > 0");
+  }
+  for (const TemporalEdge& e : edges_) {
+    max_vertex_ = std::max({max_vertex_, e.src, e.dst});
+  }
+}
+
+Dataset Dataset::from_coo(const datasets::Coo& coo, std::size_t batch_size) {
+  std::vector<TemporalEdge> edges;
+  edges.reserve(coo.edges.size());
+  for (std::size_t i = 0; i < coo.edges.size(); ++i) {
+    edges.push_back({coo.edges[i].src, coo.edges[i].dst,
+                     static_cast<core::Weight>(i)});
+  }
+  return Dataset(std::move(edges), batch_size);
+}
+
+Dataset Dataset::from_rmat(const std::string& name, double scale,
+                           std::uint64_t seed, std::size_t batch_size) {
+  return from_coo(datasets::make_dataset(name, scale, seed), batch_size);
+}
+
+Dataset Dataset::from_file(const std::string& path, std::size_t batch_size) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("stream::Dataset: cannot open " + path);
+  }
+  std::vector<TemporalEdge> edges;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    std::uint64_t src = 0, dst = 0;
+    if (!(fields >> src >> dst)) {
+      throw std::runtime_error("stream::Dataset: malformed line in " + path +
+                               ": " + line);
+    }
+    // Optional columns: `weight ts` (DynoGraph's 4-column format) or a
+    // bare `ts`; absent columns default the timestamp to arrival order.
+    std::uint64_t a = 0, b = 0;
+    core::Weight ts = static_cast<core::Weight>(edges.size());
+    if (fields >> a) {
+      ts = static_cast<core::Weight>((fields >> b) ? b : a);
+    }
+    edges.push_back({static_cast<core::VertexId>(src),
+                     static_cast<core::VertexId>(dst), ts});
+  }
+  return Dataset(std::move(edges), batch_size);
+}
+
+std::vector<core::WeightedEdge> Dataset::batch(std::size_t id,
+                                               SortMode mode) const {
+  if (id >= num_batches()) {
+    throw std::out_of_range("stream::Dataset::batch: batch id out of range");
+  }
+  const std::size_t begin = mode == SortMode::kSnapshot ? 0 : id * batch_size_;
+  const std::size_t end = std::min((id + 1) * batch_size_, edges_.size());
+  std::vector<core::WeightedEdge> out;
+  out.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    out.push_back({edges_[i].src, edges_[i].dst, edges_[i].ts});
+  }
+  if (mode != SortMode::kUnsorted) dedup_keep_newest(out);
+  return out;
+}
+
+core::Weight Dataset::timestamp_for_window(std::size_t id,
+                                           double window_frac) const {
+  if (window_frac <= 0.0 || window_frac > 1.0) {
+    throw std::invalid_argument(
+        "stream::Dataset: window_frac must be in (0, 1]");
+  }
+  if (id >= num_batches()) {
+    throw std::out_of_range("stream::Dataset: batch id out of range");
+  }
+  const std::size_t end = std::min((id + 1) * batch_size_, edges_.size());
+  const auto window_edges = static_cast<std::size_t>(
+      window_frac * static_cast<double>(edges_.size()));
+  // While the stream is shorter than the window, the whole prefix is live.
+  if (window_edges == 0 || end <= window_edges) return edges_.front().ts;
+  return edges_[end - window_edges].ts;
+}
+
+}  // namespace sg::stream

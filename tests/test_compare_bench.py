@@ -143,6 +143,38 @@ def test_persist_series_join_mid_trajectory_then_gate():
         assert name in compare_bench.DEFAULT_METRICS, name
 
 
+def test_stream_series_gate_per_mode_and_flatness():
+    # micro_stream first appears at PR 9. stream_epoch_rate is keyed by its
+    # batch-preparation mode label — a presort regression gates even when
+    # the unsorted series held. steady_chunk_flatness is min/max (1.0 =
+    # flat), so a memory trend shows up as a DROP and gates like a rate.
+    old = _point(8, "micro_persist",
+                 [("snapshot_rate", 30.0, {"dataset": "rmat"})])
+    new = _point(9, "micro_stream",
+                 [("stream_epoch_rate", 4.0, {"mode": "unsorted"}),
+                  ("stream_epoch_rate", 5.0, {"mode": "presort"}),
+                  ("steady_chunk_flatness", 1.0, {}),
+                  ("steady_rss_bytes", 9.0e7, {})])
+    assert _run([old, new]) == 0
+    newer = _point(10, "micro_stream",
+                   [("stream_epoch_rate", 4.1, {"mode": "unsorted"}),
+                    ("stream_epoch_rate", 2.5, {"mode": "presort"}),  # -50%
+                    ("steady_chunk_flatness", 1.0, {}),
+                    ("steady_rss_bytes", 9.0e7, {})])
+    assert _run([old, new, newer]) == 1
+    flat_lost = _point(10, "micro_stream",
+                       [("stream_epoch_rate", 4.1, {"mode": "unsorted"}),
+                        ("stream_epoch_rate", 5.1, {"mode": "presort"}),
+                        ("steady_chunk_flatness", 0.5, {}),  # chunks x2
+                        ("steady_rss_bytes", 9.0e7, {})])
+    assert _run([old, new, flat_lost]) == 1
+    for name in ("stream_epoch_rate", "steady_chunk_flatness"):
+        assert name in compare_bench.DEFAULT_METRICS, name
+    # Absolute RSS is box-dependent: tracked for trend, never gated.
+    assert "steady_rss_bytes" in compare_bench.UNGATED_NOISY_METRICS
+    assert "steady_rss_bytes" not in compare_bench.DEFAULT_METRICS
+
+
 def test_untracked_metric_never_gates():
     points = [
         _point(1, "micro_pipeline",

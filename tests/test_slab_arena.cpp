@@ -297,7 +297,8 @@ TEST(SlabArenaChecks, FreeingBulkSlabRaisesArenaFault) {
   SlabArena arena;
   const SlabHandle bulk = arena.allocate_contiguous(4, 0);
   EXPECT_THROW(arena.free(bulk), ArenaFault);
-  // Base slabs are never reclaimed (§IV-D2): the fault left them intact.
+  // The dynamic free path never takes base slabs (free_contiguous is the
+  // only sanctioned bulk return, §IV-D2): the fault left them intact.
   EXPECT_EQ(arena.stats().bulk_slabs, 4u);
 }
 
@@ -358,6 +359,215 @@ TEST(SlabArenaLimits, RaisingTheLimitResumesGrowth) {
   EXPECT_THROW(arena.allocate(0, 0), ArenaExhausted);
   arena.set_chunk_limit(2);
   EXPECT_NO_THROW(arena.allocate(0, 0));
+}
+
+// --------------------------------------------------------------------------
+// Compaction / shrink primitives (docs/WORKLOADS.md "Sliding-window")
+// --------------------------------------------------------------------------
+
+TEST(SlabArenaCompaction, ReleaseEmptyChunksReturnsMemory) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  // Span several dynamic chunks, then free everything.
+  const std::uint32_t total = SlabArena::kChunkSlabs * 3;
+  for (std::uint32_t i = 0; i < total; ++i) handles.push_back(arena.allocate(0, 0));
+  const std::uint32_t live_before = arena.live_chunks();
+  const std::uint64_t reserved_before = arena.stats().reserved_slabs;
+  for (SlabHandle h : handles) arena.free(h);
+  const std::uint32_t released = arena.release_empty_chunks();
+  EXPECT_GE(released, 3u);
+  EXPECT_EQ(arena.live_chunks(), live_before - released);
+  EXPECT_LT(arena.stats().reserved_slabs, reserved_before);
+  EXPECT_EQ(arena.stats().dynamic_slabs, 0u);
+}
+
+TEST(SlabArenaCompaction, KeepFreeRetainsAnAllocationReserve) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  for (std::uint32_t i = 0; i < SlabArena::kChunkSlabs * 2; ++i) {
+    handles.push_back(arena.allocate(0, 0));
+  }
+  for (SlabHandle h : handles) arena.free(h);
+  const std::uint32_t live_before = arena.live_chunks();
+  arena.release_empty_chunks(/*keep_free=*/1);
+  // Exactly one fully-free chunk stays resident as the reserve.
+  EXPECT_EQ(arena.live_chunks(), live_before - 1);
+  std::uint32_t fully_free = 0;
+  for (const auto& occ : arena.dynamic_chunk_occupancy()) {
+    if (occ.used_slabs == 0) ++fully_free;
+  }
+  EXPECT_EQ(fully_free, 1u);
+}
+
+TEST(SlabArenaCompaction, ReleasedChunkSlotsAreRecycledByGrowth) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  for (std::uint32_t i = 0; i < SlabArena::kChunkSlabs * 2; ++i) {
+    handles.push_back(arena.allocate(0, 0));
+  }
+  for (SlabHandle h : handles) arena.free(h);
+  ASSERT_GE(arena.release_empty_chunks(), 2u);
+  const std::uint32_t live_after_release = arena.live_chunks();
+  // Growth reuses the vacated chunk indices instead of extending the
+  // directory: handles stay in the already-addressed range and the live
+  // count returns to exactly what one chunk's worth of slabs needs.
+  std::set<SlabHandle> seen;
+  for (std::uint32_t i = 0; i < SlabArena::kChunkSlabs; ++i) {
+    const SlabHandle h = arena.allocate(0xFACEFEEDu, i);
+    ASSERT_TRUE(seen.insert(h).second);
+    ASSERT_EQ(arena.resolve(h).words[0], 0xFACEFEEDu);
+  }
+  EXPECT_EQ(arena.live_chunks(), live_after_release + 1);
+}
+
+TEST(SlabArenaCompaction, DrainFreeCachesMakesOccupancyExact) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  for (int i = 0; i < 16; ++i) handles.push_back(arena.allocate(0, 0));
+  // Cached frees keep the bitmap bits set: occupancy still counts them.
+  for (SlabHandle h : handles) arena.free(h);
+  auto occ = arena.dynamic_chunk_occupancy();
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_GT(occ[0].used_slabs, 0u);
+  arena.drain_free_caches();
+  occ = arena.dynamic_chunk_occupancy();
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(occ[0].used_slabs, 0u);
+  EXPECT_EQ(arena.stats().dynamic_slabs, 0u);
+}
+
+TEST(SlabArenaCompaction, AllocateAvoidingSkipsExcludedChunks) {
+  SlabArena arena;
+  // Materialize two dynamic chunks with room in both.
+  std::vector<SlabHandle> handles;
+  for (std::uint32_t i = 0; i < SlabArena::kChunkSlabs + 8; ++i) {
+    handles.push_back(arena.allocate(0, 0));
+  }
+  for (std::size_t i = 0; i < 128; ++i) arena.free(handles[i]);
+  arena.drain_free_caches();
+  const std::uint32_t victim = SlabArena::chunk_index_of(handles.front());
+  std::vector<std::uint8_t> excluded(victim + 1, 0);
+  excluded[victim] = 1;
+  for (int i = 0; i < 64; ++i) {
+    const SlabHandle h = arena.allocate_avoiding(0xAB, excluded);
+    ASSERT_NE(SlabArena::chunk_index_of(h), victim)
+        << "migration target landed in the excluded chunk";
+  }
+}
+
+TEST(SlabArenaCompaction, FreeDirectEmptiesChunkWithoutDrain) {
+  SlabArena arena;
+  std::vector<SlabHandle> handles;
+  for (int i = 0; i < 32; ++i) handles.push_back(arena.allocate(0, 0));
+  for (SlabHandle h : handles) arena.free_direct(h);
+  // No drain needed: direct frees hit the bitmap, so the chunk is already
+  // provably empty and releasable.
+  const auto occ = arena.dynamic_chunk_occupancy();
+  ASSERT_EQ(occ.size(), 1u);
+  EXPECT_EQ(occ[0].used_slabs, 0u);
+  EXPECT_EQ(arena.release_empty_chunks(), 1u);
+}
+
+TEST(SlabArenaCompaction, FreeDirectStillCatchesDoubleFree) {
+  SlabArena arena;
+  const SlabHandle h = arena.allocate(0, 0);
+  arena.free_direct(h);
+  EXPECT_THROW(arena.free_direct(h), ArenaFault);
+}
+
+// --------------------------------------------------------------------------
+// Bulk range recycling (free_contiguous): the sanctioned way a table
+// REBUILD returns its base array. Without it, every rehash under
+// sliding-window churn leaks one abandoned range (§IV-D2's caveat).
+// --------------------------------------------------------------------------
+
+TEST(SlabArenaBulkRecycle, FreedRangeIsReusedByNextAllocation) {
+  SlabArena arena;
+  const SlabHandle a = arena.allocate_contiguous(10, 0);
+  arena.allocate_contiguous(10, 0);  // keeps the cursor past `a`
+  const std::uint64_t bulk_before = arena.stats().bulk_slabs;
+  arena.free_contiguous(a, 10);
+  EXPECT_EQ(arena.stats().bulk_slabs, bulk_before - 10);
+  // Best-fit reuse hands the SAME range back instead of bumping.
+  EXPECT_EQ(arena.allocate_contiguous(10, 0xFEEDF00Du), a);
+  EXPECT_EQ(arena.stats().bulk_slabs, bulk_before);
+  // The recycled slabs were re-initialized with the new fill word.
+  for (std::uint32_t s = 0; s < 10; ++s) {
+    ASSERT_EQ(arena.resolve(a + s).words[0], 0xFEEDF00Du);
+  }
+}
+
+TEST(SlabArenaBulkRecycle, PartialReuseCarvesFromTheFront) {
+  SlabArena arena;
+  const SlabHandle a = arena.allocate_contiguous(10, 0);
+  arena.allocate_contiguous(1, 0);
+  arena.free_contiguous(a, 10);
+  // A smaller request carves the front; the remainder stays reusable.
+  EXPECT_EQ(arena.allocate_contiguous(4, 0), a);
+  EXPECT_EQ(arena.allocate_contiguous(6, 0), a + 4);
+}
+
+TEST(SlabArenaBulkRecycle, BestFitPrefersTheSmallestSufficientRange) {
+  SlabArena arena;
+  const SlabHandle big = arena.allocate_contiguous(8, 0);
+  arena.allocate_contiguous(1, 0);  // separator: ranges must not coalesce
+  const SlabHandle small = arena.allocate_contiguous(4, 0);
+  arena.allocate_contiguous(1, 0);
+  arena.free_contiguous(big, 8);
+  arena.free_contiguous(small, 4);
+  // 3 slabs fit both; best-fit picks the 4-range, leaving the 8 whole.
+  EXPECT_EQ(arena.allocate_contiguous(3, 0), small);
+  EXPECT_EQ(arena.allocate_contiguous(8, 0), big);
+}
+
+TEST(SlabArenaBulkRecycle, AdjacentFreesCoalesceIntoOneRange) {
+  SlabArena arena;
+  const SlabHandle a = arena.allocate_contiguous(4, 0);
+  const SlabHandle b = arena.allocate_contiguous(4, 0);
+  const SlabHandle c = arena.allocate_contiguous(4, 0);
+  arena.allocate_contiguous(1, 0);
+  ASSERT_EQ(b, a + 4);
+  ASSERT_EQ(c, a + 8);
+  // Free outer ranges first; the middle free must merge with BOTH sides,
+  // or the 12-slab request below would not fit any single range.
+  arena.free_contiguous(a, 4);
+  arena.free_contiguous(c, 4);
+  arena.free_contiguous(b, 4);
+  EXPECT_EQ(arena.allocate_contiguous(12, 0), a);
+}
+
+TEST(SlabArenaBulkRecycle, DoubleFreeOfRangeRaisesArenaFault) {
+  SlabArena arena;
+  const SlabHandle a = arena.allocate_contiguous(6, 0);
+  arena.allocate_contiguous(1, 0);
+  arena.free_contiguous(a, 6);
+  EXPECT_THROW(arena.free_contiguous(a, 6), ArenaFault);
+  // Overlapping partial frees are the same bug and raise the same fault.
+  EXPECT_THROW(arena.free_contiguous(a + 2, 2), ArenaFault);
+}
+
+TEST(SlabArenaBulkRecycle, FreeingDynamicSlabsAsARangeRaisesArenaFault) {
+  SlabArena arena;
+  const SlabHandle dyn = arena.allocate(0, 0);
+  EXPECT_THROW(arena.free_contiguous(dyn, 1), ArenaFault);
+}
+
+TEST(SlabArenaBulkRecycle, FullyFreedBulkChunkIsReleased) {
+  SlabArena arena;
+  const SlabHandle first = arena.allocate_contiguous(SlabArena::kChunkSlabs, 0);
+  // Open a second bulk chunk so the first is no longer the bump target
+  // (the current chunk is never released).
+  arena.allocate_contiguous(1, 0);
+  arena.free_contiguous(first, SlabArena::kChunkSlabs);
+  const std::uint32_t live_before = arena.live_chunks();
+  EXPECT_EQ(arena.release_empty_chunks(/*keep_free=*/0), 1u);
+  EXPECT_EQ(arena.live_chunks(), live_before - 1);
+  // The released chunk's free ranges were purged with it: a fresh
+  // full-chunk request opens a new chunk rather than resolving into
+  // unmapped memory.
+  const SlabHandle again =
+      arena.allocate_contiguous(SlabArena::kChunkSlabs, 0xCAFED00Du);
+  EXPECT_EQ(arena.resolve(again).words[0], 0xCAFED00Du);
 }
 
 TEST(SlabArena, MixedBulkAndDynamicCoexist) {
