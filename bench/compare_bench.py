@@ -66,6 +66,11 @@ DEFAULT_METRICS = [
     # trend with ingested volume instead of the window.
     "stream_epoch_rate",
     "steady_chunk_flatness",
+    # micro_shard (PR 10): multi-shard serving-tier throughput, one series
+    # per shard count (the {shards} label) — insert through the batch
+    # router and edges_exist through route -> probe -> scatter.
+    "shard_insert_rate",
+    "shard_query_rate",
 ]
 
 # Recorded but NOT gated: stage/apply overlap on the 1-vCPU capture box is
@@ -119,7 +124,7 @@ DEFAULT_THRESHOLD = 0.10
 # (e.g. the informational speedup_vs_scalar annotation) is measurement
 # output and would make series keys unmatchable across points.
 SERIES_LABEL_KEYS = {"batch", "threads", "dataset", "load_factor", "sync",
-                     "mode"}
+                     "mode", "shards"}
 
 
 def parse_number(cell):

@@ -568,6 +568,22 @@ class DynGraph {
   /// The future resolves to the number of chunks released.
   std::future<std::uint64_t> submit_compact();
 
+  /// Raw maintenance hook: `task` runs as a MAINTENANCE submission —
+  /// mutation-kind, alone (never coalesced), INLINE ON THE CONDUCTOR
+  /// THREAD, owning an exclusive write window over this graph. That
+  /// inline guarantee is what the sharding tier's cross-shard fence is
+  /// built on (src/shard/shard_conductor.hpp): a barrier closure
+  /// submitted here may block waiting for its siblings on OTHER graphs'
+  /// conductors without ever occupying a ThreadPool worker, so N parked
+  /// fences cannot starve the pool that must finish the phases in front
+  /// of them. The future resolves to the task's count, or carries its
+  /// exception. Inline mode (phase_scheduler = false) executes the task
+  /// synchronously on the calling thread — callers that block on
+  /// cross-graph state must not use it there (ShardedGraph bypasses the
+  /// fence entirely in inline mode).
+  std::future<std::uint64_t> submit_maintenance(
+      std::function<std::uint64_t()> task);
+
   /// The §III maintenance hook: "maintain low-cost metrics per vertex to
   /// determine the chain-length and periodically perform rehashing if it
   /// exceeds a given threshold." Rebuilds every table whose expected chain

@@ -1582,6 +1582,15 @@ std::future<std::uint64_t> DynGraph<Policy>::submit_compact() {
 }
 
 template <class Policy>
+std::future<std::uint64_t> DynGraph<Policy>::submit_maintenance(
+    std::function<std::uint64_t()> task) {
+  if (!config_.phase_scheduler) {
+    return inline_submit<std::uint64_t>([&] { return task(); });
+  }
+  return ensure_scheduler().submit_maintenance(std::move(task));
+}
+
+template <class Policy>
 bool DynGraph<Policy>::maybe_rehash_table(VertexId u, double max_chain_slabs) {
   if (u >= dict_.capacity() || !dict_.has_table(u)) return false;
   const slabhash::TableRef old_table = dict_.table(u);

@@ -17,6 +17,29 @@ std::exception_ptr rejection(RejectReason reason) {
 }
 }  // namespace
 
+PhaseScheduleStats& PhaseScheduleStats::operator+=(
+    const PhaseScheduleStats& other) {
+  submitted_mutations += other.submitted_mutations;
+  submitted_queries += other.submitted_queries;
+  submitted_analytics += other.submitted_analytics;
+  submitted_snapshots += other.submitted_snapshots;
+  submitted_maintenance += other.submitted_maintenance;
+  mutation_phases += other.mutation_phases;
+  query_phases += other.query_phases;
+  analytics_phases += other.analytics_phases;
+  phase_switches += other.phase_switches;
+  coalesced_batches += other.coalesced_batches;
+  fence_wait_seconds += other.fence_wait_seconds;
+  rejected_submissions += other.rejected_submissions;
+  shed_queries += other.shed_queries;
+  expired_queries += other.expired_queries;
+  blocked_ns += other.blocked_ns;
+  if (other.max_queue_depth > max_queue_depth) {
+    max_queue_depth = other.max_queue_depth;
+  }
+  return *this;
+}
+
 PhaseScheduler::PhaseScheduler(Ops ops)
     : PhaseScheduler(std::move(ops), Limits{}) {}
 

@@ -122,6 +122,12 @@ struct PhaseScheduleStats {
   std::uint64_t blocked_ns = 0;
   /// High-water mark of pending (queued, not yet admitted) submissions.
   std::uint64_t max_queue_depth = 0;
+
+  /// Element-wise accumulation — how the sharding tier folds per-shard
+  /// conductor counters into tier-level stats (src/shard/). Counters sum;
+  /// max_queue_depth takes the max (a high-water mark has no meaningful
+  /// sum).
+  PhaseScheduleStats& operator+=(const PhaseScheduleStats& other);
 };
 
 /// The conductor. One per scheduled graph; owns a single thread that

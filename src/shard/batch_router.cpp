@@ -1,0 +1,79 @@
+#include "src/shard/batch_router.hpp"
+
+namespace sg::shard {
+
+namespace {
+
+/// Carves `counts` (per-shard sizes) into the offsets prefix sum and
+/// returns the total. `counts` becomes the per-shard write cursors.
+template <typename T>
+std::uint64_t carve(std::vector<std::uint64_t>& counts, RoutedBatch<T>& out) {
+  const std::uint32_t shards = static_cast<std::uint32_t>(counts.size());
+  out.offsets.assign(shards + 1, 0);
+  std::uint64_t total = 0;
+  for (std::uint32_t s = 0; s < shards; ++s) {
+    out.offsets[s] = total;
+    const std::uint64_t n = counts[s];
+    counts[s] = total;  // becomes the emit cursor
+    total += n;
+  }
+  out.offsets[shards] = total;
+  return total;
+}
+
+}  // namespace
+
+RoutedBatch<core::WeightedEdge> route_inserts(
+    std::span<const core::WeightedEdge> edges, std::uint32_t shards,
+    bool mirror) {
+  RoutedBatch<core::WeightedEdge> out;
+  std::vector<std::uint64_t> counts(shards, 0);
+  for (const core::WeightedEdge& e : edges) {
+    ++counts[owner_of(e.src, shards)];
+    if (mirror && e.src != e.dst) ++counts[owner_of(e.dst, shards)];
+  }
+  out.items.resize(carve(counts, out));
+  for (const core::WeightedEdge& e : edges) {
+    out.items[counts[owner_of(e.src, shards)]++] = e;
+    if (mirror && e.src != e.dst) {
+      out.items[counts[owner_of(e.dst, shards)]++] = {e.dst, e.src, e.weight};
+    }
+  }
+  return out;
+}
+
+RoutedBatch<core::Edge> route_erases(std::span<const core::Edge> edges,
+                                     std::uint32_t shards, bool mirror) {
+  RoutedBatch<core::Edge> out;
+  std::vector<std::uint64_t> counts(shards, 0);
+  for (const core::Edge& e : edges) {
+    ++counts[owner_of(e.src, shards)];
+    if (mirror && e.src != e.dst) ++counts[owner_of(e.dst, shards)];
+  }
+  out.items.resize(carve(counts, out));
+  for (const core::Edge& e : edges) {
+    out.items[counts[owner_of(e.src, shards)]++] = e;
+    if (mirror && e.src != e.dst) {
+      out.items[counts[owner_of(e.dst, shards)]++] = {e.dst, e.src};
+    }
+  }
+  return out;
+}
+
+RoutedBatch<core::Edge> route_queries(std::span<const core::Edge> queries,
+                                      std::uint32_t shards) {
+  RoutedBatch<core::Edge> out;
+  std::vector<std::uint64_t> counts(shards, 0);
+  for (const core::Edge& q : queries) ++counts[owner_of(q.src, shards)];
+  const std::uint64_t total = carve(counts, out);
+  out.items.resize(total);
+  out.seq.resize(total);
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const std::uint64_t slot = counts[owner_of(queries[i].src, shards)]++;
+    out.items[slot] = queries[i];
+    out.seq[slot] = static_cast<std::uint32_t>(i);
+  }
+  return out;
+}
+
+}  // namespace sg::shard

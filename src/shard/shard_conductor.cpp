@@ -1,0 +1,383 @@
+#include "src/shard/shard_conductor.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <utility>
+
+namespace sg::shard {
+
+// ---- cross-shard fence state ----------------------------------------------
+
+struct ShardConductor::FenceCounters {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> aborted{0};
+};
+
+/// Shared state of one cross-shard fence. Lifetime: co-owned by the N
+/// participant tokens and (until fan-out returns) the submitting thread,
+/// so it survives until the last shard's closure ran or was rejected.
+struct ShardConductor::Fence {
+  std::mutex m;
+  std::condition_variable cv;
+  std::uint32_t expected = 0;  ///< shard count at submission
+  std::uint32_t arrived = 0;
+  bool done = false;     ///< task ran (or threw); parked siblings may leave
+  bool aborted = false;  ///< a participant was rejected; task never runs
+  bool resolved = false;
+  std::function<void()> task;
+  std::promise<void> user;
+
+  // Both called with m held; the promise resolves exactly once.
+  void resolve_value_locked() {
+    if (resolved) return;
+    resolved = true;
+    user.set_value();
+  }
+  void resolve_error_locked(std::exception_ptr e) {
+    if (resolved) return;
+    resolved = true;
+    user.set_exception(std::move(e));
+  }
+};
+
+/// RAII participation marker captured by each shard's barrier closure. A
+/// closure destroyed UNRUN (scheduler shutdown rejected it, or kReject
+/// backpressure refused it) fires the abort from here — the one hook that
+/// is guaranteed to run however the closure dies — so parked siblings
+/// wake instead of waiting for an arrival that can never come.
+struct ShardConductor::Token {
+  std::shared_ptr<Fence> fence;
+  std::shared_ptr<FenceCounters> counters;
+  bool ran = false;
+
+  ~Token() {
+    if (ran || !fence) return;
+    std::lock_guard<std::mutex> lock(fence->m);
+    if (fence->done || fence->aborted) return;
+    fence->aborted = true;
+    counters->aborted.fetch_add(1, std::memory_order_relaxed);
+    fence->resolve_error_locked(std::make_exception_ptr(
+        core::SubmitRejected(core::RejectReason::kShutdown)));
+    fence->cv.notify_all();
+  }
+};
+
+// ---- construction ---------------------------------------------------------
+
+ShardConductor::ShardConductor(std::vector<ShardOps> shards)
+    : shards_(std::move(shards)),
+      fence_counters_(std::make_shared<FenceCounters>()) {}
+
+// ---- mutation fan-out -----------------------------------------------------
+
+namespace {
+
+/// Ready future carrying the exception a shard submit threw synchronously
+/// (stopped scheduler), so the combiner handles sync and async refusals
+/// through one path.
+template <typename T>
+std::future<T> ready_error(std::exception_ptr e) {
+  std::promise<T> p;
+  p.set_exception(std::move(e));
+  return p.get_future();
+}
+
+/// Folds per-shard mutation outcomes into the tier result. Shards are
+/// independent, so the global outcome is exactly the union of per-shard
+/// outcomes: counts sum; a failing shard contributes its exact unapplied
+/// list (PartialBatchError) or its whole sub-batch (rejection /
+/// infrastructure failure, recorded in `sub_edges` before the vectors
+/// moved into the schedulers). Only when nothing was applied anywhere and
+/// every involved shard rejected does the all-or-nothing SubmitRejected
+/// surface unchanged.
+std::uint64_t combine_mutations(
+    std::vector<std::future<std::uint64_t>>& futures,
+    std::vector<std::vector<core::Edge>>& sub_edges) {
+  std::uint64_t applied = 0;
+  std::vector<core::Edge> unapplied;
+  std::exception_ptr cause;      // first failing shard's underlying cause
+  std::exception_ptr rejection;  // first refusal, for the all-refused path
+  bool any_partial = false;
+  bool any_refused = false;
+  bool any_success = false;
+  for (std::size_t s = 0; s < futures.size(); ++s) {
+    if (!futures[s].valid()) continue;  // shard had no sub-batch
+    try {
+      applied += futures[s].get();
+      any_success = true;
+    } catch (const core::PartialBatchError& e) {
+      any_partial = true;
+      applied += e.applied();
+      unapplied.insert(unapplied.end(), e.unapplied().begin(),
+                       e.unapplied().end());
+      if (!cause) cause = e.cause();
+    } catch (...) {
+      any_refused = true;
+      if (!rejection) rejection = std::current_exception();
+      unapplied.insert(unapplied.end(), sub_edges[s].begin(),
+                       sub_edges[s].end());
+    }
+  }
+  if (any_partial || (any_refused && (any_success || applied != 0))) {
+    throw core::PartialBatchError(applied, std::move(unapplied),
+                                  cause ? cause : rejection,
+                                  "sharded mutation aborted");
+  }
+  if (any_refused) std::rethrow_exception(rejection);
+  return applied;
+}
+
+}  // namespace
+
+std::future<std::uint64_t> ShardConductor::submit_insert(
+    std::vector<std::vector<core::WeightedEdge>> per_shard) {
+  const std::uint32_t n = shard_count();
+  std::vector<std::future<std::uint64_t>> futures(n);
+  // (src, dst) projections of each sub-batch, kept until resolution: if a
+  // shard REFUSES its sub-batch while a sibling applies, the tier
+  // PartialBatchError must list the refused edges — and by then the
+  // originals have moved into the schedulers.
+  auto sub_edges = std::make_shared<std::vector<std::vector<core::Edge>>>(n);
+  {
+    std::lock_guard<std::mutex> admission(admission_);
+    ++tier_mutations_;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (per_shard[s].empty()) continue;
+      auto& copy = (*sub_edges)[s];
+      copy.reserve(per_shard[s].size());
+      for (const core::WeightedEdge& e : per_shard[s]) {
+        copy.push_back({e.src, e.dst});
+      }
+      try {
+        futures[s] = shards_[s].submit_insert(std::move(per_shard[s]));
+      } catch (...) {
+        futures[s] = ready_error<std::uint64_t>(std::current_exception());
+      }
+    }
+  }
+  return std::async(std::launch::deferred,
+                    [futures = std::move(futures), sub_edges]() mutable {
+                      return combine_mutations(futures, *sub_edges);
+                    });
+}
+
+std::future<std::uint64_t> ShardConductor::submit_erase(
+    std::vector<std::vector<core::Edge>> per_shard) {
+  const std::uint32_t n = shard_count();
+  std::vector<std::future<std::uint64_t>> futures(n);
+  auto sub_edges = std::make_shared<std::vector<std::vector<core::Edge>>>(n);
+  {
+    std::lock_guard<std::mutex> admission(admission_);
+    ++tier_mutations_;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (per_shard[s].empty()) continue;
+      (*sub_edges)[s] = per_shard[s];  // kept for the refusal path
+      try {
+        futures[s] = shards_[s].submit_erase(std::move(per_shard[s]));
+      } catch (...) {
+        futures[s] = ready_error<std::uint64_t>(std::current_exception());
+      }
+    }
+  }
+  return std::async(std::launch::deferred,
+                    [futures = std::move(futures), sub_edges]() mutable {
+                      return combine_mutations(futures, *sub_edges);
+                    });
+}
+
+// ---- query scatter-gather -------------------------------------------------
+
+std::future<std::vector<std::uint8_t>> ShardConductor::submit_edges_exist(
+    std::vector<std::vector<core::Edge>> per_shard,
+    std::vector<std::vector<std::uint32_t>> per_shard_seq, std::size_t total,
+    std::uint32_t deadline_ms) {
+  const std::uint32_t n = shard_count();
+  std::vector<std::future<std::vector<std::uint8_t>>> futures(n);
+  {
+    std::lock_guard<std::mutex> admission(admission_);
+    ++tier_queries_;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (per_shard[s].empty()) continue;
+      try {
+        futures[s] =
+            shards_[s].submit_edges_exist(std::move(per_shard[s]), deadline_ms);
+      } catch (...) {
+        futures[s] =
+            ready_error<std::vector<std::uint8_t>>(std::current_exception());
+      }
+    }
+  }
+  return std::async(
+      std::launch::deferred,
+      [futures = std::move(futures), seq = std::move(per_shard_seq),
+       total]() mutable {
+        std::vector<std::uint8_t> out(total, 0);
+        std::exception_ptr first;
+        for (std::size_t s = 0; s < futures.size(); ++s) {
+          if (!futures[s].valid()) continue;
+          try {
+            const std::vector<std::uint8_t> part = futures[s].get();
+            for (std::size_t i = 0; i < part.size(); ++i) {
+              out[seq[s][i]] = part[i];
+            }
+          } catch (...) {
+            if (!first) first = std::current_exception();
+          }
+        }
+        // Queries are all-or-nothing reads: a partially-answered batch is
+        // indistinguishable from "absent" at the missing positions, so any
+        // shard's refusal fails the whole tier query.
+        if (first) std::rethrow_exception(first);
+        return out;
+      });
+}
+
+std::future<core::EdgeWeightBatch> ShardConductor::submit_edge_weights(
+    std::vector<std::vector<core::Edge>> per_shard,
+    std::vector<std::vector<std::uint32_t>> per_shard_seq, std::size_t total,
+    std::uint32_t deadline_ms) {
+  const std::uint32_t n = shard_count();
+  std::vector<std::future<core::EdgeWeightBatch>> futures(n);
+  {
+    std::lock_guard<std::mutex> admission(admission_);
+    ++tier_queries_;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (per_shard[s].empty()) continue;
+      try {
+        futures[s] = shards_[s].submit_edge_weights(std::move(per_shard[s]),
+                                                    deadline_ms);
+      } catch (...) {
+        futures[s] =
+            ready_error<core::EdgeWeightBatch>(std::current_exception());
+      }
+    }
+  }
+  return std::async(
+      std::launch::deferred,
+      [futures = std::move(futures), seq = std::move(per_shard_seq),
+       total]() mutable {
+        core::EdgeWeightBatch out;
+        out.weights.assign(total, core::Weight{0});
+        out.found.assign(total, 0);
+        std::exception_ptr first;
+        for (std::size_t s = 0; s < futures.size(); ++s) {
+          if (!futures[s].valid()) continue;
+          try {
+            const core::EdgeWeightBatch part = futures[s].get();
+            for (std::size_t i = 0; i < part.found.size(); ++i) {
+              out.weights[seq[s][i]] = part.weights[i];
+              out.found[seq[s][i]] = part.found[i];
+            }
+          } catch (...) {
+            if (!first) first = std::current_exception();
+          }
+        }
+        if (first) std::rethrow_exception(first);
+        return out;
+      });
+}
+
+// ---- cross-shard fences ---------------------------------------------------
+
+std::future<void> ShardConductor::submit_fenced(std::function<void()> task,
+                                                bool snapshot) {
+  auto fence = std::make_shared<Fence>();
+  fence->expected = shard_count();
+  fence->task = std::move(task);
+  std::future<void> result = fence->user.get_future();
+
+  std::lock_guard<std::mutex> admission(admission_);
+  if (snapshot) {
+    ++tier_snapshots_;
+  } else {
+    ++tier_analytics_;
+  }
+  for (std::uint32_t s = 0; s < shard_count(); ++s) {
+    auto token = std::make_shared<Token>();
+    token->fence = fence;
+    token->counters = fence_counters_;
+    try {
+      // Discard the per-shard future: completion is signalled through the
+      // fence's own promise, and abort through the token.
+      shards_[s].submit_maintenance([token]() -> std::uint64_t {
+        Fence& f = *token->fence;
+        std::unique_lock<std::mutex> lock(f.m);
+        token->ran = true;
+        ++f.arrived;
+        if (f.arrived == f.expected && !f.aborted) {
+          // Last arriver: every other shard's conductor is parked in this
+          // barrier and this shard's conductor is here — the whole tier is
+          // simultaneously inside a maintenance window. Run the task
+          // against that epoch-consistent cut.
+          try {
+            f.task();
+            f.resolve_value_locked();
+          } catch (...) {
+            f.resolve_error_locked(std::current_exception());
+          }
+          f.done = true;
+          token->counters->completed.fetch_add(1, std::memory_order_relaxed);
+          f.cv.notify_all();
+        } else if (!f.done && !f.aborted) {
+          f.cv.wait(lock, [&f] { return f.done || f.aborted; });
+        }
+        return 0;
+      });
+    } catch (...) {
+      // This shard's scheduler refused synchronously (stopping): the fence
+      // can never be whole. Abort with the real reason; shards already
+      // holding a closure wake through the token/abort machinery, and the
+      // remaining shards are never fenced.
+      std::lock_guard<std::mutex> lock(fence->m);
+      if (!fence->done && !fence->aborted) {
+        fence->aborted = true;
+        fence_counters_->aborted.fetch_add(1, std::memory_order_relaxed);
+        fence->resolve_error_locked(std::current_exception());
+        fence->cv.notify_all();
+      }
+      break;
+    }
+  }
+  return result;
+}
+
+std::future<void> ShardConductor::submit_analytics(std::function<void()> task) {
+  return submit_fenced(std::move(task), /*snapshot=*/false);
+}
+
+std::future<void> ShardConductor::submit_snapshot(std::function<void()> task) {
+  return submit_fenced(std::move(task), /*snapshot=*/true);
+}
+
+// ---- drain & stats --------------------------------------------------------
+
+void ShardConductor::drain() {
+  // Per-shard drains suffice: a pending cross-shard fence on shard s
+  // completes once every sibling's conductor reaches its closure, and each
+  // sibling drains (or simply schedules) independently — no circular wait.
+  for (ShardOps& shard : shards_) shard.drain();
+}
+
+TierStats ShardConductor::stats() const {
+  TierStats out;
+  out.per_shard.reserve(shards_.size());
+  for (const ShardOps& shard : shards_) {
+    out.per_shard.push_back(shard.stats());
+    out.shard_totals += out.per_shard.back();
+  }
+  {
+    std::lock_guard<std::mutex> admission(admission_);
+    out.tier_mutations = tier_mutations_;
+    out.tier_queries = tier_queries_;
+    out.tier_analytics = tier_analytics_;
+    out.tier_snapshots = tier_snapshots_;
+  }
+  out.fences_completed =
+      fence_counters_->completed.load(std::memory_order_relaxed);
+  out.fences_aborted =
+      fence_counters_->aborted.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace sg::shard

@@ -1,0 +1,180 @@
+// ShardConductor: the PR 5 per-graph conductor promoted to a MULTI-GRAPH
+// conductor — one admission point over a set of DynGraph shards
+// (docs/ARCHITECTURE.md "Sharding").
+//
+// Each shard keeps its own PhaseScheduler: per-shard phases stay
+// independent (shard 0 can run a mutation phase while shard 1 runs
+// queries), which is the whole throughput point of partitioning. What the
+// tier adds on top is exactly what no per-graph conductor can give:
+//
+//  * ONE ADMISSION ORDER. Every tier submission fans out to its owner
+//    shards under a single admission mutex, so all shards observe the
+//    same relative order of tier submissions in their FIFO queues. That
+//    total order is what makes a cross-shard fence deadlock-free (two
+//    concurrent fences can never interleave in opposite orders on two
+//    shards) and what makes tier batches BATCH-ATOMIC with respect to
+//    fences: a fence admitted after batch B is behind B on every shard,
+//    so an epoch-consistent cut never observes half of B.
+//
+//  * CROSS-SHARD FENCES. submit_analytics / submit_snapshot submit a
+//    barrier closure to EVERY shard as a maintenance-kind submission.
+//    Maintenance runs alone, INLINE on each shard's conductor thread
+//    (never as a pool job — N parked barriers cannot starve the
+//    ThreadPool that must finish the phases ahead of them). Arrivals
+//    park; the LAST arriver finds every shard's conductor simultaneously
+//    fenced — an epoch-consistent cut of the whole tier — and runs the
+//    user task against it. If any shard rejects its closure (shutdown,
+//    queue-full kReject), an RAII participant token aborts the barrier:
+//    parked siblings wake and return, and the user future resolves to
+//    the rejection — every future resolves, nothing hangs.
+//
+//  * SCATTER-GATHER AND TYPED AGGREGATION. Combined futures reassemble
+//    per-shard query results into original input order via the router's
+//    global sequence numbers, sum mutation counts, and fold per-shard
+//    failures into one tier-level error: any shard's PartialBatchError
+//    (or a rejection while a sibling shard applied) surfaces as a tier
+//    PartialBatchError whose applied count and unapplied list are exact
+//    — shards are independent, so the global outcome is the union of
+//    per-shard outcomes. Only when EVERY shard rejected (nothing
+//    applied anywhere) does the all-or-nothing SubmitRejected surface.
+//
+// The conductor is type-erased over the shard graphs (ShardOps bundles of
+// std::functions, the PhaseScheduler::Ops idiom one level up), so one
+// non-templated implementation serves the map and set tiers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "src/core/errors.hpp"
+#include "src/core/phase_scheduler.hpp"
+#include "src/core/types.hpp"
+
+namespace sg::shard {
+
+/// Tier-level view of the shard set's schedulers plus the conductor's own
+/// admission counters. ShardConductor::stats().
+struct TierStats {
+  /// Sum of every shard's PhaseScheduleStats (max_queue_depth is the max).
+  core::PhaseScheduleStats shard_totals;
+  /// Per-shard snapshots, indexed by shard — the fairness view.
+  std::vector<core::PhaseScheduleStats> per_shard;
+  // Tier submissions admitted through the conductor, by kind. One tier
+  // mutation fanning out to k shards counts ONCE here and k times in
+  // shard_totals.submitted_mutations.
+  std::uint64_t tier_mutations = 0;
+  std::uint64_t tier_queries = 0;
+  std::uint64_t tier_analytics = 0;
+  std::uint64_t tier_snapshots = 0;
+  /// Cross-shard fences completed (the task ran against a full-tier cut).
+  std::uint64_t fences_completed = 0;
+  /// Fences aborted by a participant rejection (shutdown / backpressure).
+  std::uint64_t fences_aborted = 0;
+};
+
+class ShardConductor {
+ public:
+  /// Scheduled entry points of one shard, type-erased. `submit_edge_weights`
+  /// may be empty (set tiers never submit weighted queries).
+  struct ShardOps {
+    std::function<std::future<std::uint64_t>(std::vector<core::WeightedEdge>)>
+        submit_insert;
+    std::function<std::future<std::uint64_t>(std::vector<core::Edge>)>
+        submit_erase;
+    std::function<std::future<std::vector<std::uint8_t>>(
+        std::vector<core::Edge>, std::uint32_t)>
+        submit_edges_exist;
+    std::function<std::future<core::EdgeWeightBatch>(std::vector<core::Edge>,
+                                                     std::uint32_t)>
+        submit_edge_weights;
+    std::function<std::future<std::uint64_t>(std::function<std::uint64_t()>)>
+        submit_maintenance;
+    std::function<void()> drain;
+    std::function<core::PhaseScheduleStats()> stats;
+  };
+
+  explicit ShardConductor(std::vector<ShardOps> shards);
+
+  ShardConductor(const ShardConductor&) = delete;
+  ShardConductor& operator=(const ShardConductor&) = delete;
+
+  std::uint32_t shard_count() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  // ---- routed fan-out (any thread) -------------------------------------
+  // `per_shard[s]` is shard s's routed sub-batch (empty vectors are
+  // skipped — no phase is paid on an uninvolved shard). The combined
+  // future is deferred: aggregation runs on the thread that calls get().
+
+  /// Resolves to the summed per-shard applied counts (each shard's count
+  /// carries the coalesced-group semantics of its own scheduler). On any
+  /// per-shard failure with work applied elsewhere, throws a tier-level
+  /// core::PartialBatchError with the exact global applied count and the
+  /// concatenated unapplied edges (routed orientation — an undirected
+  /// tier's mirror appears as its own (dst, src) entry).
+  std::future<std::uint64_t> submit_insert(
+      std::vector<std::vector<core::WeightedEdge>> per_shard);
+  std::future<std::uint64_t> submit_erase(
+      std::vector<std::vector<core::Edge>> per_shard);
+
+  /// Scatter-gather: resolves to out[i] = answer for global input
+  /// position i, reassembled from per-shard results via `per_shard_seq`
+  /// (`total` is the client batch size). Queries are all-or-nothing
+  /// reads: any shard's rejection fails the whole tier query.
+  std::future<std::vector<std::uint8_t>> submit_edges_exist(
+      std::vector<std::vector<core::Edge>> per_shard,
+      std::vector<std::vector<std::uint32_t>> per_shard_seq, std::size_t total,
+      std::uint32_t deadline_ms = 0);
+  std::future<core::EdgeWeightBatch> submit_edge_weights(
+      std::vector<std::vector<core::Edge>> per_shard,
+      std::vector<std::vector<std::uint32_t>> per_shard_seq, std::size_t total,
+      std::uint32_t deadline_ms = 0);
+
+  // ---- cross-shard fences ----------------------------------------------
+  /// Runs `task` against an epoch-consistent cut of the WHOLE tier: every
+  /// shard's conductor is parked in the barrier while the task executes,
+  /// so the task may read any shard (gathers, queries, stats) without a
+  /// mutation phase running anywhere. FIFO with the submitter's other
+  /// tier submissions. The future resolves when the task returns, carries
+  /// the task's exception, or resolves to core::SubmitRejected if any
+  /// shard refused its barrier closure (the fence aborts; the task never
+  /// runs half-fenced).
+  std::future<void> submit_analytics(std::function<void()> task);
+  /// Same fence, counted as a snapshot in stats — the task typically
+  /// writes one persist::snapshot file per shard inside the cut.
+  std::future<void> submit_snapshot(std::function<void()> task);
+
+  /// Drains every shard's scheduler (all accepted tier work completes).
+  void drain();
+
+  TierStats stats() const;
+
+ private:
+  struct Fence;
+  struct FenceCounters;
+  struct Token;
+
+  std::future<void> submit_fenced(std::function<void()> task, bool snapshot);
+
+  std::vector<ShardOps> shards_;
+  /// Serializes fan-out so every shard sees tier submissions in one total
+  /// order (see file comment). Held across the per-shard submit calls —
+  /// a shard blocking under kBlock backpressure stalls tier admission,
+  /// which is the tier-level backpressure by construction.
+  mutable std::mutex admission_;
+  std::uint64_t tier_mutations_ = 0;
+  std::uint64_t tier_queries_ = 0;
+  std::uint64_t tier_analytics_ = 0;
+  std::uint64_t tier_snapshots_ = 0;
+  /// Fence outcome counters, co-owned by in-flight barrier closures: a
+  /// closure may outlive the conductor (the owning tier destroys the
+  /// conductor before the shard graphs, whose schedulers still hold
+  /// queued closures), so completion/abort must never touch `this`.
+  std::shared_ptr<FenceCounters> fence_counters_;
+};
+
+}  // namespace sg::shard

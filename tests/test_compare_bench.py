@@ -175,6 +175,31 @@ def test_stream_series_gate_per_mode_and_flatness():
     assert "steady_rss_bytes" not in compare_bench.DEFAULT_METRICS
 
 
+def test_shard_series_join_mid_trajectory_then_gate():
+    # micro_shard first appears at PR 10: no baseline in older points
+    # (skip, not fail), then gate from the first pair carrying both sides.
+    # Both shard series are keyed by the {shards} label, so each shard
+    # count is its own series — a 4-shard regression gates even when the
+    # 1-shard degenerate tier held steady.
+    old = _point(9, "micro_stream",
+                 [("stream_epoch_rate", 4.0, {"mode": "unsorted"})])
+    new = _point(10, "micro_shard",
+                 [("shard_insert_rate", 5.0, {"shards": "1"}),
+                  ("shard_insert_rate", 6.0, {"shards": "4"}),
+                  ("shard_query_rate", 14.0, {"shards": "1"}),
+                  ("shard_query_rate", 12.0, {"shards": "4"})])
+    assert _run([old, new]) == 0
+    newer = _point(11, "micro_shard",
+                   [("shard_insert_rate", 5.1, {"shards": "1"}),
+                    ("shard_insert_rate", 3.0, {"shards": "4"}),  # -50%
+                    ("shard_query_rate", 14.2, {"shards": "1"}),
+                    ("shard_query_rate", 12.1, {"shards": "4"})])
+    assert _run([old, new, newer]) == 1
+    for name in ("shard_insert_rate", "shard_query_rate"):
+        assert name in compare_bench.DEFAULT_METRICS, name
+    assert "shards" in compare_bench.SERIES_LABEL_KEYS
+
+
 def test_untracked_metric_never_gates():
     points = [
         _point(1, "micro_pipeline",
